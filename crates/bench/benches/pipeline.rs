@@ -1,0 +1,69 @@
+//! Criterion benchmarks for the end-to-end detection pipeline and its
+//! stages — regenerating Table 1 is itself the workload of interest.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sidefp_chip::device::WirelessCryptoIc;
+use sidefp_chip::measurement::{FingerprintPlan, SideChannelMeter};
+use sidefp_chip::trojan::Trojan;
+use sidefp_core::stages::{PremanufacturingStage, SiliconStage, Testbench};
+use sidefp_core::{ExperimentConfig, PaperExperiment};
+use sidefp_silicon::params::ProcessPoint;
+use sidefp_silicon::pcm::PcmSuite;
+
+/// Reduced-size configuration so a single bench iteration stays in the
+/// tens-of-milliseconds range; relative stage costs match the full run.
+fn bench_config() -> ExperimentConfig {
+    ExperimentConfig {
+        chips: 12,
+        mc_samples: 50,
+        kde_samples: 3000,
+        ..Default::default()
+    }
+}
+
+fn bench_fingerprint(c: &mut Criterion) {
+    let device = WirelessCryptoIc::new(ProcessPoint::nominal(), [0xa5; 16], Trojan::None);
+    let plan = FingerprintPlan::random(&mut StdRng::seed_from_u64(1), 6).unwrap();
+    let meter = SideChannelMeter::default();
+    c.bench_function("fingerprint_6_blocks", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| std::hint::black_box(meter.fingerprint(&device, &plan, &mut rng)))
+    });
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let config = bench_config();
+    c.bench_function("stage_premanufacturing", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let bench = Testbench::random(&mut rng, 6, PcmSuite::paper_default()).unwrap();
+            std::hint::black_box(PremanufacturingStage::run(&config, &bench, &mut rng).unwrap())
+        })
+    });
+    c.bench_function("stage_silicon", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let bench = Testbench::random(&mut rng, 6, PcmSuite::paper_default()).unwrap();
+        let pre = PremanufacturingStage::run(&config, &bench, &mut rng).unwrap();
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            std::hint::black_box(SiliconStage::run(&config, &bench, &pre, &mut rng).unwrap())
+        })
+    });
+}
+
+fn bench_full_experiment(c: &mut Criterion) {
+    c.bench_function("paper_experiment_reduced", |b| {
+        b.iter(|| {
+            std::hint::black_box(PaperExperiment::new(bench_config()).unwrap().run().unwrap())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fingerprint, bench_stages, bench_full_experiment
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Ablation: number and kind of PCM structures (`n_p`).
+//!
+//! The paper used a single path-delay monitor. Additional monitors give the
+//! regression more to work with — at the cost of more e-test time.
+
+use sidefp_core::{ExperimentConfig, PaperExperiment};
+use sidefp_silicon::pcm::{PcmKind, PcmSuite};
+
+fn main() {
+    println!("Ablation: PCM suite composition");
+    println!("suite                                  B3(FP|FN)  B4(FP|FN)  B5(FP|FN)");
+    let suites: [(&str, Vec<PcmKind>); 4] = [
+        ("path-delay (paper)", vec![PcmKind::PathDelay]),
+        (
+            "delay + ring-osc",
+            vec![PcmKind::PathDelay, PcmKind::RingOscillator],
+        ),
+        (
+            "delay + ring-osc + leakage",
+            vec![
+                PcmKind::PathDelay,
+                PcmKind::RingOscillator,
+                PcmKind::LeakageCurrent,
+            ],
+        ),
+        (
+            "all four monitors",
+            vec![
+                PcmKind::PathDelay,
+                PcmKind::RingOscillator,
+                PcmKind::LeakageCurrent,
+                PcmKind::VthMonitor,
+            ],
+        ),
+    ];
+    for (label, kinds) in suites {
+        let suite = match PcmSuite::new(kinds, 0.002) {
+            Ok(s) => s,
+            Err(e) => {
+                println!("{label:<38} invalid suite: {e}");
+                continue;
+            }
+        };
+        let config = ExperimentConfig {
+            pcm_suite: suite,
+            kde_samples: 20_000,
+            ..Default::default()
+        };
+        match PaperExperiment::new(config).and_then(|e| e.run()) {
+            Ok(result) => {
+                let cell = |name: &str| {
+                    result
+                        .row(name)
+                        .map(|r| {
+                            format!(
+                                "{:>2}|{:<2}",
+                                r.counts.false_positives(),
+                                r.counts.false_negatives()
+                            )
+                        })
+                        .unwrap_or_else(|| "-".into())
+                };
+                println!(
+                    "{label:<38} {}      {}      {}",
+                    cell("B3"),
+                    cell("B4"),
+                    cell("B5")
+                );
+            }
+            Err(e) => println!("{label:<38} failed: {e}"),
+        }
+    }
+    println!();
+    println!("Expected: a single delay monitor already carries most of the anchoring");
+    println!("signal; extra monitors trim FN modestly.");
+}

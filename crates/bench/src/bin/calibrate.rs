@@ -1,0 +1,37 @@
+//! Calibration sweep over the boundary operating point (γ, ν): prints the
+//! full Table-1 row set per combination so the default configuration can be
+//! pinned where the paper's shape holds.
+
+use sidefp_core::{ExperimentConfig, PaperExperiment};
+
+fn main() {
+    for bw in [0.3, 0.35, 0.4] {
+        for noise in [0.004, 0.0045, 0.005, 0.006] {
+            let mut config = ExperimentConfig::default();
+            config.kde.bandwidth = Some(bw);
+            config.meter.noise_relative = noise;
+            let result = PaperExperiment::new(config)
+                .expect("valid config")
+                .run()
+                .expect("experiment runs");
+            let cells: Vec<String> = result
+                .table1
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{}:{}|{}",
+                        r.dataset,
+                        r.counts.false_positives(),
+                        r.counts.false_negatives()
+                    )
+                })
+                .collect();
+            println!(
+                "bw {bw:<5} noise {noise:<6} {}  golden:{}|{}",
+                cells.join("  "),
+                result.golden_baseline.counts.false_positives(),
+                result.golden_baseline.counts.false_negatives()
+            );
+        }
+    }
+}

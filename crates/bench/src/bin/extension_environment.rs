@@ -1,0 +1,60 @@
+//! Extension experiment: test-floor environment mismatch.
+//!
+//! The trusted simulation model assumes the nominal environment (25 C,
+//! 3.3 V); the tester floor may run hotter. Both the side-channel
+//! fingerprints AND the PCMs shift with temperature — the question is
+//! whether the PCM anchoring absorbs a mismatch it was never told about.
+//!
+//! ```text
+//! cargo run --release -p sidefp-bench --bin extension_environment
+//! ```
+
+use sidefp_core::{ExperimentConfig, PaperExperiment};
+use sidefp_silicon::environment::Environment;
+
+fn main() {
+    println!("Environment mismatch: simulation at 25 C, tester floor swept");
+    println!();
+    println!("tester      B3(FP|FN)  B4(FP|FN)  B5(FP|FN)  golden(FP|FN)");
+    for temp in [25.0, 35.0, 50.0, 70.0, 85.0] {
+        let config = ExperimentConfig {
+            test_environment: Environment::at_temperature(temp).expect("temperature in range"),
+            kde_samples: 20_000,
+            ..Default::default()
+        };
+        match PaperExperiment::new(config).and_then(|e| e.run()) {
+            Ok(result) => {
+                let cell = |name: &str| {
+                    result
+                        .row(name)
+                        .map(|r| {
+                            format!(
+                                "{:>2}|{:<2}",
+                                r.counts.false_positives(),
+                                r.counts.false_negatives()
+                            )
+                        })
+                        .unwrap_or_else(|| "-".into())
+                };
+                println!(
+                    "{temp:>5.0} C     {}      {}      {}      {:>2}|{:<2}",
+                    cell("B3"),
+                    cell("B4"),
+                    cell("B5"),
+                    result.golden_baseline.counts.false_positives(),
+                    result.golden_baseline.counts.false_negatives(),
+                );
+            }
+            Err(e) => println!("{temp:>5.0} C     failed: {e}"),
+        }
+    }
+    println!();
+    println!("Because a hot die is slower in BOTH the PCM and the transmitter, the");
+    println!("silicon-anchored boundaries absorb much of a uniform temperature");
+    println!("mismatch: the tester's hot PCM readings shift the predicted trusted");
+    println!("region in the same direction as the hot fingerprints. The golden");
+    println!("baseline is trained and evaluated on the same floor, so it is immune");
+    println!("by construction. Residual degradation comes from the temperature");
+    println!("path (vth + mobility jointly) bending the delay-to-power relationship");
+    println!("differently than process variation does.");
+}

@@ -1,0 +1,62 @@
+//! Shared helpers for the benchmark harness binaries.
+//!
+//! The binaries in `src/bin/` regenerate the paper's evaluation artifacts:
+//!
+//! - `table1` — Table 1 (FP/FN of B1–B5 + golden baseline, ROC/AUC, MMD
+//!   certification, bootstrap CIs; writes `target/table1.md`),
+//! - `fig4` — Figure 4 (PCA projections; CSV + SVG under `target/fig4/`),
+//! - `wafermap` — spatial map of verdicts (ASCII + SVG),
+//! - `ablation_*` — parameter sweeps around the design choices,
+//! - `extension_*` — experiments beyond the paper (PCM tampering,
+//!   multi-parameter fingerprints, environment mismatch),
+//! - `diagnose` / `calibrate` — the tools used to calibrate the
+//!   synthetic fab against the paper's Table-1 shape.
+//!
+//! The criterion benches in `benches/` measure component and pipeline
+//! performance.
+
+#![warn(missing_docs)]
+
+pub mod plot;
+
+use std::time::Instant;
+
+/// Runs a closure, printing its wall-clock duration.
+///
+/// # Example
+///
+/// ```
+/// let value = sidefp_bench::timed("demo", || 2 + 2);
+/// assert_eq!(value, 4);
+/// ```
+pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    eprintln!("[{label}] completed in {:.2?}", start.elapsed());
+    out
+}
+
+/// Formats a float series as a compact comma-separated string.
+pub fn format_series(values: &[f64]) -> String {
+    values
+        .iter()
+        .map(|v| format!("{v:.5}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_returns_closure_value() {
+        assert_eq!(timed("t", || 41 + 1), 42);
+    }
+
+    #[test]
+    fn format_series_joins_with_commas() {
+        assert_eq!(format_series(&[1.0, 2.5]), "1.00000,2.50000");
+        assert_eq!(format_series(&[]), "");
+    }
+}

@@ -1,0 +1,216 @@
+//! Minimal dependency-free SVG scatter plots for the Figure-4 panels.
+
+/// One scatter series: a label, a CSS color and its points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// CSS color (e.g. `"#7b3ff2"`).
+    pub color: String,
+    /// Marker radius in pixels.
+    pub radius: f64,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders series into a standalone SVG scatter plot.
+///
+/// Axes are auto-scaled to the joint data range with a 5 % margin; the
+/// output is a complete SVG document string.
+///
+/// # Example
+///
+/// ```
+/// use sidefp_bench::plot::{scatter_svg, Series};
+///
+/// let svg = scatter_svg(
+///     "demo",
+///     &[Series {
+///         label: "points".into(),
+///         color: "#336699".into(),
+///         radius: 2.0,
+///         points: vec![(0.0, 0.0), (1.0, 1.0)],
+///     }],
+/// );
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("circle"));
+/// ```
+pub fn scatter_svg(title: &str, series: &[Series]) -> String {
+    const WIDTH: f64 = 640.0;
+    const HEIGHT: f64 = 480.0;
+    const MARGIN: f64 = 48.0;
+
+    // Joint data range.
+    let mut xs: Vec<f64> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    for s in series {
+        for (x, y) in &s.points {
+            if x.is_finite() && y.is_finite() {
+                xs.push(*x);
+                ys.push(*y);
+            }
+        }
+    }
+    let (x_min, x_max) = padded_range(&xs);
+    let (y_min, y_max) = padded_range(&ys);
+    let sx = |x: f64| MARGIN + (x - x_min) / (x_max - x_min) * (WIDTH - 2.0 * MARGIN);
+    let sy = |y: f64| HEIGHT - MARGIN - (y - y_min) / (y_max - y_min) * (HEIGHT - 2.0 * MARGIN);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{HEIGHT}\" viewBox=\"0 0 {WIDTH} {HEIGHT}\">\n"
+    ));
+    out.push_str("<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n");
+    out.push_str(&format!(
+        "<text x=\"{}\" y=\"24\" text-anchor=\"middle\" font-family=\"sans-serif\" font-size=\"16\">{}</text>\n",
+        WIDTH / 2.0,
+        escape(title)
+    ));
+    // Axes.
+    out.push_str(&format!(
+        "<line x1=\"{MARGIN}\" y1=\"{0}\" x2=\"{1}\" y2=\"{0}\" stroke=\"#555\"/>\n",
+        HEIGHT - MARGIN,
+        WIDTH - MARGIN
+    ));
+    out.push_str(&format!(
+        "<line x1=\"{MARGIN}\" y1=\"{MARGIN}\" x2=\"{MARGIN}\" y2=\"{}\" stroke=\"#555\"/>\n",
+        HEIGHT - MARGIN
+    ));
+    out.push_str(&format!(
+        "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\" font-family=\"sans-serif\" font-size=\"12\">PC1</text>\n",
+        WIDTH / 2.0,
+        HEIGHT - 12.0
+    ));
+    out.push_str(&format!(
+        "<text x=\"14\" y=\"{}\" text-anchor=\"middle\" font-family=\"sans-serif\" font-size=\"12\" transform=\"rotate(-90 14 {0})\">PC2</text>\n",
+        HEIGHT / 2.0
+    ));
+
+    // Points.
+    for s in series {
+        for (x, y) in &s.points {
+            if x.is_finite() && y.is_finite() {
+                out.push_str(&format!(
+                    "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"{}\" fill=\"{}\" fill-opacity=\"0.55\"/>\n",
+                    sx(*x),
+                    sy(*y),
+                    s.radius,
+                    s.color
+                ));
+            }
+        }
+    }
+
+    // Legend.
+    for (i, s) in series.iter().enumerate() {
+        let ly = MARGIN + 8.0 + i as f64 * 18.0;
+        out.push_str(&format!(
+            "<circle cx=\"{}\" cy=\"{ly}\" r=\"4\" fill=\"{}\"/>\n",
+            WIDTH - MARGIN - 110.0,
+            s.color
+        ));
+        out.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\" font-family=\"sans-serif\" font-size=\"12\">{}</text>\n",
+            WIDTH - MARGIN - 100.0,
+            ly + 4.0,
+            escape(&s.label)
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Data range with a 5 % margin; degenerate ranges expand to ±0.5.
+fn padded_range(values: &[f64]) -> (f64, f64) {
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !min.is_finite() || !max.is_finite() {
+        return (-1.0, 1.0);
+    }
+    let span = (max - min).max(1e-9);
+    (min - 0.05 * span, max + 0.05 * span)
+}
+
+/// Escapes XML-special characters in labels.
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series {
+                label: "a".into(),
+                color: "#ff0000".into(),
+                radius: 2.0,
+                points: vec![(0.0, 0.0), (1.0, 2.0)],
+            },
+            Series {
+                label: "b".into(),
+                color: "#0000ff".into(),
+                radius: 3.0,
+                points: vec![(-1.0, 1.0)],
+            },
+        ]
+    }
+
+    #[test]
+    fn svg_structure() {
+        let svg = scatter_svg("panel", &demo_series());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<circle").count(), 3 + 2); // points + legend
+        assert!(svg.contains("panel"));
+        assert!(svg.contains("#ff0000"));
+    }
+
+    #[test]
+    fn non_finite_points_are_dropped() {
+        let svg = scatter_svg(
+            "t",
+            &[Series {
+                label: "x".into(),
+                color: "#000".into(),
+                radius: 2.0,
+                points: vec![(f64::NAN, 0.0), (0.0, 0.5)],
+            }],
+        );
+        assert_eq!(svg.matches("<circle").count(), 1 + 1);
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let svg = scatter_svg(
+            "a < b & c",
+            &[Series {
+                label: "s<1>".into(),
+                color: "#000".into(),
+                radius: 1.0,
+                points: vec![(0.0, 0.0)],
+            }],
+        );
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(svg.contains("s&lt;1&gt;"));
+    }
+
+    #[test]
+    fn degenerate_range_is_handled() {
+        let svg = scatter_svg(
+            "t",
+            &[Series {
+                label: "x".into(),
+                color: "#000".into(),
+                radius: 2.0,
+                points: vec![(1.0, 1.0), (1.0, 1.0)],
+            }],
+        );
+        assert!(svg.contains("circle"));
+        // No NaN coordinates leaked into the document.
+        assert!(!svg.contains("NaN"));
+    }
+}

@@ -1,0 +1,299 @@
+//! The AES-128 block cipher rounds (FIPS-197 §5.1/§5.3).
+
+use crate::aes::key_schedule::KeySchedule;
+use crate::aes::sbox::{gf_mul, inv_sbox, sbox};
+
+/// An AES-128 cipher context (expanded key schedule).
+///
+/// State is held column-major as in the standard: byte `state[r + 4c]`
+/// is row `r`, column `c`.
+///
+/// # Example
+///
+/// See the [module docs](crate::aes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Aes128 {
+    schedule: KeySchedule,
+}
+
+impl Aes128 {
+    /// Expands `key` and prepares the cipher.
+    pub fn new(key: [u8; 16]) -> Self {
+        Aes128 {
+            schedule: KeySchedule::expand(key),
+        }
+    }
+
+    /// The expanded key schedule.
+    pub fn key_schedule(&self) -> &KeySchedule {
+        &self.schedule
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, plaintext: &[u8; 16]) -> [u8; 16] {
+        self.encrypt_block_traced(plaintext).0
+    }
+
+    /// Encrypts one block and reports the total register switching
+    /// activity: the sum of Hamming distances between consecutive round
+    /// states.
+    ///
+    /// This is the classical Hamming-distance power model — the quantity a
+    /// supply-current (IDDT) side channel observes from the digital core.
+    pub fn encrypt_block_traced(&self, plaintext: &[u8; 16]) -> ([u8; 16], u32) {
+        let mut state = *plaintext;
+        let mut activity = hamming_distance(&state, plaintext); // 0; kept for symmetry
+        let mut previous = state;
+        add_round_key(&mut state, self.schedule.round_key(0));
+        activity += hamming_distance(&state, &previous);
+        previous = state;
+        for round in 1..10 {
+            sub_bytes(&mut state);
+            shift_rows(&mut state);
+            mix_columns(&mut state);
+            add_round_key(&mut state, self.schedule.round_key(round));
+            activity += hamming_distance(&state, &previous);
+            previous = state;
+        }
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        add_round_key(&mut state, self.schedule.round_key(10));
+        activity += hamming_distance(&state, &previous);
+        (state, activity)
+    }
+
+    /// Decrypts one 16-byte block.
+    pub fn decrypt_block(&self, ciphertext: &[u8; 16]) -> [u8; 16] {
+        let mut state = *ciphertext;
+        add_round_key(&mut state, self.schedule.round_key(10));
+        inv_shift_rows(&mut state);
+        inv_sub_bytes(&mut state);
+        for round in (1..10).rev() {
+            add_round_key(&mut state, self.schedule.round_key(round));
+            inv_mix_columns(&mut state);
+            inv_shift_rows(&mut state);
+            inv_sub_bytes(&mut state);
+        }
+        add_round_key(&mut state, self.schedule.round_key(0));
+        state
+    }
+}
+
+/// Bit-level Hamming distance between two states.
+fn hamming_distance(a: &[u8; 16], b: &[u8; 16]) -> u32 {
+    a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum()
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk) {
+        *s ^= k;
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for s in state.iter_mut() {
+        *s = sbox(*s);
+    }
+}
+
+fn inv_sub_bytes(state: &mut [u8; 16]) {
+    for s in state.iter_mut() {
+        *s = inv_sbox(*s);
+    }
+}
+
+/// Cyclically shifts row `r` left by `r` (state is column-major).
+fn shift_rows(state: &mut [u8; 16]) {
+    let copy = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * c] = copy[r + 4 * ((c + r) % 4)];
+        }
+    }
+}
+
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let copy = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * ((c + r) % 4)] = copy[r + 4 * c];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [
+            state[4 * c],
+            state[1 + 4 * c],
+            state[2 + 4 * c],
+            state[3 + 4 * c],
+        ];
+        state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        state[1 + 4 * c] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        state[2 + 4 * c] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        state[3 + 4 * c] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [
+            state[4 * c],
+            state[1 + 4 * c],
+            state[2 + 4 * c],
+            state[3 + 4 * c],
+        ];
+        state[4 * c] =
+            gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+        state[1 + 4 * c] =
+            gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
+        state[2 + 4 * c] =
+            gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
+        state[3 + 4 * c] =
+            gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FIPS-197 Appendix B worked example.
+    #[test]
+    fn fips_appendix_b() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let pt = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expected = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        let aes = Aes128::new(key);
+        assert_eq!(aes.encrypt_block(&pt), expected);
+        assert_eq!(aes.decrypt_block(&expected), pt);
+    }
+
+    /// FIPS-197 Appendix C.1 (AES-128 known answer).
+    #[test]
+    fn fips_appendix_c1() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let pt: [u8; 16] = core::array::from_fn(|i| (i * 0x11) as u8);
+        let expected = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        let aes = Aes128::new(key);
+        assert_eq!(aes.encrypt_block(&pt), expected);
+        assert_eq!(aes.decrypt_block(&expected), pt);
+    }
+
+    /// NIST AESAVS GFSbox vector #1 (zero key).
+    #[test]
+    fn aesavs_gfsbox() {
+        let aes = Aes128::new([0u8; 16]);
+        let pt = [
+            0xf3, 0x44, 0x81, 0xec, 0x3c, 0xc6, 0x27, 0xba, 0xcd, 0x5d, 0xc3, 0xfb, 0x08, 0xf2,
+            0x73, 0xe6,
+        ];
+        let expected = [
+            0x03, 0x36, 0x76, 0x3e, 0x96, 0x6d, 0x92, 0x59, 0x5a, 0x56, 0x7c, 0xc9, 0xce, 0x53,
+            0x7f, 0x5e,
+        ];
+        assert_eq!(aes.encrypt_block(&pt), expected);
+    }
+
+    /// NIST AESAVS VarKey vector #1 (high bit of key set).
+    #[test]
+    fn aesavs_varkey() {
+        let mut key = [0u8; 16];
+        key[0] = 0x80;
+        let aes = Aes128::new(key);
+        let expected = [
+            0x0e, 0xdd, 0x33, 0xd3, 0xc6, 0x21, 0xe5, 0x46, 0x45, 0x5b, 0xd8, 0xba, 0x14, 0x18,
+            0xbe, 0xc8,
+        ];
+        assert_eq!(aes.encrypt_block(&[0u8; 16]), expected);
+    }
+
+    #[test]
+    fn roundtrip_random_blocks() {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..50 {
+            let key: [u8; 16] = core::array::from_fn(|_| rng.random());
+            let pt: [u8; 16] = core::array::from_fn(|_| rng.random());
+            let aes = Aes128::new(key);
+            assert_eq!(aes.decrypt_block(&aes.encrypt_block(&pt)), pt);
+        }
+    }
+
+    #[test]
+    fn avalanche_effect() {
+        // Flipping one plaintext bit flips roughly half the ciphertext bits.
+        let aes = Aes128::new([0x42; 16]);
+        let pt0 = [0u8; 16];
+        let mut pt1 = pt0;
+        pt1[0] ^= 0x01;
+        let c0 = aes.encrypt_block(&pt0);
+        let c1 = aes.encrypt_block(&pt1);
+        let flipped: u32 = c0.iter().zip(&c1).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert!(
+            (40..=88).contains(&flipped),
+            "avalanche flipped {flipped}/128 bits"
+        );
+    }
+
+    #[test]
+    fn shift_rows_roundtrip() {
+        let mut state: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let original = state;
+        shift_rows(&mut state);
+        assert_ne!(state, original);
+        inv_shift_rows(&mut state);
+        assert_eq!(state, original);
+    }
+
+    #[test]
+    fn mix_columns_roundtrip() {
+        let mut state: [u8; 16] = core::array::from_fn(|i| (i * 7 + 3) as u8);
+        let original = state;
+        mix_columns(&mut state);
+        assert_ne!(state, original);
+        inv_mix_columns(&mut state);
+        assert_eq!(state, original);
+    }
+
+    #[test]
+    fn traced_encryption_matches_plain() {
+        let aes = Aes128::new([0x13; 16]);
+        let pt = [0x77; 16];
+        let (ct, activity) = aes.encrypt_block_traced(&pt);
+        assert_eq!(ct, aes.encrypt_block(&pt));
+        // 12 state transitions of a 128-bit register, each flipping about
+        // half the bits on average.
+        assert!(
+            (400..=1200).contains(&activity),
+            "activity {activity} outside plausible range"
+        );
+    }
+
+    #[test]
+    fn activity_depends_on_plaintext() {
+        let aes = Aes128::new([0x13; 16]);
+        let (_, a0) = aes.encrypt_block_traced(&[0x00; 16]);
+        let (_, a1) = aes.encrypt_block_traced(&[0xff; 16]);
+        assert_ne!(a0, a1);
+    }
+
+    #[test]
+    fn key_schedule_accessible() {
+        let aes = Aes128::new([1u8; 16]);
+        assert_eq!(aes.key_schedule().round_key(0), &[1u8; 16]);
+    }
+}

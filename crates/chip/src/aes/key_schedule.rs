@@ -1,0 +1,122 @@
+//! The AES-128 key expansion (FIPS-197 §5.2).
+
+use crate::aes::sbox::sbox;
+
+/// The 11 round keys expanded from a 128-bit cipher key.
+///
+/// # Example
+///
+/// ```
+/// use sidefp_chip::aes::KeySchedule;
+///
+/// let ks = KeySchedule::expand([0u8; 16]);
+/// assert_eq!(ks.round_key(0), &[0u8; 16]); // round 0 is the cipher key
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeySchedule {
+    round_keys: [[u8; 16]; 11],
+}
+
+/// Round constants for AES-128 (powers of x in GF(2⁸)).
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+impl KeySchedule {
+    /// Expands a cipher key into the full schedule.
+    pub fn expand(key: [u8; 16]) -> Self {
+        // Words w[0..44], 4 bytes each.
+        let mut w = [[0u8; 4]; 44];
+        for i in 0..4 {
+            w[i].copy_from_slice(&key[4 * i..4 * i + 4]);
+        }
+        for i in 4..44 {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                // RotWord + SubWord + Rcon.
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = sbox(*b);
+                }
+                temp[0] ^= RCON[i / 4 - 1];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        KeySchedule { round_keys }
+    }
+
+    /// Round key `r` (0 = the cipher key itself, 10 = final round key).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r > 10`.
+    pub fn round_key(&self, r: usize) -> &[u8; 16] {
+        &self.round_keys[r]
+    }
+
+    /// Number of round keys (always 11 for AES-128).
+    pub fn len(&self) -> usize {
+        self.round_keys.len()
+    }
+
+    /// Never true; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FIPS-197 Appendix A.1 key expansion example.
+    #[test]
+    fn fips_appendix_a1_expansion() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let ks = KeySchedule::expand(key);
+        assert_eq!(ks.round_key(0), &key);
+        // w4..w7 → round key 1 = a0fafe17 88542cb1 23a33939 2a6c7605.
+        assert_eq!(
+            ks.round_key(1),
+            &[
+                0xa0, 0xfa, 0xfe, 0x17, 0x88, 0x54, 0x2c, 0xb1, 0x23, 0xa3, 0x39, 0x39, 0x2a, 0x6c,
+                0x76, 0x05
+            ]
+        );
+        // Final round key: w40..w43 = d014f9a8 c9ee2589 e13f0cc8 b6630ca6.
+        assert_eq!(
+            ks.round_key(10),
+            &[
+                0xd0, 0x14, 0xf9, 0xa8, 0xc9, 0xee, 0x25, 0x89, 0xe1, 0x3f, 0x0c, 0xc8, 0xb6, 0x63,
+                0x0c, 0xa6
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_key_first_round() {
+        // w4 of the all-zero key: SubWord(RotWord(0)) ^ rcon = 0x62636363 ^ 0x01000000.
+        let ks = KeySchedule::expand([0u8; 16]);
+        assert_eq!(&ks.round_key(1)[..4], &[0x62, 0x63, 0x63, 0x63]);
+        assert_eq!(ks.len(), 11);
+        assert!(!ks.is_empty());
+    }
+
+    #[test]
+    fn different_keys_give_different_schedules() {
+        let a = KeySchedule::expand([0u8; 16]);
+        let mut key = [0u8; 16];
+        key[15] = 1;
+        let b = KeySchedule::expand(key);
+        assert_ne!(a, b);
+    }
+}

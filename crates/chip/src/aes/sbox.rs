@@ -1,0 +1,152 @@
+//! The AES S-box, computed from GF(2⁸) arithmetic.
+
+use std::sync::OnceLock;
+
+/// Multiplication in GF(2⁸) with the AES reduction polynomial
+/// `x⁸ + x⁴ + x³ + x + 1` (0x11b).
+pub(crate) fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut result = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            result ^= a;
+        }
+        let carry = a & 0x80;
+        a <<= 1;
+        if carry != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    result
+}
+
+/// Multiplicative inverse in GF(2⁸) via Fermat: `a⁻¹ = a^254` (0 maps to 0).
+fn gf_inv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    // a^254 by square-and-multiply.
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u32;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+/// The AES affine transformation on a GF(2⁸) element.
+fn affine(x: u8) -> u8 {
+    let mut y = 0u8;
+    for bit in 0..8 {
+        let b = ((x >> bit) & 1)
+            ^ ((x >> ((bit + 4) % 8)) & 1)
+            ^ ((x >> ((bit + 5) % 8)) & 1)
+            ^ ((x >> ((bit + 6) % 8)) & 1)
+            ^ ((x >> ((bit + 7) % 8)) & 1)
+            ^ ((0x63 >> bit) & 1);
+        y |= b << bit;
+    }
+    y
+}
+
+fn tables() -> &'static ([u8; 256], [u8; 256]) {
+    static TABLES: OnceLock<([u8; 256], [u8; 256])> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut forward = [0u8; 256];
+        let mut inverse = [0u8; 256];
+        for i in 0..256u16 {
+            let s = affine(gf_inv(i as u8));
+            forward[i as usize] = s;
+            inverse[s as usize] = i as u8;
+        }
+        (forward, inverse)
+    })
+}
+
+/// The AES S-box substitution.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(sidefp_chip::aes::sbox(0x00), 0x63);
+/// assert_eq!(sidefp_chip::aes::sbox(0x53), 0xed);
+/// ```
+pub fn sbox(x: u8) -> u8 {
+    tables().0[x as usize]
+}
+
+/// The inverse AES S-box substitution.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(sidefp_chip::aes::inv_sbox(0x63), 0x00);
+/// ```
+pub fn inv_sbox(x: u8) -> u8 {
+    tables().1[x as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gf_mul_known_values() {
+        // FIPS-197 §4.2 example: {57} · {83} = {c1}.
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1);
+        // {57} · {13} = {fe}.
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe);
+        assert_eq!(gf_mul(0x00, 0xff), 0x00);
+        assert_eq!(gf_mul(0x01, 0xab), 0xab);
+    }
+
+    #[test]
+    fn gf_inverse_property() {
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "a = {a:#x}");
+        }
+        assert_eq!(gf_inv(0), 0);
+    }
+
+    #[test]
+    fn sbox_known_entries() {
+        // Spot checks from the FIPS-197 Figure 7 table.
+        assert_eq!(sbox(0x00), 0x63);
+        assert_eq!(sbox(0x01), 0x7c);
+        assert_eq!(sbox(0x10), 0xca);
+        assert_eq!(sbox(0x53), 0xed);
+        assert_eq!(sbox(0xff), 0x16);
+        assert_eq!(sbox(0x9a), 0xb8);
+    }
+
+    #[test]
+    fn inv_sbox_inverts() {
+        for x in 0..=255u8 {
+            assert_eq!(inv_sbox(sbox(x)), x);
+            assert_eq!(sbox(inv_sbox(x)), x);
+        }
+    }
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let mut seen = [false; 256];
+        for x in 0..=255u8 {
+            let s = sbox(x) as usize;
+            assert!(!seen[s], "duplicate S-box output {s:#x}");
+            seen[s] = true;
+        }
+    }
+
+    #[test]
+    fn sbox_has_no_fixed_points() {
+        for x in 0..=255u8 {
+            assert_ne!(sbox(x), x, "fixed point at {x:#x}");
+            assert_ne!(sbox(x), x ^ 0xff, "anti-fixed point at {x:#x}");
+        }
+    }
+}

@@ -1,0 +1,218 @@
+// Bit-position bookkeeping is clearer with explicit indices.
+#![allow(clippy::needless_range_loop)]
+//! The attacker-side demodulator: proof that the Trojans actually leak.
+//!
+//! The paper's Trojans "have been shown to be extremely powerful and
+//! capable of leaking the key to an attacker who knows what to listen for
+//! on the public channel" (§3.1). This module is that attacker: observing
+//! one or more block transmissions, it classifies each bit position's
+//! pulse parameter (amplitude or frequency) against the population median
+//! to recover the leaked key bit.
+
+use crate::uwb::Transmission;
+
+/// Which pulse parameter the attacker demodulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Channel {
+    Amplitude,
+    Frequency,
+}
+
+/// A key-recovery attack against a Trojan-infested device's transmissions.
+///
+/// # Example
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyRecoveryAttack {
+    channel: Channel,
+}
+
+impl KeyRecoveryAttack {
+    /// Attack against the amplitude-modulation Trojan (Trojan I).
+    pub fn amplitude() -> Self {
+        KeyRecoveryAttack {
+            channel: Channel::Amplitude,
+        }
+    }
+
+    /// Attack against the frequency-modulation Trojan (Trojan II).
+    pub fn frequency() -> Self {
+        KeyRecoveryAttack {
+            channel: Channel::Frequency,
+        }
+    }
+
+    /// Recovers the 128-bit key from observed transmissions.
+    ///
+    /// For each bit position, pulses (where present) are averaged across
+    /// transmissions; positions whose parameter exceeds the median of all
+    /// positions are classified as leaked `0` bits (the Trojan *raises*
+    /// the parameter on key-0 positions). Positions never observed (their
+    /// ciphertext bit was `0` in every block) default to `1` — more blocks
+    /// shrink that set geometrically.
+    ///
+    /// Returns the recovered key as 16 bytes, MSB-first per byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transmissions` is empty or any transmission does not
+    /// carry exactly 128 bit slots.
+    pub fn recover(&self, transmissions: &[Transmission]) -> [u8; 16] {
+        assert!(
+            !transmissions.is_empty(),
+            "key recovery needs at least one transmission"
+        );
+        for t in transmissions {
+            assert_eq!(t.len(), 128, "transmissions must carry 128 bit slots");
+        }
+
+        // Average the observed parameter per bit position.
+        let mut observed: Vec<Option<f64>> = vec![None; 128];
+        for i in 0..128 {
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for t in transmissions {
+                if let Some(p) = t.pulses()[i] {
+                    sum += match self.channel {
+                        Channel::Amplitude => p.amplitude,
+                        Channel::Frequency => p.frequency,
+                    };
+                    count += 1;
+                }
+            }
+            if count > 0 {
+                observed[i] = Some(sum / count as f64);
+            }
+        }
+
+        // Threshold between the two clusters: sort the per-position values
+        // and split at the largest adjacent gap (the Trojan's modulation
+        // depth dwarfs the per-position noise, so the gap is unambiguous).
+        let mut values: Vec<f64> = observed.iter().flatten().copied().collect();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite pulse parameters"));
+        let threshold = match values.len() {
+            0 => f64::INFINITY,
+            1 => values[0],
+            _ => {
+                let mut best_gap = f64::NEG_INFINITY;
+                let mut split = values[values.len() / 2];
+                for w in values.windows(2) {
+                    let gap = w[1] - w[0];
+                    if gap > best_gap {
+                        best_gap = gap;
+                        split = (w[0] + w[1]) / 2.0;
+                    }
+                }
+                split
+            }
+        };
+
+        let mut key = [0u8; 16];
+        for i in 0..128 {
+            // Trojan raises the parameter on key-0 positions, so a value
+            // above threshold decodes to 0; unobserved defaults to 1.
+            let bit = match observed[i] {
+                Some(v) => v < threshold,
+                None => true,
+            };
+            if bit {
+                key[i / 8] |= 1 << (7 - (i % 8));
+            }
+        }
+        key
+    }
+
+    /// Fraction of key bits correctly recovered against a reference key.
+    pub fn recovery_rate(recovered: &[u8; 16], actual: &[u8; 16]) -> f64 {
+        let correct: u32 = recovered
+            .iter()
+            .zip(actual)
+            .map(|(r, a)| 8 - (r ^ a).count_ones())
+            .sum();
+        correct as f64 / 128.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::WirelessCryptoIc;
+    use crate::trojan::Trojan;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use sidefp_silicon::params::ProcessPoint;
+
+    const KEY: [u8; 16] = [
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+        0x3c,
+    ];
+
+    fn transmissions(trojan: Trojan, blocks: usize, seed: u64) -> Vec<Transmission> {
+        let device = WirelessCryptoIc::new(ProcessPoint::nominal(), KEY, trojan);
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..blocks)
+            .map(|_| {
+                let pt: [u8; 16] = core::array::from_fn(|_| rng.random());
+                device.transmit_block(&pt, &mut rng)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn amplitude_trojan_leaks_full_key() {
+        let txs = transmissions(Trojan::amplitude_leak(), 16, 1);
+        let recovered = KeyRecoveryAttack::amplitude().recover(&txs);
+        assert_eq!(recovered, KEY);
+    }
+
+    #[test]
+    fn frequency_trojan_leaks_full_key() {
+        let txs = transmissions(Trojan::frequency_leak(), 16, 2);
+        let recovered = KeyRecoveryAttack::frequency().recover(&txs);
+        assert_eq!(recovered, KEY);
+    }
+
+    #[test]
+    fn single_block_recovers_most_bits() {
+        let txs = transmissions(Trojan::amplitude_leak(), 1, 3);
+        let recovered = KeyRecoveryAttack::amplitude().recover(&txs);
+        let rate = KeyRecoveryAttack::recovery_rate(&recovered, &KEY);
+        // Half the positions are unobserved (OOK) and default to 1; of the
+        // key's 1-bits those are right, so rate well above chance.
+        assert!(rate > 0.7, "single-block recovery rate {rate}");
+    }
+
+    #[test]
+    fn clean_device_leaks_nothing() {
+        let txs = transmissions(Trojan::None, 8, 4);
+        let recovered = KeyRecoveryAttack::amplitude().recover(&txs);
+        let rate = KeyRecoveryAttack::recovery_rate(&recovered, &KEY);
+        assert!(
+            (0.3..0.7).contains(&rate),
+            "clean device recovery rate {rate} should be chance level"
+        );
+    }
+
+    #[test]
+    fn wrong_channel_fails() {
+        // Listening on frequency against the amplitude Trojan yields chance.
+        let txs = transmissions(Trojan::amplitude_leak(), 8, 5);
+        let recovered = KeyRecoveryAttack::frequency().recover(&txs);
+        let rate = KeyRecoveryAttack::recovery_rate(&recovered, &KEY);
+        assert!(rate < 0.75, "cross-channel recovery rate {rate}");
+    }
+
+    #[test]
+    fn recovery_rate_metric() {
+        assert_eq!(KeyRecoveryAttack::recovery_rate(&KEY, &KEY), 1.0);
+        let flipped: [u8; 16] = core::array::from_fn(|i| KEY[i] ^ 0xff);
+        assert_eq!(KeyRecoveryAttack::recovery_rate(&flipped, &KEY), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one transmission")]
+    fn empty_input_panics() {
+        let _ = KeyRecoveryAttack::amplitude().recover(&[]);
+    }
+}

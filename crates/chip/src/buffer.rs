@@ -1,0 +1,124 @@
+//! The serialization buffer between the AES core and the UWB transmitter.
+//!
+//! The digital part of the platform stores each 128-bit ciphertext and
+//! shifts it out MSB-first to the transmitter (paper §3.1). The buffer also
+//! reports the switching statistics the power models consume.
+
+/// Serializes 16-byte blocks into a bit stream, MSB-first per byte.
+///
+/// # Example
+///
+/// ```
+/// use sidefp_chip::buffer::SerializationBuffer;
+///
+/// let mut buf = SerializationBuffer::new();
+/// buf.load(&[0b1000_0001; 16]);
+/// let bits = buf.drain_bits();
+/// assert_eq!(bits.len(), 128);
+/// assert!(bits[0] && !bits[1] && bits[7]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SerializationBuffer {
+    bits: Vec<bool>,
+}
+
+impl SerializationBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        SerializationBuffer::default()
+    }
+
+    /// Loads a 16-byte block, appending its 128 bits MSB-first.
+    pub fn load(&mut self, block: &[u8; 16]) {
+        for byte in block {
+            for bit in (0..8).rev() {
+                self.bits.push((byte >> bit) & 1 == 1);
+            }
+        }
+    }
+
+    /// Number of buffered bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `true` if no bits are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Removes and returns all buffered bits in transmission order.
+    pub fn drain_bits(&mut self) -> Vec<bool> {
+        std::mem::take(&mut self.bits)
+    }
+
+    /// Hamming weight of the buffered bits (number of ones).
+    pub fn hamming_weight(&self) -> usize {
+        self.bits.iter().filter(|b| **b).count()
+    }
+
+    /// Number of 0→1/1→0 transitions in the buffered stream — the shift
+    /// register's dynamic-power proxy.
+    pub fn transition_count(&self) -> usize {
+        self.bits.windows(2).filter(|w| w[0] != w[1]).count()
+    }
+}
+
+/// Converts a 16-byte block to its 128 bits, MSB-first (stateless helper).
+pub fn block_to_bits(block: &[u8; 16]) -> Vec<bool> {
+    let mut buf = SerializationBuffer::new();
+    buf.load(block);
+    buf.drain_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msb_first_ordering() {
+        let mut block = [0u8; 16];
+        block[0] = 0b1010_0000;
+        let bits = block_to_bits(&block);
+        assert!(bits[0]);
+        assert!(!bits[1]);
+        assert!(bits[2]);
+        assert!(!bits[3]);
+        assert!(bits[8..].iter().all(|b| !b));
+    }
+
+    #[test]
+    fn load_appends() {
+        let mut buf = SerializationBuffer::new();
+        assert!(buf.is_empty());
+        buf.load(&[0xff; 16]);
+        buf.load(&[0x00; 16]);
+        assert_eq!(buf.len(), 256);
+        let bits = buf.drain_bits();
+        assert!(bits[..128].iter().all(|b| *b));
+        assert!(bits[128..].iter().all(|b| !b));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn hamming_weight_counts_ones() {
+        let mut buf = SerializationBuffer::new();
+        buf.load(&[0x0f; 16]);
+        assert_eq!(buf.hamming_weight(), 16 * 4);
+    }
+
+    #[test]
+    fn transition_count_alternating() {
+        let mut buf = SerializationBuffer::new();
+        buf.load(&[0b0101_0101; 16]);
+        // Within a byte: 0101 0101 → 7 transitions; across bytes 1→0 → 1.
+        assert_eq!(buf.transition_count(), 7 * 16 + 15);
+    }
+
+    #[test]
+    fn constant_stream_has_no_transitions() {
+        let mut buf = SerializationBuffer::new();
+        buf.load(&[0xff; 16]);
+        assert_eq!(buf.transition_count(), 0);
+    }
+}

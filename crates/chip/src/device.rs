@@ -1,0 +1,154 @@
+//! The assembled wireless cryptographic IC.
+
+use rand::Rng;
+use sidefp_silicon::environment::Environment;
+use sidefp_silicon::params::ProcessPoint;
+
+use crate::aes::Aes128;
+use crate::buffer::block_to_bits;
+use crate::trojan::Trojan;
+use crate::uwb::{Transmission, UwbTransmitter};
+
+/// One device instance: AES core + serialization buffer + UWB transmitter,
+/// personalized by its die's process parameters and (possibly) a Trojan.
+///
+/// This models one of the paper's 120 devices: 40 dies × {Trojan-free,
+/// amplitude-Trojan, frequency-Trojan} versions, all three sharing the same
+/// die (and hence the same process parameters) in the silicon experiment.
+///
+/// # Example
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct WirelessCryptoIc {
+    process: ProcessPoint,
+    aes: Aes128,
+    key_bits: Vec<bool>,
+    transmitter: UwbTransmitter,
+    trojan: Trojan,
+}
+
+impl WirelessCryptoIc {
+    /// Builds a device from its die's process point, the on-chip AES key
+    /// and its Trojan configuration.
+    pub fn new(process: ProcessPoint, key: [u8; 16], trojan: Trojan) -> Self {
+        Self::new_at(process, key, trojan, &Environment::nominal())
+    }
+
+    /// Builds a device operating under explicit conditions (temperature /
+    /// supply), e.g. a hot test floor.
+    pub fn new_at(process: ProcessPoint, key: [u8; 16], trojan: Trojan, env: &Environment) -> Self {
+        let transmitter = UwbTransmitter::from_process_at(&process, env)
+            .with_amplitude_scale(trojan.payload_amplitude_derate());
+        let key_bits = block_to_bits(&key);
+        WirelessCryptoIc {
+            process,
+            aes: Aes128::new(key),
+            key_bits,
+            transmitter,
+            trojan,
+        }
+    }
+
+    /// The die's process parameters.
+    pub fn process(&self) -> &ProcessPoint {
+        &self.process
+    }
+
+    /// The Trojan configuration.
+    pub fn trojan(&self) -> Trojan {
+        self.trojan
+    }
+
+    /// The UWB transmitter model.
+    pub fn transmitter(&self) -> &UwbTransmitter {
+        &self.transmitter
+    }
+
+    /// Encrypts a plaintext block with the on-chip key.
+    ///
+    /// Functionally identical for Trojan-free and Trojan-infested devices —
+    /// the Trojans live purely in the analog transmission stage.
+    pub fn encrypt(&self, plaintext: &[u8; 16]) -> [u8; 16] {
+        self.aes.encrypt_block(plaintext)
+    }
+
+    /// Encrypts and reports the digital core's switching activity (the
+    /// observable of the [`crate::supply`] side channel).
+    pub fn encrypt_traced(&self, plaintext: &[u8; 16]) -> ([u8; 16], u32) {
+        self.aes.encrypt_block_traced(plaintext)
+    }
+
+    /// Encrypts a plaintext, serializes the ciphertext and transmits it
+    /// over the public channel, returning the on-air record.
+    pub fn transmit_block<R: Rng>(&self, plaintext: &[u8; 16], rng: &mut R) -> Transmission {
+        let ciphertext = self.encrypt(plaintext);
+        let bits = block_to_bits(&ciphertext);
+        self.transmitter
+            .transmit(&bits, &self.key_bits, self.trojan, rng)
+            .expect("ciphertext and key have identical bit length")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sidefp_silicon::params::ProcessParameter;
+
+    const KEY: [u8; 16] = [
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+        0x3c,
+    ];
+
+    #[test]
+    fn trojan_does_not_alter_functionality() {
+        let clean = WirelessCryptoIc::new(ProcessPoint::nominal(), KEY, Trojan::None);
+        let amp = WirelessCryptoIc::new(ProcessPoint::nominal(), KEY, Trojan::amplitude_leak());
+        let freq = WirelessCryptoIc::new(ProcessPoint::nominal(), KEY, Trojan::frequency_leak());
+        let pt = [0x42; 16];
+        assert_eq!(clean.encrypt(&pt), amp.encrypt(&pt));
+        assert_eq!(clean.encrypt(&pt), freq.encrypt(&pt));
+    }
+
+    #[test]
+    fn transmission_carries_ciphertext_pattern() {
+        let device = WirelessCryptoIc::new(ProcessPoint::nominal(), KEY, Trojan::None);
+        let pt = [0x00; 16];
+        let ct = device.encrypt(&pt);
+        let bits = crate::buffer::block_to_bits(&ct);
+        let mut rng = StdRng::seed_from_u64(1);
+        let tx = device.transmit_block(&pt, &mut rng);
+        assert_eq!(tx.len(), 128);
+        for (i, bit) in bits.iter().enumerate() {
+            assert_eq!(tx.pulses()[i].is_some(), *bit, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn process_personality_flows_into_pulses() {
+        let mut strong = ProcessPoint::nominal();
+        strong.set(ProcessParameter::MobilityN, 1.1);
+        strong.set(ProcessParameter::VthN, 0.46);
+        let dev_strong = WirelessCryptoIc::new(strong, KEY, Trojan::None);
+        let dev_nom = WirelessCryptoIc::new(ProcessPoint::nominal(), KEY, Trojan::None);
+        assert!(dev_strong.transmitter().base_amplitude() > dev_nom.transmitter().base_amplitude());
+    }
+
+    #[test]
+    fn accessors() {
+        let device = WirelessCryptoIc::new(ProcessPoint::nominal(), KEY, Trojan::amplitude_leak());
+        assert!(device.trojan().is_infested());
+        assert_eq!(device.process(), &ProcessPoint::nominal());
+    }
+
+    #[test]
+    fn same_seed_same_transmission() {
+        let device = WirelessCryptoIc::new(ProcessPoint::nominal(), KEY, Trojan::None);
+        let pt = [7u8; 16];
+        let a = device.transmit_block(&pt, &mut StdRng::seed_from_u64(9));
+        let b = device.transmit_block(&pt, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

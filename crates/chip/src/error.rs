@@ -1,0 +1,56 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the wireless cryptographic IC model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ChipError {
+    /// A configuration value is outside its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// An input collection was empty where content is required.
+    Empty {
+        /// What was empty.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ChipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChipError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            ChipError::Empty { what } => write!(f, "{what} must not be empty"),
+        }
+    }
+}
+
+impl Error for ChipError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ChipError::InvalidParameter {
+            name: "delta",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("delta"));
+        assert!(ChipError::Empty { what: "plaintexts" }
+            .to_string()
+            .contains("plaintexts"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ChipError>();
+    }
+}

@@ -1,0 +1,65 @@
+//! The wireless cryptographic IC: the paper's experimentation platform,
+//! rebuilt as a simulatable model.
+//!
+//! The digital part is a bit-accurate **AES-128** core ([`aes`]) and a
+//! [`buffer::SerializationBuffer`]; the analog part is an
+//! [`uwb::UwbTransmitter`] whose pulse amplitude and frequency derive from
+//! the die's process parameters. The chip encrypts a plaintext with an
+//! on-chip key, serializes the ciphertext and transmits it in 128-bit
+//! blocks over a public channel (paper §3.1).
+//!
+//! Two hardware [`trojan::Trojan`]s leak the AES key by modulating the
+//! transmission amplitude (Trojan I) or pulse frequency (Trojan II) of each
+//! ciphertext bit, hidden within the margins allowed for process variation.
+//! The [`attacker`] module demonstrates that the leak is real — the key is
+//! recoverable from the public channel — while [`spec`] shows the devices
+//! still meet every functional specification, evading traditional tests.
+//!
+//! [`measurement`] extracts the paper's side-channel fingerprint: the
+//! measured output power for each of `n_m` fixed ciphertext blocks.
+//!
+//! # Example: a Trojan that leaks but passes functional test
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use sidefp_chip::device::WirelessCryptoIc;
+//! use sidefp_chip::trojan::Trojan;
+//! use sidefp_chip::attacker::KeyRecoveryAttack;
+//! use sidefp_silicon::params::ProcessPoint;
+//!
+//! let key = [0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+//!            0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c];
+//! let infested = WirelessCryptoIc::new(
+//!     ProcessPoint::nominal(), key, Trojan::amplitude_leak());
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+//!
+//! // Functionality is untouched: ciphertext matches a clean reference.
+//! let clean = WirelessCryptoIc::new(ProcessPoint::nominal(), key, Trojan::None);
+//! let pt = [0u8; 16];
+//! assert_eq!(infested.encrypt(&pt), clean.encrypt(&pt));
+//!
+//! // ...but the key leaks to an attacker listening over a few blocks.
+//! let txs: Vec<_> = (0..16)
+//!     .map(|i| infested.transmit_block(&[i as u8; 16], &mut rng))
+//!     .collect();
+//! let recovered = KeyRecoveryAttack::amplitude().recover(&txs);
+//! assert_eq!(recovered, key);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod attacker;
+pub mod buffer;
+pub mod device;
+mod error;
+pub mod measurement;
+pub mod spec;
+pub mod supply;
+pub mod trojan;
+pub mod uwb;
+
+pub use device::WirelessCryptoIc;
+pub use error::ChipError;
+pub use measurement::{FingerprintPlan, SideChannelMeter};
+pub use trojan::Trojan;

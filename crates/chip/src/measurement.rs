@@ -1,0 +1,269 @@
+//! Side-channel fingerprint extraction.
+//!
+//! The paper's fingerprint (§3.1): "the measured output power when
+//! transmitting 6 randomly chosen 128-bit ciphertext blocks, encrypted with
+//! a randomly chosen key, over the public wireless channel". The tester's
+//! power meter integrates each block transmission through a band-limited
+//! receiver front-end; its reading is the average received pulse power plus
+//! instrument noise.
+
+use rand::{Rng, RngExt};
+use sidefp_stats::MultivariateNormal;
+
+use crate::device::WirelessCryptoIc;
+use crate::uwb::Transmission;
+use crate::ChipError;
+
+/// The measurement plan: which plaintext blocks are transmitted to form
+/// the fingerprint (`n_m` = number of blocks).
+///
+/// The same plan must be applied to every device — simulated or fabricated
+/// — so fingerprint coordinates are comparable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FingerprintPlan {
+    plaintexts: Vec<[u8; 16]>,
+}
+
+impl FingerprintPlan {
+    /// Builds a plan from explicit plaintext blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::Empty`] for an empty list.
+    pub fn new(plaintexts: Vec<[u8; 16]>) -> Result<Self, ChipError> {
+        if plaintexts.is_empty() {
+            return Err(ChipError::Empty { what: "plaintexts" });
+        }
+        Ok(FingerprintPlan { plaintexts })
+    }
+
+    /// The paper's plan: `n` random plaintext blocks from a seeded RNG
+    /// (default `n = 6`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::InvalidParameter`] for `n == 0`.
+    pub fn random<R: Rng>(rng: &mut R, n: usize) -> Result<Self, ChipError> {
+        if n == 0 {
+            return Err(ChipError::InvalidParameter {
+                name: "n",
+                reason: "fingerprint needs at least one block".into(),
+            });
+        }
+        let plaintexts = (0..n)
+            .map(|_| core::array::from_fn(|_| rng.random()))
+            .collect();
+        Ok(FingerprintPlan { plaintexts })
+    }
+
+    /// The plaintext blocks.
+    pub fn plaintexts(&self) -> &[[u8; 16]] {
+        &self.plaintexts
+    }
+
+    /// Fingerprint dimension `n_m`.
+    pub fn len(&self) -> usize {
+        self.plaintexts.len()
+    }
+
+    /// `true` if the plan has no blocks (impossible via constructors).
+    pub fn is_empty(&self) -> bool {
+        self.plaintexts.is_empty()
+    }
+}
+
+/// The tester's power meter: a band-limited receiver front-end plus an
+/// integrating detector.
+///
+/// The receiver's resonant response is deliberately tuned slightly below
+/// the nominal UWB band center so that pulse-frequency deviations convert
+/// monotonically into measured-power deviations (the standard slope-
+/// detection trick) — this is what renders the frequency Trojan visible in
+/// a power fingerprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SideChannelMeter {
+    /// Receiver center frequency \[GHz\].
+    pub center_frequency: f64,
+    /// Receiver half-bandwidth \[GHz\].
+    pub half_bandwidth: f64,
+    /// Relative instrument noise per block measurement.
+    pub noise_relative: f64,
+}
+
+impl Default for SideChannelMeter {
+    /// The tester configuration used throughout the experiments: receiver
+    /// at 3.75 GHz (slope-detection offset below the 4.0 GHz nominal tank),
+    /// half-bandwidth 0.6 GHz, 0.5 % per-block repeatability (channel
+    /// fading and receiver retune between block captures).
+    fn default() -> Self {
+        SideChannelMeter {
+            center_frequency: 3.75,
+            half_bandwidth: 0.6,
+            noise_relative: 0.004,
+        }
+    }
+}
+
+impl SideChannelMeter {
+    /// Receiver power response at a pulse frequency (Lorentzian).
+    pub fn response(&self, frequency: f64) -> f64 {
+        let detune = (frequency - self.center_frequency) / self.half_bandwidth;
+        1.0 / (1.0 + detune * detune)
+    }
+
+    /// Measured power of one block transmission: mean over all 128 bit
+    /// slots of `amplitude² × response(frequency)` (empty slots contribute
+    /// zero), times instrument noise.
+    pub fn measure_block<R: Rng>(&self, transmission: &Transmission, rng: &mut R) -> f64 {
+        let total: f64 = transmission
+            .pulses()
+            .iter()
+            .map(|slot| {
+                slot.map_or(0.0, |p| {
+                    p.amplitude * p.amplitude * self.response(p.frequency)
+                })
+            })
+            .sum();
+        let noise = 1.0 + MultivariateNormal::standard_normal(rng) * self.noise_relative;
+        total / transmission.len() as f64 * noise
+    }
+
+    /// Full fingerprint of a device under the plan: one measured power per
+    /// plaintext block.
+    pub fn fingerprint<R: Rng>(
+        &self,
+        device: &WirelessCryptoIc,
+        plan: &FingerprintPlan,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        plan.plaintexts()
+            .iter()
+            .map(|pt| {
+                let tx = device.transmit_block(pt, rng);
+                self.measure_block(&tx, rng)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trojan::Trojan;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sidefp_silicon::params::{ProcessParameter, ProcessPoint};
+
+    const KEY: [u8; 16] = [
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+        0x3c,
+    ];
+
+    fn plan() -> FingerprintPlan {
+        let mut rng = StdRng::seed_from_u64(2014);
+        FingerprintPlan::random(&mut rng, 6).unwrap()
+    }
+
+    #[test]
+    fn plan_construction() {
+        let p = plan();
+        assert_eq!(p.len(), 6);
+        assert!(!p.is_empty());
+        assert!(FingerprintPlan::new(vec![]).is_err());
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(FingerprintPlan::random(&mut rng, 0).is_err());
+        // Deterministic given the seed.
+        let mut rng2 = StdRng::seed_from_u64(2014);
+        assert_eq!(FingerprintPlan::random(&mut rng2, 6).unwrap(), p);
+    }
+
+    #[test]
+    fn receiver_response_peaks_at_center() {
+        let m = SideChannelMeter::default();
+        assert!((m.response(3.75) - 1.0).abs() < 1e-12);
+        assert!(m.response(4.0) < 1.0);
+        assert!(m.response(4.3) < m.response(4.0));
+        // Symmetric around the center.
+        assert!((m.response(3.5) - m.response(4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fingerprint_has_plan_dimension() {
+        let device = WirelessCryptoIc::new(ProcessPoint::nominal(), KEY, Trojan::None);
+        let mut rng = StdRng::seed_from_u64(3);
+        let fp = SideChannelMeter::default().fingerprint(&device, &plan(), &mut rng);
+        assert_eq!(fp.len(), 6);
+        assert!(fp.iter().all(|v| v.is_finite() && *v > 0.0));
+    }
+
+    #[test]
+    fn stronger_device_measures_higher_power() {
+        let mut strong = ProcessPoint::nominal();
+        strong.set(ProcessParameter::MobilityN, 1.1);
+        strong.set(ProcessParameter::VthN, 0.46);
+        let dev_strong = WirelessCryptoIc::new(strong, KEY, Trojan::None);
+        let dev_nom = WirelessCryptoIc::new(ProcessPoint::nominal(), KEY, Trojan::None);
+        let m = SideChannelMeter::default();
+        let p = plan();
+        let fp_strong = m.fingerprint(&dev_strong, &p, &mut StdRng::seed_from_u64(4));
+        let fp_nom = m.fingerprint(&dev_nom, &p, &mut StdRng::seed_from_u64(4));
+        for (s, n) in fp_strong.iter().zip(&fp_nom) {
+            assert!(s > n, "strong {s} vs nominal {n}");
+        }
+    }
+
+    #[test]
+    fn amplitude_trojan_raises_measured_power() {
+        let clean = WirelessCryptoIc::new(ProcessPoint::nominal(), KEY, Trojan::None);
+        let infested = WirelessCryptoIc::new(
+            ProcessPoint::nominal(),
+            KEY,
+            Trojan::AmplitudeLeak { delta: 0.05 },
+        );
+        let m = SideChannelMeter::default();
+        let p = plan();
+        let fp_clean = m.fingerprint(&clean, &p, &mut StdRng::seed_from_u64(5));
+        let fp_bad = m.fingerprint(&infested, &p, &mut StdRng::seed_from_u64(5));
+        let mean_ratio: f64 = fp_bad
+            .iter()
+            .zip(&fp_clean)
+            .map(|(b, c)| b / c)
+            .sum::<f64>()
+            / 6.0;
+        assert!(mean_ratio > 1.01, "ratio {mean_ratio}");
+    }
+
+    #[test]
+    fn frequency_trojan_lowers_measured_power() {
+        // Tank at 4.0, receiver at 3.8: increasing frequency moves away
+        // from the peak → less measured power on modulated pulses.
+        let clean = WirelessCryptoIc::new(ProcessPoint::nominal(), KEY, Trojan::None);
+        let infested = WirelessCryptoIc::new(
+            ProcessPoint::nominal(),
+            KEY,
+            Trojan::FrequencyLeak { delta: 0.02 },
+        );
+        let m = SideChannelMeter::default();
+        let p = plan();
+        let fp_clean = m.fingerprint(&clean, &p, &mut StdRng::seed_from_u64(6));
+        let fp_bad = m.fingerprint(&infested, &p, &mut StdRng::seed_from_u64(6));
+        let mean_ratio: f64 = fp_bad
+            .iter()
+            .zip(&fp_clean)
+            .map(|(b, c)| b / c)
+            .sum::<f64>()
+            / 6.0;
+        assert!(mean_ratio < 0.995, "ratio {mean_ratio}");
+    }
+
+    #[test]
+    fn different_blocks_have_different_power_levels() {
+        // Hamming weights differ across random blocks → distinct levels.
+        let device = WirelessCryptoIc::new(ProcessPoint::nominal(), KEY, Trojan::None);
+        let mut rng = StdRng::seed_from_u64(7);
+        let fp = SideChannelMeter::default().fingerprint(&device, &plan(), &mut rng);
+        let min = fp.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = fp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max > min * 1.01, "fingerprint is flat: {fp:?}");
+    }
+}

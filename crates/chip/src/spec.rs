@@ -1,0 +1,199 @@
+//! Functional specification checks — the "traditional manufacturing test"
+//! the Trojans evade.
+//!
+//! The paper's Trojans were designed so that infested devices "continue to
+//! meet all of their functional specifications" (§3.1). This module is that
+//! production test program: ciphertext correctness plus transmission
+//! amplitude/frequency limits sized to the process-variation margins.
+
+use rand::Rng;
+
+use crate::device::WirelessCryptoIc;
+use crate::ChipError;
+
+/// Production test limits for the wireless crypto IC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FunctionalSpec {
+    /// Minimum acceptable mean pulse amplitude (normalized).
+    pub amplitude_min: f64,
+    /// Maximum acceptable mean pulse amplitude.
+    pub amplitude_max: f64,
+    /// Minimum acceptable mean pulse frequency \[GHz\].
+    pub frequency_min: f64,
+    /// Maximum acceptable mean pulse frequency \[GHz\].
+    pub frequency_max: f64,
+}
+
+impl Default for FunctionalSpec {
+    /// Limits at roughly ±3.5σ of the process distribution — the margins
+    /// "allowed for process variations" inside which the Trojans hide.
+    fn default() -> Self {
+        FunctionalSpec {
+            amplitude_min: 0.70,
+            amplitude_max: 1.30,
+            frequency_min: 3.6,
+            frequency_max: 4.4,
+        }
+    }
+}
+
+/// Outcome of the production test program for one device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecReport {
+    /// Ciphertexts matched the golden functional model.
+    pub encryption_correct: bool,
+    /// Mean amplitude within `[amplitude_min, amplitude_max]`.
+    pub amplitude_in_spec: bool,
+    /// Mean frequency within `[frequency_min, frequency_max]`.
+    pub frequency_in_spec: bool,
+}
+
+impl SpecReport {
+    /// `true` if every check passed — the device ships.
+    pub fn passes(&self) -> bool {
+        self.encryption_correct && self.amplitude_in_spec && self.frequency_in_spec
+    }
+}
+
+impl FunctionalSpec {
+    /// Runs the test program: encrypts `test_vectors` and compares against
+    /// a golden functional reference (a clean AES with the same key is the
+    /// tester's expected-response model), then measures the transmission
+    /// envelope over those blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::Empty`] if `test_vectors` is empty.
+    pub fn run<R: Rng>(
+        &self,
+        device: &WirelessCryptoIc,
+        expected_key: [u8; 16],
+        test_vectors: &[[u8; 16]],
+        rng: &mut R,
+    ) -> Result<SpecReport, ChipError> {
+        if test_vectors.is_empty() {
+            return Err(ChipError::Empty {
+                what: "test_vectors",
+            });
+        }
+        let golden = crate::aes::Aes128::new(expected_key);
+        let mut encryption_correct = true;
+        let mut amp_sum = 0.0;
+        let mut freq_sum = 0.0;
+        let mut pulse_count = 0usize;
+        for pt in test_vectors {
+            if device.encrypt(pt) != golden.encrypt_block(pt) {
+                encryption_correct = false;
+            }
+            let tx = device.transmit_block(pt, rng);
+            for pulse in tx.pulses().iter().flatten() {
+                amp_sum += pulse.amplitude;
+                freq_sum += pulse.frequency;
+                pulse_count += 1;
+            }
+        }
+        let (amplitude_in_spec, frequency_in_spec) = if pulse_count == 0 {
+            (false, false)
+        } else {
+            let mean_amp = amp_sum / pulse_count as f64;
+            let mean_freq = freq_sum / pulse_count as f64;
+            (
+                (self.amplitude_min..=self.amplitude_max).contains(&mean_amp),
+                (self.frequency_min..=self.frequency_max).contains(&mean_freq),
+            )
+        };
+        Ok(SpecReport {
+            encryption_correct,
+            amplitude_in_spec,
+            frequency_in_spec,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trojan::Trojan;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use sidefp_silicon::params::{ProcessParameter, ProcessPoint};
+
+    const KEY: [u8; 16] = [0xa5; 16];
+
+    fn vectors(seed: u64) -> Vec<[u8; 16]> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..4)
+            .map(|_| core::array::from_fn(|_| rng.random()))
+            .collect()
+    }
+
+    #[test]
+    fn clean_device_passes() {
+        let device = WirelessCryptoIc::new(ProcessPoint::nominal(), KEY, Trojan::None);
+        let mut rng = StdRng::seed_from_u64(1);
+        let report = FunctionalSpec::default()
+            .run(&device, KEY, &vectors(1), &mut rng)
+            .unwrap();
+        assert!(report.passes(), "{report:?}");
+    }
+
+    #[test]
+    fn trojan_devices_also_pass() {
+        // The point of the paper: traditional test cannot catch these.
+        let mut rng = StdRng::seed_from_u64(2);
+        for trojan in [Trojan::amplitude_leak(), Trojan::frequency_leak()] {
+            let device = WirelessCryptoIc::new(ProcessPoint::nominal(), KEY, trojan);
+            let report = FunctionalSpec::default()
+                .run(&device, KEY, &vectors(2), &mut rng)
+                .unwrap();
+            assert!(report.passes(), "{trojan:?} failed spec: {report:?}");
+        }
+    }
+
+    #[test]
+    fn wrong_key_fails_encryption_check() {
+        let device = WirelessCryptoIc::new(ProcessPoint::nominal(), [0x00; 16], Trojan::None);
+        let mut rng = StdRng::seed_from_u64(3);
+        let report = FunctionalSpec::default()
+            .run(&device, KEY, &vectors(3), &mut rng)
+            .unwrap();
+        assert!(!report.encryption_correct);
+        assert!(!report.passes());
+    }
+
+    #[test]
+    fn grossly_defective_analog_fails() {
+        let mut dead = ProcessPoint::nominal();
+        dead.set(ProcessParameter::MobilityN, 0.5);
+        dead.set(ProcessParameter::VthN, 0.8);
+        let device = WirelessCryptoIc::new(dead, KEY, Trojan::None);
+        let mut rng = StdRng::seed_from_u64(4);
+        let report = FunctionalSpec::default()
+            .run(&device, KEY, &vectors(4), &mut rng)
+            .unwrap();
+        assert!(!report.amplitude_in_spec, "{report:?}");
+        assert!(!report.passes());
+    }
+
+    #[test]
+    fn off_frequency_tank_fails() {
+        let mut detuned = ProcessPoint::nominal();
+        detuned.set(ProcessParameter::AnalogInd, 1.4);
+        detuned.set(ProcessParameter::AnalogCap, 1.4);
+        let device = WirelessCryptoIc::new(detuned, KEY, Trojan::None);
+        let mut rng = StdRng::seed_from_u64(5);
+        let report = FunctionalSpec::default()
+            .run(&device, KEY, &vectors(5), &mut rng)
+            .unwrap();
+        assert!(!report.frequency_in_spec, "{report:?}");
+    }
+
+    #[test]
+    fn empty_vectors_rejected() {
+        let device = WirelessCryptoIc::new(ProcessPoint::nominal(), KEY, Trojan::None);
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(FunctionalSpec::default()
+            .run(&device, KEY, &[], &mut rng)
+            .is_err());
+    }
+}

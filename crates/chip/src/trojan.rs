@@ -1,0 +1,177 @@
+//! The hardware Trojans.
+//!
+//! Both Trojans leak the 128-bit on-chip AES key through the wireless
+//! channel: along with each 128-bit ciphertext block, bit `i` of the key
+//! modulates the transmission of ciphertext bit `i` — amplitude for
+//! Trojan I, pulse frequency for Trojan II. When the leaked key bit is
+//! `1` the transmission is unaltered; when it is `0` the parameter is
+//! slightly increased, hiding well inside the margins left for process
+//! variation (paper §3.1).
+
+/// A hardware Trojan configuration of the wireless IC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+#[derive(Default)]
+pub enum Trojan {
+    /// Trojan-free device.
+    #[default]
+    None,
+    /// Trojan I: bumps pulse **amplitude** by the relative `delta` on
+    /// key-0 positions.
+    AmplitudeLeak {
+        /// Relative amplitude increase (e.g. `0.02` = +2 %).
+        delta: f64,
+    },
+    /// Trojan II: bumps pulse **frequency** by the relative `delta` on
+    /// key-0 positions.
+    FrequencyLeak {
+        /// Relative frequency increase.
+        delta: f64,
+    },
+    /// Trojan III (extension): a dormant digital payload — extra gates
+    /// waiting for a trigger. It leaks nothing over the air; its only
+    /// side effects are static supply leakage and a slight supply droop
+    /// that derates the transmitter.
+    DormantPayload {
+        /// Payload size in gate equivalents.
+        gates: usize,
+    },
+}
+
+impl Trojan {
+    /// Trojan I with the silicon-calibrated default modulation depth:
+    /// +2 % amplitude, well inside the ±3σ process margin (~±15 %).
+    pub fn amplitude_leak() -> Self {
+        Trojan::AmplitudeLeak { delta: 0.02 }
+    }
+
+    /// Trojan II with the default +1 % frequency modulation depth.
+    pub fn frequency_leak() -> Self {
+        Trojan::FrequencyLeak { delta: 0.01 }
+    }
+
+    /// Trojan III with a 1000-gate dormant payload (roughly 3 % of the
+    /// AES core's area — small enough to hide in layout slack).
+    pub fn dormant_payload() -> Self {
+        Trojan::DormantPayload { gates: 1000 }
+    }
+
+    /// Static supply-leakage the Trojan adds, in unit-transistor leakage
+    /// equivalents (zero for the analog leak Trojans).
+    pub fn payload_leakage_units(&self) -> f64 {
+        match self {
+            Trojan::DormantPayload { gates } => *gates as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Supply-droop derating the payload imposes on the transmitter's
+    /// pulse amplitude (multiplicative, ≤ 1).
+    pub fn payload_amplitude_derate(&self) -> f64 {
+        match self {
+            // ~0.5 % droop per 1000 gate equivalents of always-on load.
+            Trojan::DormantPayload { gates } => 1.0 - 5e-6 * *gates as f64,
+            _ => 1.0,
+        }
+    }
+
+    /// `true` for an infested configuration.
+    pub fn is_infested(&self) -> bool {
+        !matches!(self, Trojan::None)
+    }
+
+    /// Amplitude multiplier for the transmission of one ciphertext bit,
+    /// given the key bit leaked at that position.
+    pub fn amplitude_factor(&self, key_bit: bool) -> f64 {
+        match self {
+            Trojan::AmplitudeLeak { delta } if !key_bit => 1.0 + delta,
+            _ => 1.0,
+        }
+    }
+
+    /// Frequency multiplier for the transmission of one ciphertext bit,
+    /// given the key bit leaked at that position.
+    pub fn frequency_factor(&self, key_bit: bool) -> f64 {
+        match self {
+            Trojan::FrequencyLeak { delta } if !key_bit => 1.0 + delta,
+            _ => 1.0,
+        }
+    }
+
+    /// Short identifier used in reports ("free", "amplitude", "frequency",
+    /// "payload").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Trojan::None => "free",
+            Trojan::AmplitudeLeak { .. } => "amplitude",
+            Trojan::FrequencyLeak { .. } => "frequency",
+            Trojan::DormantPayload { .. } => "payload",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_device_never_modulates() {
+        let t = Trojan::None;
+        assert_eq!(t.amplitude_factor(true), 1.0);
+        assert_eq!(t.amplitude_factor(false), 1.0);
+        assert_eq!(t.frequency_factor(false), 1.0);
+        assert!(!t.is_infested());
+        assert_eq!(t.label(), "free");
+        assert_eq!(Trojan::default(), Trojan::None);
+    }
+
+    #[test]
+    fn amplitude_trojan_bumps_only_key_zero() {
+        let t = Trojan::AmplitudeLeak { delta: 0.05 };
+        assert_eq!(t.amplitude_factor(true), 1.0);
+        assert!((t.amplitude_factor(false) - 1.05).abs() < 1e-15);
+        // Frequency untouched.
+        assert_eq!(t.frequency_factor(false), 1.0);
+        assert!(t.is_infested());
+        assert_eq!(t.label(), "amplitude");
+    }
+
+    #[test]
+    fn frequency_trojan_bumps_only_key_zero() {
+        let t = Trojan::FrequencyLeak { delta: 0.01 };
+        assert_eq!(t.frequency_factor(true), 1.0);
+        assert!((t.frequency_factor(false) - 1.01).abs() < 1e-15);
+        assert_eq!(t.amplitude_factor(false), 1.0);
+        assert_eq!(t.label(), "frequency");
+    }
+
+    #[test]
+    fn payload_trojan_properties() {
+        let t = Trojan::dormant_payload();
+        assert!(t.is_infested());
+        assert_eq!(t.label(), "payload");
+        // No modulation of the air interface.
+        assert_eq!(t.amplitude_factor(false), 1.0);
+        assert_eq!(t.frequency_factor(false), 1.0);
+        // But real supply-side effects.
+        assert_eq!(t.payload_leakage_units(), 1000.0);
+        assert!((t.payload_amplitude_derate() - 0.995).abs() < 1e-12);
+        // Leak Trojans have no payload effects.
+        assert_eq!(Trojan::amplitude_leak().payload_leakage_units(), 0.0);
+        assert_eq!(Trojan::frequency_leak().payload_amplitude_derate(), 1.0);
+    }
+
+    #[test]
+    fn default_depths_are_subtle() {
+        if let Trojan::AmplitudeLeak { delta } = Trojan::amplitude_leak() {
+            assert!(delta < 0.05, "amplitude depth {delta} too obvious");
+        } else {
+            panic!("wrong variant");
+        }
+        if let Trojan::FrequencyLeak { delta } = Trojan::frequency_leak() {
+            assert!(delta < 0.05, "frequency depth {delta} too obvious");
+        } else {
+            panic!("wrong variant");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the wireless cryptographic IC model.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sidefp_chip::aes::Aes128;
+use sidefp_chip::attacker::KeyRecoveryAttack;
+use sidefp_chip::buffer::{block_to_bits, SerializationBuffer};
+use sidefp_chip::device::WirelessCryptoIc;
+use sidefp_chip::measurement::{FingerprintPlan, SideChannelMeter};
+use sidefp_chip::trojan::Trojan;
+use sidefp_silicon::params::ProcessPoint;
+
+fn block() -> impl Strategy<Value = [u8; 16]> {
+    proptest::array::uniform16(proptest::num::u8::ANY)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn aes_roundtrip(key in block(), pt in block()) {
+        let aes = Aes128::new(key);
+        let ct = aes.encrypt_block(&pt);
+        prop_assert_eq!(aes.decrypt_block(&ct), pt);
+    }
+
+    #[test]
+    fn aes_is_a_permutation(key in block(), a in block(), b in block()) {
+        // Distinct plaintexts always map to distinct ciphertexts.
+        prop_assume!(a != b);
+        let aes = Aes128::new(key);
+        prop_assert_ne!(aes.encrypt_block(&a), aes.encrypt_block(&b));
+    }
+
+    #[test]
+    fn aes_key_sensitivity(k1 in block(), k2 in block(), pt in block()) {
+        prop_assume!(k1 != k2);
+        prop_assert_ne!(
+            Aes128::new(k1).encrypt_block(&pt),
+            Aes128::new(k2).encrypt_block(&pt)
+        );
+    }
+
+    #[test]
+    fn serialization_preserves_bit_count(b in block()) {
+        let bits = block_to_bits(&b);
+        prop_assert_eq!(bits.len(), 128);
+        let ones = bits.iter().filter(|x| **x).count();
+        let expected: u32 = b.iter().map(|v| v.count_ones()).sum();
+        prop_assert_eq!(ones as u32, expected);
+    }
+
+    #[test]
+    fn buffer_transitions_bounded(b in block()) {
+        let mut buf = SerializationBuffer::new();
+        buf.load(&b);
+        prop_assert!(buf.transition_count() < 128);
+        prop_assert!(buf.hamming_weight() <= 128);
+    }
+
+    #[test]
+    fn trojan_never_alters_ciphertext(key in block(), pt in block(), delta in 0.001_f64..0.3) {
+        let clean = WirelessCryptoIc::new(ProcessPoint::nominal(), key, Trojan::None);
+        let amp = WirelessCryptoIc::new(
+            ProcessPoint::nominal(),
+            key,
+            Trojan::AmplitudeLeak { delta },
+        );
+        let freq = WirelessCryptoIc::new(
+            ProcessPoint::nominal(),
+            key,
+            Trojan::FrequencyLeak { delta },
+        );
+        prop_assert_eq!(clean.encrypt(&pt), amp.encrypt(&pt));
+        prop_assert_eq!(clean.encrypt(&pt), freq.encrypt(&pt));
+    }
+
+    #[test]
+    fn transmission_matches_ciphertext_ook(key in block(), pt in block(), seed in 0_u64..100) {
+        let device = WirelessCryptoIc::new(ProcessPoint::nominal(), key, Trojan::None);
+        let ct = device.encrypt(&pt);
+        let bits = block_to_bits(&ct);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tx = device.transmit_block(&pt, &mut rng);
+        for (i, bit) in bits.iter().enumerate() {
+            prop_assert_eq!(tx.pulses()[i].is_some(), *bit, "slot {}", i);
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_positive_and_finite(key in block(), seed in 0_u64..100) {
+        let device = WirelessCryptoIc::new(ProcessPoint::nominal(), key, Trojan::None);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = FingerprintPlan::random(&mut rng, 6).unwrap();
+        let fp = SideChannelMeter::default().fingerprint(&device, &plan, &mut rng);
+        prop_assert_eq!(fp.len(), 6);
+        for v in fp {
+            prop_assert!(v > 0.0 && v.is_finite(), "fingerprint {}", v);
+        }
+    }
+
+    #[test]
+    fn amplitude_trojan_key_recovery_for_any_key(key in block(), seed in 0_u64..100) {
+        // The leak works regardless of the key's bit pattern.
+        let device = WirelessCryptoIc::new(
+            ProcessPoint::nominal(),
+            key,
+            Trojan::AmplitudeLeak { delta: 0.05 },
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let txs: Vec<_> = (0..24)
+            .map(|i| device.transmit_block(&[(i * 13) as u8; 16], &mut rng))
+            .collect();
+        let recovered = KeyRecoveryAttack::amplitude().recover(&txs);
+        let rate = KeyRecoveryAttack::recovery_rate(&recovered, &key);
+        prop_assert!(rate > 0.95, "recovery rate {} for key {:02x?}", rate, key);
+    }
+}

@@ -1,0 +1,233 @@
+//! Trusted-region boundaries (B1–B5 and the golden baseline).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sidefp_linalg::Matrix;
+use sidefp_stats::{DetectionLabel, Kernel, OneClassSvm, OneClassSvmConfig, StandardScaler};
+
+use crate::config::BoundaryConfig;
+use crate::dataset::DuttPopulation;
+use crate::CoreError;
+use sidefp_stats::ConfusionCounts;
+
+/// A trusted region in fingerprint space: a standardizer plus a 1-class
+/// SVM, trained on one of the S1–S5 populations (or golden-chip data).
+///
+/// # Example
+///
+/// ```
+/// use sidefp_linalg::Matrix;
+/// use sidefp_core::boundary::TrustedBoundary;
+/// use sidefp_core::config::BoundaryConfig;
+/// use sidefp_stats::DetectionLabel;
+///
+/// # fn main() -> Result<(), sidefp_core::CoreError> {
+/// // A 5x10 grid of trusted fingerprints.
+/// let trusted = Matrix::from_fn(50, 2, |i, _| 0.0)
+///     .rows_iter()
+///     .enumerate()
+///     .map(|(i, _)| vec![(i % 10) as f64 * 0.1, (i / 10) as f64 * 0.1])
+///     .collect::<Vec<_>>();
+/// let trusted = Matrix::from_samples(&trusted)?;
+/// let b = TrustedBoundary::fit("B1", &trusted, &BoundaryConfig::default(), 7)?;
+/// assert_eq!(b.classify(&[0.45, 0.2])?, DetectionLabel::TrojanFree);
+/// assert_eq!(b.classify(&[50.0, -50.0])?, DetectionLabel::TrojanInfested);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrustedBoundary {
+    name: &'static str,
+    scaler: StandardScaler,
+    svm: OneClassSvm,
+}
+
+impl TrustedBoundary {
+    /// Trains a boundary on the rows of `trusted`.
+    ///
+    /// Populations larger than `config.train_cap` are uniformly subsampled
+    /// (seeded) before SVM training; the scaler is always fitted on the
+    /// full population.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scaler/SVM fitting errors.
+    pub fn fit(
+        name: &'static str,
+        trusted: &Matrix,
+        config: &BoundaryConfig,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        let scaler = StandardScaler::fit(trusted)?;
+        let z = scaler.transform(trusted)?;
+
+        let train = if z.nrows() > config.train_cap {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let indices: Vec<usize> = (0..config.train_cap)
+                .map(|_| rng.random_range(0..z.nrows()))
+                .collect();
+            z.select_rows(&indices)
+        } else {
+            z
+        };
+
+        let kernel = match config.gamma {
+            Some(g) => Kernel::Rbf { gamma: g },
+            // Degenerate populations (e.g. a regression that collapsed to a
+            // constant) have no pairwise spread; fall back to unit gamma in
+            // standardized space — the resulting point-like trusted region
+            // honestly reflects the degenerate training data.
+            None => Kernel::rbf_median_heuristic(&train).unwrap_or(Kernel::Rbf { gamma: 1.0 }),
+        };
+        let svm = OneClassSvm::fit(
+            &train,
+            &OneClassSvmConfig {
+                nu: config.nu,
+                kernel,
+                ..Default::default()
+            },
+        )?;
+        Ok(TrustedBoundary { name, scaler, svm })
+    }
+
+    /// Boundary label ("B1" … "B5", "golden").
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Signed decision value in standardized space (positive = trusted).
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension-mismatch error for wrong fingerprint length.
+    pub fn decision(&self, fingerprint: &[f64]) -> Result<f64, CoreError> {
+        let z = self.scaler.transform_sample(fingerprint)?;
+        Ok(self.svm.decision_function(&z)?)
+    }
+
+    /// Classifies a fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TrustedBoundary::decision`].
+    pub fn classify(&self, fingerprint: &[f64]) -> Result<DetectionLabel, CoreError> {
+        Ok(if self.decision(fingerprint)? >= 0.0 {
+            DetectionLabel::TrojanFree
+        } else {
+            DetectionLabel::TrojanInfested
+        })
+    }
+
+    /// Evaluates the boundary on a labeled DUTT population, producing the
+    /// paper's FP/FN tally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates classification errors.
+    pub fn evaluate(&self, population: &DuttPopulation) -> Result<ConfusionCounts, CoreError> {
+        let mut counts = ConfusionCounts::new();
+        for (i, row) in population.fingerprints().rows_iter().enumerate() {
+            let predicted = self.classify(row)?;
+            counts.record(population.labels()[i], predicted);
+        }
+        Ok(counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sidefp_stats::MultivariateNormal;
+
+    fn blob(center: f64, n: usize, seed: u64) -> Matrix {
+        let mvn = MultivariateNormal::independent(vec![center, center], &[1.0, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        mvn.sample_matrix(&mut rng, n)
+    }
+
+    #[test]
+    fn boundary_accepts_center_rejects_far() {
+        let b =
+            TrustedBoundary::fit("B1", &blob(0.0, 120, 1), &BoundaryConfig::default(), 1).unwrap();
+        assert_eq!(b.name(), "B1");
+        assert_eq!(b.classify(&[0.0, 0.0]).unwrap(), DetectionLabel::TrojanFree);
+        assert_eq!(
+            b.classify(&[8.0, 8.0]).unwrap(),
+            DetectionLabel::TrojanInfested
+        );
+        assert!(b.decision(&[0.0, 0.0]).unwrap() > b.decision(&[4.0, 4.0]).unwrap());
+    }
+
+    #[test]
+    fn subsampling_cap_still_learns() {
+        let cfg = BoundaryConfig {
+            train_cap: 60,
+            ..Default::default()
+        };
+        let b = TrustedBoundary::fit("B2", &blob(0.0, 5000, 2), &cfg, 2).unwrap();
+        assert_eq!(b.classify(&[0.0, 0.0]).unwrap(), DetectionLabel::TrojanFree);
+        assert_eq!(
+            b.classify(&[9.0, -9.0]).unwrap(),
+            DetectionLabel::TrojanInfested
+        );
+    }
+
+    #[test]
+    fn explicit_gamma_is_respected() {
+        // A huge gamma makes the kernel ultra-local: even nearby points
+        // outside the training set fall outside the region.
+        let cfg = BoundaryConfig {
+            gamma: Some(500.0),
+            nu: 0.05,
+            train_cap: 1500,
+        };
+        let tight = TrustedBoundary::fit("Bt", &blob(0.0, 60, 3), &cfg, 3).unwrap();
+        let loose_cfg = BoundaryConfig {
+            gamma: Some(0.05),
+            nu: 0.05,
+            train_cap: 1500,
+        };
+        let loose = TrustedBoundary::fit("Bl", &blob(0.0, 60, 3), &loose_cfg, 3).unwrap();
+        // The loose boundary accepts a moderately distant point the tight
+        // one rejects.
+        let probe = [1.6, -1.6];
+        assert!(loose.decision(&probe).unwrap() > tight.decision(&probe).unwrap());
+    }
+
+    #[test]
+    fn evaluate_produces_paper_counts() {
+        use sidefp_linalg::Matrix;
+        let b =
+            TrustedBoundary::fit("B3", &blob(0.0, 150, 4), &BoundaryConfig::default(), 4).unwrap();
+        // 2 free devices near the center, 2 infested far away.
+        let fps =
+            Matrix::from_rows(&[&[0.0, 0.0], &[0.2, -0.1], &[7.0, 7.0], &[-7.0, 7.0]]).unwrap();
+        let pcms = Matrix::zeros(4, 1);
+        let pop = crate::dataset::DuttPopulation::new(
+            fps,
+            pcms,
+            vec![
+                DetectionLabel::TrojanFree,
+                DetectionLabel::TrojanFree,
+                DetectionLabel::TrojanInfested,
+                DetectionLabel::TrojanInfested,
+            ],
+            vec!["free", "free", "amplitude", "frequency"],
+        )
+        .unwrap();
+        let counts = b.evaluate(&pop).unwrap();
+        assert_eq!(counts.false_positives(), 0);
+        assert_eq!(counts.false_negatives(), 0);
+        assert_eq!(counts.infested_total(), 2);
+        assert_eq!(counts.free_total(), 2);
+    }
+
+    #[test]
+    fn dimension_mismatch_errors() {
+        let b =
+            TrustedBoundary::fit("B1", &blob(0.0, 50, 5), &BoundaryConfig::default(), 5).unwrap();
+        assert!(b.classify(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,250 @@
+//! Dataset containers: the S1–S5 populations and the labeled DUTT set.
+
+use sidefp_linalg::Matrix;
+use sidefp_silicon::wafer::DiePosition;
+use sidefp_stats::DetectionLabel;
+
+use crate::CoreError;
+
+/// A named fingerprint population (one of S1–S5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    name: &'static str,
+    fingerprints: Matrix,
+}
+
+impl Dataset {
+    /// Wraps a fingerprint matrix (rows = devices/samples).
+    pub fn new(name: &'static str, fingerprints: Matrix) -> Self {
+        Dataset { name, fingerprints }
+    }
+
+    /// Dataset label ("S1" … "S5").
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The fingerprint rows.
+    pub fn fingerprints(&self) -> &Matrix {
+        &self.fingerprints
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.fingerprints.nrows()
+    }
+
+    /// `true` if the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.fingerprints.nrows() == 0
+    }
+}
+
+/// The fabricated devices under Trojan test: measured fingerprints, measured
+/// PCMs and ground-truth labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DuttPopulation {
+    fingerprints: Matrix,
+    pcms: Matrix,
+    kerf_pcms: Matrix,
+    labels: Vec<DetectionLabel>,
+    /// Per-device Trojan variant tag ("free", "amplitude", "frequency").
+    variants: Vec<&'static str>,
+    /// Wafer position of each device's die (duplicated across the die's
+    /// three versions).
+    positions: Vec<DiePosition>,
+}
+
+impl DuttPopulation {
+    /// Assembles the population.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if row counts disagree.
+    pub fn new(
+        fingerprints: Matrix,
+        pcms: Matrix,
+        labels: Vec<DetectionLabel>,
+        variants: Vec<&'static str>,
+    ) -> Result<Self, CoreError> {
+        let kerf = pcms.clone();
+        Self::with_kerf(fingerprints, pcms, kerf, labels, variants)
+    }
+
+    /// Attaches wafer positions (builder style).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the count disagrees with the
+    /// device count.
+    pub fn with_positions(mut self, positions: Vec<DiePosition>) -> Result<Self, CoreError> {
+        if positions.len() != self.len() {
+            return Err(CoreError::InvalidConfig {
+                name: "positions",
+                reason: format!("{} positions for {} devices", positions.len(), self.len()),
+            });
+        }
+        self.positions = positions;
+        Ok(self)
+    }
+
+    /// Wafer position of each device's die (center position if never set).
+    pub fn positions(&self) -> &[DiePosition] {
+        &self.positions
+    }
+
+    /// Assembles the population with separate kerf (scribe-line) PCM
+    /// measurements, enabling the paired die-vs-kerf SPC check
+    /// ([`crate::spc::paired_check`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if row counts disagree.
+    pub fn with_kerf(
+        fingerprints: Matrix,
+        pcms: Matrix,
+        kerf_pcms: Matrix,
+        labels: Vec<DetectionLabel>,
+        variants: Vec<&'static str>,
+    ) -> Result<Self, CoreError> {
+        let n = fingerprints.nrows();
+        if pcms.nrows() != n || kerf_pcms.nrows() != n || labels.len() != n || variants.len() != n {
+            return Err(CoreError::InvalidConfig {
+                name: "dutt population",
+                reason: format!(
+                    "inconsistent sizes: {} fingerprints, {} pcms, {} kerf pcms, {} labels, {} variants",
+                    n,
+                    pcms.nrows(),
+                    kerf_pcms.nrows(),
+                    labels.len(),
+                    variants.len()
+                ),
+            });
+        }
+        let positions = vec![DiePosition::new(0.0, 0.0); labels.len()];
+        Ok(DuttPopulation {
+            fingerprints,
+            pcms,
+            kerf_pcms,
+            labels,
+            variants,
+            positions,
+        })
+    }
+
+    /// Measured side-channel fingerprints (rows = devices).
+    pub fn fingerprints(&self) -> &Matrix {
+        &self.fingerprints
+    }
+
+    /// Measured PCM vectors (rows = devices).
+    pub fn pcms(&self) -> &Matrix {
+        &self.pcms
+    }
+
+    /// PCMs measured on the adjacent kerf (scribe-line) sites — outside an
+    /// attacker's reach, used by the paired SPC check.
+    pub fn kerf_pcms(&self) -> &Matrix {
+        &self.kerf_pcms
+    }
+
+    /// Ground-truth labels.
+    pub fn labels(&self) -> &[DetectionLabel] {
+        &self.labels
+    }
+
+    /// Trojan variant tags, aligned with rows.
+    pub fn variants(&self) -> &[&'static str] {
+        &self.variants
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` if the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Row indices of the Trojan-free devices.
+    pub fn free_indices(&self) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l == DetectionLabel::TrojanFree)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Fingerprints of only the Trojan-free devices (the golden-chip
+    /// baseline's training set).
+    pub fn free_fingerprints(&self) -> Matrix {
+        self.fingerprints.select_rows(&self.free_indices())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use DetectionLabel::{TrojanFree as Free, TrojanInfested as Infested};
+
+    fn sample() -> DuttPopulation {
+        let fps = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let pcms = Matrix::from_rows(&[&[0.1], &[0.2], &[0.3]]).unwrap();
+        DuttPopulation::new(
+            fps,
+            pcms,
+            vec![Free, Infested, Infested],
+            vec!["free", "amplitude", "frequency"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dataset_accessors() {
+        let d = Dataset::new("S1", Matrix::identity(3));
+        assert_eq!(d.name(), "S1");
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.fingerprints().shape(), (3, 3));
+    }
+
+    #[test]
+    fn population_accessors() {
+        let p = sample();
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.free_indices(), vec![0]);
+        assert_eq!(p.free_fingerprints().shape(), (1, 2));
+        assert_eq!(p.variants()[2], "frequency");
+        assert_eq!(p.pcms().shape(), (3, 1));
+        assert_eq!(p.labels().len(), 3);
+        assert_eq!(p.fingerprints().nrows(), 3);
+    }
+
+    #[test]
+    fn positions_roundtrip() {
+        let p = sample();
+        // Default: all dies at the wafer center.
+        assert!(p.positions().iter().all(|q| q.radius() == 0.0));
+        let with = p
+            .clone()
+            .with_positions(vec![
+                DiePosition::new(0.5, 0.0),
+                DiePosition::new(0.0, 0.5),
+                DiePosition::new(-0.5, 0.0),
+            ])
+            .unwrap();
+        assert!((with.positions()[0].radius() - 0.5).abs() < 1e-12);
+        assert!(p.clone().with_positions(vec![]).is_err());
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let fps = Matrix::identity(2);
+        let pcms = Matrix::identity(3);
+        assert!(DuttPopulation::new(fps, pcms, vec![Free, Free], vec!["free", "free"]).is_err());
+    }
+}

@@ -1,0 +1,103 @@
+use std::error::Error;
+use std::fmt;
+
+use sidefp_chip::ChipError;
+use sidefp_silicon::SiliconError;
+use sidefp_stats::StatsError;
+
+/// Error type for the detection pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A configuration value is outside its valid range.
+    InvalidConfig {
+        /// Field name.
+        name: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// Error from the statistics substrate.
+    Stats(StatsError),
+    /// Error from the synthetic fab.
+    Silicon(SiliconError),
+    /// Error from the chip model.
+    Chip(ChipError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { name, reason } => {
+                write!(f, "invalid config `{name}`: {reason}")
+            }
+            CoreError::Stats(e) => write!(f, "statistics error: {e}"),
+            CoreError::Silicon(e) => write!(f, "silicon error: {e}"),
+            CoreError::Chip(e) => write!(f, "chip error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Stats(e) => Some(e),
+            CoreError::Silicon(e) => Some(e),
+            CoreError::Chip(e) => Some(e),
+            CoreError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<StatsError> for CoreError {
+    fn from(e: StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}
+
+impl From<SiliconError> for CoreError {
+    fn from(e: SiliconError) -> Self {
+        CoreError::Silicon(e)
+    }
+}
+
+impl From<ChipError> for CoreError {
+    fn from(e: ChipError) -> Self {
+        CoreError::Chip(e)
+    }
+}
+
+impl From<sidefp_stats::LinalgError> for CoreError {
+    fn from(e: sidefp_stats::LinalgError) -> Self {
+        CoreError::Stats(StatsError::Linalg(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_chaining() {
+        let e: CoreError = StatsError::InsufficientData { needed: 2, got: 1 }.into();
+        assert!(matches!(e, CoreError::Stats(_)));
+        assert!(Error::source(&e).is_some());
+        let e: CoreError = SiliconError::Empty { what: "x" }.into();
+        assert!(e.to_string().contains("silicon"));
+        let e: CoreError = ChipError::Empty { what: "y" }.into();
+        assert!(e.to_string().contains("chip"));
+        let e: CoreError = sidefp_stats::LinalgError::Singular.into();
+        assert!(matches!(e, CoreError::Stats(StatsError::Linalg(_))));
+        let e = CoreError::InvalidConfig {
+            name: "chips",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("chips"));
+        assert!(Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,245 @@
+//! The end-to-end paper experiment: all three stages, the golden baseline
+//! and the Figure-4 projections.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use sidefp_linalg::Matrix;
+use sidefp_stats::Pca;
+
+use crate::config::ExperimentConfig;
+use crate::dataset::Dataset;
+use crate::golden_baseline;
+use crate::report::{ExperimentResult, Fig4Panel};
+use crate::stages::{trojan_test, PremanufacturingStage, SiliconStage, Testbench};
+use crate::CoreError;
+
+/// Maximum population points carried into a Figure-4 panel (larger
+/// populations are subsampled for plotting).
+const FIG4_MAX_POINTS: usize = 2000;
+
+/// The complete DAC'14 experiment.
+///
+/// # Example
+///
+/// ```no_run
+/// use sidefp_core::{ExperimentConfig, PaperExperiment};
+///
+/// # fn main() -> Result<(), sidefp_core::CoreError> {
+/// let result = PaperExperiment::new(ExperimentConfig::default())?.run()?;
+/// for row in &result.table1 {
+///     println!("{row}");
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PaperExperiment {
+    config: ExperimentConfig,
+}
+
+/// Everything a run produces beyond the summary: stages are exposed so
+/// ablation benches can reuse expensive intermediates.
+#[derive(Debug)]
+pub struct RunArtifacts {
+    /// Stage-1 products (S1, S2, regressions, B1, B2).
+    pub premanufacturing: PremanufacturingStage,
+    /// Stage-2 products (DUTTs, S3–S5, B3–B5).
+    pub silicon: SiliconStage,
+    /// Summary result (Table 1 + Figure 4).
+    pub result: ExperimentResult,
+}
+
+impl PaperExperiment {
+    /// Validates and stores the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for invalid settings.
+    pub fn new(config: ExperimentConfig) -> Result<Self, CoreError> {
+        config.validate()?;
+        Ok(PaperExperiment { config })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Runs the experiment and returns the summary result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stage error.
+    pub fn run(&self) -> Result<ExperimentResult, CoreError> {
+        Ok(self.run_with_artifacts()?.result)
+    }
+
+    /// Runs the experiment, also returning the stage intermediates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stage error.
+    pub fn run_with_artifacts(&self) -> Result<RunArtifacts, CoreError> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let bench = Testbench::random(
+            &mut rng,
+            self.config.fingerprint_blocks,
+            self.config.pcm_suite.clone(),
+        )?
+        .with_meter(self.config.meter.clone());
+
+        let pre = PremanufacturingStage::run(&self.config, &bench, &mut rng)?;
+        let silicon = SiliconStage::run(&self.config, &bench, &pre, &mut rng)?;
+
+        let table1 = trojan_test::evaluate_boundaries(
+            &[&pre.b1, &pre.b2, &silicon.b3, &silicon.b4, &silicon.b5],
+            &silicon.dutts,
+        )?;
+        let (_, golden_row) =
+            golden_baseline::run(&silicon.dutts, &self.config.boundary, self.config.seed)?;
+
+        let fig4 = self.build_fig4(&pre, &silicon, &mut rng)?;
+
+        Ok(RunArtifacts {
+            result: ExperimentResult {
+                table1,
+                golden_baseline: golden_row,
+                fig4,
+            },
+            premanufacturing: pre,
+            silicon,
+        })
+    }
+
+    /// Builds the six Figure-4 panels: per-dataset PCA, projecting both the
+    /// dataset population and the 120 measured device fingerprints.
+    fn build_fig4<R: Rng>(
+        &self,
+        pre: &PremanufacturingStage,
+        silicon: &SiliconStage,
+        rng: &mut R,
+    ) -> Result<Vec<Fig4Panel>, CoreError> {
+        let devices = silicon.dutts.fingerprints();
+        let variants = silicon.dutts.variants().to_vec();
+        let k = 3.min(devices.ncols());
+
+        let mut panels = Vec::with_capacity(6);
+
+        // Panel (a): PCA on the measured fingerprints themselves.
+        let pca = Pca::fit(devices)?;
+        let ratios = pca.explained_variance_ratio();
+        panels.push(Fig4Panel {
+            label: "a",
+            dataset: "measured",
+            population: None,
+            devices: pca.project(devices, k)?,
+            variants: variants.clone(),
+            explained: [ratios[0], ratios[1], *ratios.get(2).unwrap_or(&0.0)],
+        });
+
+        // Panels (b)–(f): PCA fitted on each dataset S1–S5.
+        let datasets: [(&'static str, &Dataset); 5] = [
+            ("b", &pre.s1),
+            ("c", &pre.s2),
+            ("d", &silicon.s3),
+            ("e", &silicon.s4),
+            ("f", &silicon.s5),
+        ];
+        for (label, dataset) in datasets {
+            let population = dataset.fingerprints();
+            let pca = Pca::fit(population)?;
+            let sampled = if population.nrows() > FIG4_MAX_POINTS {
+                let indices: Vec<usize> = (0..FIG4_MAX_POINTS)
+                    .map(|_| rng.random_range(0..population.nrows()))
+                    .collect();
+                population.select_rows(&indices)
+            } else {
+                population.clone()
+            };
+            let ratios = pca.explained_variance_ratio();
+            panels.push(Fig4Panel {
+                label,
+                dataset: dataset.name(),
+                population: Some(pca.project(&sampled, k)?),
+                devices: pca.project(devices, k)?,
+                variants: variants.clone(),
+                explained: [ratios[0], ratios[1], *ratios.get(2).unwrap_or(&0.0)],
+            });
+        }
+        Ok(panels)
+    }
+}
+
+/// Projects a matrix onto the top-3 PCs of a reference population —
+/// exposed for the Figure-4 bench binary.
+///
+/// # Errors
+///
+/// Propagates PCA errors.
+pub fn project_top3(reference: &Matrix, data: &Matrix) -> Result<Matrix, CoreError> {
+    let pca = Pca::fit(reference)?;
+    Ok(pca.project(data, 3.min(reference.ncols()))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ExperimentConfig {
+        ExperimentConfig {
+            chips: 10,
+            mc_samples: 40,
+            kde_samples: 1200,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn full_run_produces_complete_result() {
+        let result = PaperExperiment::new(tiny_config()).unwrap().run().unwrap();
+        assert_eq!(result.table1.len(), 5);
+        let names: Vec<&str> = result.table1.iter().map(|r| r.dataset).collect();
+        assert_eq!(names, ["B1", "B2", "B3", "B4", "B5"]);
+        assert_eq!(result.golden_baseline.dataset, "golden");
+        assert_eq!(result.fig4.len(), 6);
+        assert!(result.fig4[0].population.is_none());
+        assert!(result.fig4[5].population.is_some());
+        assert_eq!(result.fig4[5].devices.ncols(), 3);
+        let rendered = result.render_table1();
+        assert!(rendered.contains("B5"));
+    }
+
+    #[test]
+    fn runs_are_deterministic_given_seed() {
+        let a = PaperExperiment::new(tiny_config()).unwrap().run().unwrap();
+        let b = PaperExperiment::new(tiny_config()).unwrap().run().unwrap();
+        assert_eq!(a.table1, b.table1);
+        assert_eq!(a.golden_baseline, b.golden_baseline);
+    }
+
+    #[test]
+    fn invalid_config_rejected_up_front() {
+        let mut cfg = tiny_config();
+        cfg.chips = 0;
+        assert!(PaperExperiment::new(cfg).is_err());
+    }
+
+    #[test]
+    fn artifacts_expose_stages() {
+        let artifacts = PaperExperiment::new(tiny_config())
+            .unwrap()
+            .run_with_artifacts()
+            .unwrap();
+        assert_eq!(artifacts.premanufacturing.s1.len(), 40);
+        assert_eq!(artifacts.silicon.dutts.len(), 30);
+        assert_eq!(artifacts.result.table1.len(), 5);
+    }
+
+    #[test]
+    fn project_top3_shapes() {
+        let reference = Matrix::from_fn(30, 6, |i, j| ((i * 7 + j * 3) % 11) as f64 * 0.1);
+        let data = Matrix::from_fn(5, 6, |i, j| (i + j) as f64);
+        let proj = project_top3(&reference, &data).unwrap();
+        assert_eq!(proj.shape(), (5, 3));
+    }
+}

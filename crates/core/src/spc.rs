@@ -1,0 +1,328 @@
+//! Statistical process control (SPC) over PCM populations.
+//!
+//! The paper's trust argument for PCMs (§1): they are "thoroughly
+//! scrutinized for yield learning and process monitoring purposes — any
+//! systematic modification of PCMs will result in deviation from expected
+//! parametric measurement statistics and is bound to trigger action by
+//! process engineers." This module is that scrutiny: an x̄ control chart
+//! comparing a product's PCM population against the fab-wide baseline.
+
+use sidefp_linalg::Matrix;
+use sidefp_stats::{descriptive, StatsError};
+
+use crate::CoreError;
+
+/// Default control limit: alarm when the population mean deviates more
+/// than 3 standard errors from the baseline (the classic 3σ chart).
+pub const DEFAULT_CONTROL_LIMIT: f64 = 3.0;
+
+/// Result of one SPC check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpcReport {
+    /// Per-monitor z-scores of the production mean vs. the baseline
+    /// (in standard errors of the production sample mean).
+    pub zscores: Vec<f64>,
+    /// Control limit the check used.
+    pub control_limit: f64,
+}
+
+impl SpcReport {
+    /// `true` if any monitor's mean breached the control limit.
+    pub fn alarm(&self) -> bool {
+        self.zscores.iter().any(|z| z.abs() > self.control_limit)
+    }
+
+    /// The largest absolute z-score across monitors.
+    pub fn worst_zscore(&self) -> f64 {
+        self.zscores.iter().fold(0.0_f64, |m, z| m.max(z.abs()))
+    }
+}
+
+/// An x̄ control chart calibrated on fab-wide kerf PCM data.
+///
+/// # Example
+///
+/// ```
+/// use sidefp_linalg::Matrix;
+/// use sidefp_core::spc::SpcMonitor;
+///
+/// # fn main() -> Result<(), sidefp_core::CoreError> {
+/// let baseline = Matrix::from_fn(200, 1, |i, _| 5.0 + (i % 7) as f64 * 0.01);
+/// let monitor = SpcMonitor::calibrate(&baseline)?;
+/// // A clean production lot from the same process: no alarm.
+/// let clean = Matrix::from_fn(50, 1, |i, _| 5.0 + (i % 7) as f64 * 0.01);
+/// assert!(!monitor.check(&clean)?.alarm());
+/// // A systematically tampered population: alarm.
+/// let tampered = Matrix::from_fn(50, 1, |i, _| 4.5 + (i % 7) as f64 * 0.01);
+/// assert!(monitor.check(&tampered)?.alarm());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpcMonitor {
+    means: Vec<f64>,
+    sigmas: Vec<f64>,
+    control_limit: f64,
+}
+
+impl SpcMonitor {
+    /// Calibrates the chart from baseline (qualification / fab-wide kerf)
+    /// PCM measurements, with the default 3σ control limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Stats`] if the baseline has fewer than two rows
+    /// or zero variance.
+    pub fn calibrate(baseline: &Matrix) -> Result<Self, CoreError> {
+        Self::calibrate_with_limit(baseline, DEFAULT_CONTROL_LIMIT)
+    }
+
+    /// Calibrates with an explicit control limit (in standard errors).
+    ///
+    /// # Errors
+    ///
+    /// - [`CoreError::InvalidConfig`] for a non-positive limit.
+    /// - [`CoreError::Stats`] for degenerate baselines.
+    pub fn calibrate_with_limit(baseline: &Matrix, control_limit: f64) -> Result<Self, CoreError> {
+        if !(control_limit > 0.0 && control_limit.is_finite()) {
+            return Err(CoreError::InvalidConfig {
+                name: "control_limit",
+                reason: format!("must be positive and finite, got {control_limit}"),
+            });
+        }
+        let mut means = Vec::with_capacity(baseline.ncols());
+        let mut sigmas = Vec::with_capacity(baseline.ncols());
+        for j in 0..baseline.ncols() {
+            let col = baseline.col(j);
+            means.push(descriptive::mean(&col)?);
+            let sd = descriptive::std_dev(&col)?;
+            if sd <= 0.0 {
+                return Err(CoreError::Stats(StatsError::DegenerateData(format!(
+                    "baseline monitor {j} has zero variance"
+                ))));
+            }
+            sigmas.push(sd);
+        }
+        Ok(SpcMonitor {
+            means,
+            sigmas,
+            control_limit,
+        })
+    }
+
+    /// Number of monitors the chart tracks.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Checks a production PCM population against the baseline.
+    ///
+    /// The z-score is computed for the *sample mean*: a systematic tamper
+    /// shows up even when it is small compared with device-to-device
+    /// spread, because the standard error shrinks with √n.
+    ///
+    /// # Errors
+    ///
+    /// - [`CoreError::InvalidConfig`] on column-count mismatch.
+    /// - [`CoreError::Stats`] for an empty production set.
+    pub fn check(&self, production: &Matrix) -> Result<SpcReport, CoreError> {
+        if production.ncols() != self.dim() {
+            return Err(CoreError::InvalidConfig {
+                name: "production",
+                reason: format!(
+                    "{} monitors, chart calibrated for {}",
+                    production.ncols(),
+                    self.dim()
+                ),
+            });
+        }
+        let n = production.nrows();
+        if n == 0 {
+            return Err(CoreError::Stats(StatsError::InsufficientData {
+                needed: 1,
+                got: 0,
+            }));
+        }
+        let zscores = (0..self.dim())
+            .map(|j| {
+                let mean = descriptive::mean(&production.col(j))?;
+                let standard_error = self.sigmas[j] / (n as f64).sqrt();
+                Ok((mean - self.means[j]) / standard_error)
+            })
+            .collect::<Result<Vec<f64>, StatsError>>()?;
+        Ok(SpcReport {
+            zscores,
+            control_limit: self.control_limit,
+        })
+    }
+}
+
+/// Paired die-vs-kerf SPC check.
+///
+/// The strongest form of PCM scrutiny: every die's on-die monitor is
+/// compared against the adjacent scribe-line (kerf) structure on the same
+/// wafer. Lot, wafer and spatial variation cancel in the pairing, so the
+/// check resolves systematic monitor tampering at the per-mille level —
+/// while a legitimate population shows only local mismatch.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] if the matrices' shapes differ,
+/// [`CoreError::Stats`] for fewer than two rows or degenerate differences.
+///
+/// # Example
+///
+/// ```
+/// use sidefp_linalg::Matrix;
+/// use sidefp_core::spc::paired_check;
+///
+/// # fn main() -> Result<(), sidefp_core::CoreError> {
+/// let kerf = Matrix::from_fn(60, 1, |i, _| 6.4 + (i % 9) as f64 * 0.01);
+/// // On-die monitors read 2 % slow (systematic tamper) plus local mismatch.
+/// let die = Matrix::from_fn(60, 1, |i, j| {
+///     kerf[(i, j)] * (1.02 + (i % 5) as f64 * 0.001)
+/// });
+/// assert!(paired_check(&die, &kerf, 3.0)?.alarm());
+/// # Ok(())
+/// # }
+/// ```
+pub fn paired_check(
+    die_pcms: &Matrix,
+    kerf_pcms: &Matrix,
+    control_limit: f64,
+) -> Result<SpcReport, CoreError> {
+    if die_pcms.shape() != kerf_pcms.shape() {
+        return Err(CoreError::InvalidConfig {
+            name: "paired pcms",
+            reason: format!("die {:?} vs kerf {:?}", die_pcms.shape(), kerf_pcms.shape()),
+        });
+    }
+    if !(control_limit > 0.0 && control_limit.is_finite()) {
+        return Err(CoreError::InvalidConfig {
+            name: "control_limit",
+            reason: format!("must be positive and finite, got {control_limit}"),
+        });
+    }
+    let n = die_pcms.nrows();
+    if n < 2 {
+        return Err(CoreError::Stats(StatsError::InsufficientData {
+            needed: 2,
+            got: n,
+        }));
+    }
+    let zscores = (0..die_pcms.ncols())
+        .map(|j| {
+            // Relative paired differences cancel the shared process state.
+            let diffs: Vec<f64> = (0..n)
+                .map(|i| die_pcms[(i, j)] / kerf_pcms[(i, j)] - 1.0)
+                .collect();
+            let mean = descriptive::mean(&diffs)?;
+            let sd = descriptive::std_dev(&diffs)?;
+            if sd <= 0.0 {
+                return Err(StatsError::DegenerateData(format!(
+                    "paired differences of monitor {j} are constant"
+                )));
+            }
+            Ok(mean / (sd / (n as f64).sqrt()))
+        })
+        .collect::<Result<Vec<f64>, StatsError>>()?;
+    Ok(SpcReport {
+        zscores,
+        control_limit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sidefp_stats::MultivariateNormal;
+
+    fn population(mean: f64, sd: f64, n: usize, seed: u64) -> Matrix {
+        let mvn = MultivariateNormal::independent(vec![mean], &[sd]).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        mvn.sample_matrix(&mut rng, n)
+    }
+
+    #[test]
+    fn clean_production_passes() {
+        let monitor = SpcMonitor::calibrate(&population(6.4, 0.3, 500, 1)).unwrap();
+        let report = monitor.check(&population(6.4, 0.3, 120, 2)).unwrap();
+        assert!(!report.alarm(), "clean lot alarmed: {report:?}");
+        assert!(report.worst_zscore() < 3.0);
+    }
+
+    #[test]
+    fn small_systematic_tamper_alarms() {
+        // A 2% systematic shift is far below device spread (~5%) but the
+        // sample mean over 120 devices resolves it easily.
+        let monitor = SpcMonitor::calibrate(&population(6.4, 0.3, 500, 3)).unwrap();
+        let report = monitor.check(&population(6.4 * 0.98, 0.3, 120, 4)).unwrap();
+        assert!(report.alarm(), "2% tamper not flagged: {report:?}");
+    }
+
+    #[test]
+    fn zscore_scales_with_sample_size() {
+        let monitor = SpcMonitor::calibrate(&population(6.4, 0.3, 500, 5)).unwrap();
+        let small = monitor.check(&population(6.3, 0.3, 10, 6)).unwrap();
+        let large = monitor.check(&population(6.3, 0.3, 400, 7)).unwrap();
+        assert!(large.worst_zscore() > small.worst_zscore());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let base = population(6.4, 0.3, 100, 8);
+        assert!(SpcMonitor::calibrate_with_limit(&base, 0.0).is_err());
+        assert!(SpcMonitor::calibrate_with_limit(&base, f64::NAN).is_err());
+        let constant = Matrix::filled(10, 1, 5.0);
+        assert!(SpcMonitor::calibrate(&constant).is_err());
+        let monitor = SpcMonitor::calibrate(&base).unwrap();
+        assert!(monitor.check(&Matrix::zeros(5, 2)).is_err());
+        assert_eq!(monitor.dim(), 1);
+    }
+
+    #[test]
+    fn paired_check_cancels_shared_variation() {
+        // Die and kerf share a wildly varying common component; the paired
+        // check must stay calm...
+        let mut rng = StdRng::seed_from_u64(20);
+        let common = population(6.4, 0.6, 150, 21);
+        let noise = |rng: &mut StdRng| 1.0 + MultivariateNormal::standard_normal(rng) * 0.005;
+        let die = Matrix::from_fn(150, 1, |i, j| common[(i, j)] * noise(&mut rng));
+        let mut rng2 = StdRng::seed_from_u64(22);
+        let kerf = Matrix::from_fn(150, 1, |i, j| common[(i, j)] * noise(&mut rng2));
+        let report = paired_check(&die, &kerf, 3.0).unwrap();
+        assert!(!report.alarm(), "clean pairing alarmed: {report:?}");
+        // ...and flag a 1% systematic tamper instantly.
+        let tampered = Matrix::from_fn(150, 1, |i, j| die[(i, j)] * 0.99);
+        let report = paired_check(&tampered, &kerf, 3.0).unwrap();
+        assert!(report.alarm(), "1% tamper missed: {report:?}");
+    }
+
+    #[test]
+    fn paired_check_rejects_bad_inputs() {
+        let a = population(6.4, 0.3, 50, 13);
+        let b = population(6.4, 0.3, 40, 14);
+        assert!(paired_check(&a, &b, 3.0).is_err());
+        assert!(paired_check(&a, &a, 0.0).is_err());
+        let one = Matrix::filled(1, 1, 6.4);
+        assert!(paired_check(&one, &one, 3.0).is_err());
+    }
+
+    #[test]
+    fn multi_monitor_charts() {
+        let mvn = MultivariateNormal::independent(vec![6.4, 160.0], &[0.3, 8.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let base = mvn.sample_matrix(&mut rng, 400);
+        let monitor = SpcMonitor::calibrate(&base).unwrap();
+        // Tamper only the second monitor.
+        let mut prod = mvn.sample_matrix(&mut rng, 150);
+        for i in 0..prod.nrows() {
+            prod[(i, 1)] *= 0.97;
+        }
+        let report = monitor.check(&prod).unwrap();
+        assert!(report.alarm());
+        assert!(report.zscores[1].abs() > report.zscores[0].abs());
+    }
+}

@@ -1,0 +1,104 @@
+//! The three stages of the golden chip-free flow.
+
+mod premanufacturing;
+mod silicon_stage;
+pub mod trojan_test;
+
+pub use premanufacturing::PremanufacturingStage;
+pub use silicon_stage::SiliconStage;
+
+use rand::Rng;
+use rand::RngExt;
+use sidefp_chip::measurement::{FingerprintPlan, SideChannelMeter};
+use sidefp_silicon::pcm::PcmSuite;
+
+use crate::CoreError;
+
+/// The shared test setup: on-chip key, fingerprint measurement plan, the
+/// tester's power meter and the PCM suite.
+///
+/// The same bench is applied to simulated golden devices and fabricated
+/// DUTTs so fingerprint coordinates are comparable across stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Testbench {
+    key: [u8; 16],
+    plan: FingerprintPlan,
+    meter: SideChannelMeter,
+    pcm_suite: PcmSuite,
+}
+
+impl Testbench {
+    /// Draws a random on-chip key and measurement plan (paper §3.1: "6
+    /// randomly chosen 128-bit ciphertext blocks, encrypted with a randomly
+    /// chosen key").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a zero block count.
+    pub fn random<R: Rng>(
+        rng: &mut R,
+        blocks: usize,
+        pcm_suite: PcmSuite,
+    ) -> Result<Self, CoreError> {
+        let key: [u8; 16] = core::array::from_fn(|_| rng.random());
+        let plan = FingerprintPlan::random(rng, blocks)?;
+        Ok(Testbench {
+            key,
+            plan,
+            meter: SideChannelMeter::default(),
+            pcm_suite,
+        })
+    }
+
+    /// Replaces the tester's power meter (builder style).
+    pub fn with_meter(mut self, meter: SideChannelMeter) -> Self {
+        self.meter = meter;
+        self
+    }
+
+    /// The on-chip AES key shared by all devices.
+    pub fn key(&self) -> [u8; 16] {
+        self.key
+    }
+
+    /// The fingerprint measurement plan.
+    pub fn plan(&self) -> &FingerprintPlan {
+        &self.plan
+    }
+
+    /// The tester's power meter.
+    pub fn meter(&self) -> &SideChannelMeter {
+        &self.meter
+    }
+
+    /// The PCM suite.
+    pub fn pcm_suite(&self) -> &PcmSuite {
+        &self.pcm_suite
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_bench_is_deterministic_by_seed() {
+        let a =
+            Testbench::random(&mut StdRng::seed_from_u64(1), 6, PcmSuite::paper_default()).unwrap();
+        let b =
+            Testbench::random(&mut StdRng::seed_from_u64(1), 6, PcmSuite::paper_default()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.plan().len(), 6);
+        assert_eq!(a.pcm_suite().len(), 1);
+        assert_eq!(a.key().len(), 16);
+        let _ = a.meter();
+    }
+
+    #[test]
+    fn zero_blocks_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(Testbench::random(&mut rng, 0, PcmSuite::paper_default()).is_err());
+    }
+}

@@ -1,0 +1,326 @@
+//! Stage 2: silicon measurement (paper §2.2).
+//!
+//! Fabricates the DUTT lot at the *shifted* foundry operating point (each
+//! chip hosting a Trojan-free and two Trojan-infested versions of the
+//! design), measures every device's PCMs and fingerprints, and constructs
+//! the silicon-anchored datasets and boundaries:
+//!
+//! - **S3 / B3**: fingerprints predicted from the DUTTs' measured PCMs,
+//! - **S4 / B4**: fingerprints predicted from the KMM-calibrated simulated
+//!   PCM population,
+//! - **S5 / B5**: KDE tail enhancement of S4.
+
+use rand::Rng;
+use sidefp_chip::device::WirelessCryptoIc;
+use sidefp_chip::trojan::Trojan;
+use sidefp_linalg::Matrix;
+use sidefp_silicon::foundry::{Die, Foundry};
+use sidefp_silicon::wafer::WaferMap;
+use sidefp_stats::kde::AdaptiveKde;
+use sidefp_stats::{DetectionLabel, KernelMeanMatching};
+
+use crate::boundary::TrustedBoundary;
+use crate::config::{ExperimentConfig, RegressionSpace};
+use crate::dataset::{Dataset, DuttPopulation};
+use crate::stages::{PremanufacturingStage, Testbench};
+use crate::CoreError;
+
+/// Products of the silicon measurement stage.
+#[derive(Debug)]
+pub struct SiliconStage {
+    /// The fabricated devices under Trojan test with their measurements.
+    pub dutts: DuttPopulation,
+    /// Dataset S3: fingerprints predicted from the DUTTs' own PCMs.
+    pub s3: Dataset,
+    /// Dataset S4: fingerprints predicted from KMM-shifted simulation PCMs.
+    pub s4: Dataset,
+    /// Dataset S5: KDE enhancement of S4.
+    pub s5: Dataset,
+    /// Boundary from S3.
+    pub b3: TrustedBoundary,
+    /// Boundary from S4.
+    pub b4: TrustedBoundary,
+    /// Boundary from S5.
+    pub b5: TrustedBoundary,
+    /// The KMM importance weights on the simulated PCM population.
+    pub kmm_weights: Vec<f64>,
+}
+
+/// Element-wise natural log of a strictly positive matrix.
+fn log_matrix(m: &Matrix) -> Result<Matrix, CoreError> {
+    if m.as_slice().iter().any(|v| *v <= 0.0) {
+        return Err(CoreError::InvalidConfig {
+            name: "pcms",
+            reason: "log-space calibration requires strictly positive PCM values".into(),
+        });
+    }
+    Ok(Matrix::from_fn(m.nrows(), m.ncols(), |i, j| m[(i, j)].ln()))
+}
+
+impl SiliconStage {
+    /// Runs the stage.
+    ///
+    /// # Errors
+    ///
+    /// - [`CoreError::InvalidConfig`] if the requested chip count exceeds
+    ///   the lot capacity.
+    /// - Propagates fabrication, regression, KMM, KDE and SVM errors.
+    pub fn run<R: Rng>(
+        config: &ExperimentConfig,
+        bench: &Testbench,
+        pre: &PremanufacturingStage,
+        rng: &mut R,
+    ) -> Result<Self, CoreError> {
+        let dutts = Self::fabricate_and_measure(config, bench, rng)?;
+
+        // S3: predict golden fingerprints from the silicon PCMs.
+        let s3_matrix = pre.predictor.predict_rows(dutts.pcms())?;
+        let b3 = TrustedBoundary::fit("B3", &s3_matrix, &config.boundary, config.seed ^ 0xb3)?;
+
+        // S4: calibrate the simulated PCM population to the silicon
+        // operating point via the iterated kernel mean shift, then push
+        // through the regressions. The shift runs in the regression's
+        // coordinate space: PCM quantities like leakage are log-scale, and
+        // a linear-space translation could push them negative. (The final
+        // KMM fit also yields the importance weights we report.)
+        let (sim_pcms, si_pcms) = match config.regression_space {
+            RegressionSpace::Linear => (pre.pcms.clone(), dutts.pcms().clone()),
+            RegressionSpace::Log => (log_matrix(&pre.pcms)?, log_matrix(dutts.pcms())?),
+        };
+        let shifted = KernelMeanMatching::mean_shift_population(
+            &sim_pcms,
+            &si_pcms,
+            &config.kmm,
+            config.kmm_iterations,
+        )?;
+        let kmm = KernelMeanMatching::fit(&shifted, &si_pcms, &config.kmm)?;
+        let shifted_pcms = match config.regression_space {
+            RegressionSpace::Linear => shifted,
+            RegressionSpace::Log => Matrix::from_fn(shifted.nrows(), shifted.ncols(), |i, j| {
+                shifted[(i, j)].exp()
+            }),
+        };
+        let s4_matrix = pre.predictor.predict_rows(&shifted_pcms)?;
+        let b4 = TrustedBoundary::fit("B4", &s4_matrix, &config.boundary, config.seed ^ 0xb4)?;
+
+        // S5: KDE tail enhancement of S4.
+        let kde = AdaptiveKde::fit(&s4_matrix, &config.kde)?;
+        let s5_matrix = kde.sample_matrix(rng, config.kde_samples);
+        let b5 = TrustedBoundary::fit(
+            "B5",
+            &s5_matrix,
+            &config.enhanced_boundary,
+            config.seed ^ 0xb5,
+        )?;
+
+        Ok(SiliconStage {
+            dutts,
+            s3: Dataset::new("S3", s3_matrix),
+            s4: Dataset::new("S4", s4_matrix),
+            s5: Dataset::new("S5", s5_matrix),
+            b3,
+            b4,
+            b5,
+            kmm_weights: kmm.weights().to_vec(),
+        })
+    }
+
+    /// Fabricates the DUTT lot and measures all `chips × 3` devices.
+    fn fabricate_and_measure<R: Rng>(
+        config: &ExperimentConfig,
+        bench: &Testbench,
+        rng: &mut R,
+    ) -> Result<DuttPopulation, CoreError> {
+        let foundry = Foundry::with_shift(config.process_shift);
+        let map = WaferMap::grid(8);
+        let lot = foundry.fabricate_lot(rng, config.wafers_per_lot, &map);
+        if lot.len() < config.chips {
+            return Err(CoreError::InvalidConfig {
+                name: "chips",
+                reason: format!(
+                    "lot capacity {} (wafers_per_lot={}) below requested {} chips",
+                    lot.len(),
+                    config.wafers_per_lot,
+                    config.chips
+                ),
+            });
+        }
+        // Evenly stride across the lot so chips sample all wafers/positions.
+        let stride = lot.len() as f64 / config.chips as f64;
+        let dies: Vec<&Die> = (0..config.chips)
+            .map(|i| &lot[(i as f64 * stride) as usize])
+            .collect();
+
+        let variants: [(Trojan, DetectionLabel, &'static str); 3] = [
+            (Trojan::None, DetectionLabel::TrojanFree, "free"),
+            (
+                Trojan::AmplitudeLeak {
+                    delta: config.amplitude_delta,
+                },
+                DetectionLabel::TrojanInfested,
+                "amplitude",
+            ),
+            (
+                Trojan::FrequencyLeak {
+                    delta: config.frequency_delta,
+                },
+                DetectionLabel::TrojanInfested,
+                "frequency",
+            ),
+        ];
+
+        let n = config.device_count();
+        let nm = bench.plan().len();
+        let np = bench.pcm_suite().len();
+        let mut fingerprints = Matrix::zeros(n, nm);
+        let mut pcms = Matrix::zeros(n, np);
+        let mut kerf_pcms = Matrix::zeros(n, np);
+        let mut labels = Vec::with_capacity(n);
+        let mut tags = Vec::with_capacity(n);
+        let mut positions = Vec::with_capacity(n);
+
+        let mut row = 0;
+        let env = config.test_environment;
+        for die in dies {
+            for (trojan, label, tag) in variants {
+                let device =
+                    WirelessCryptoIc::new_at(die.process().clone(), bench.key(), trojan, &env);
+                let fp = bench.meter().fingerprint(&device, bench.plan(), rng);
+                fingerprints.row_mut(row).copy_from_slice(&fp);
+                // On-die PCM structure: same die, fresh measurement noise,
+                // same tester environment, possibly through adversarially
+                // modified monitors.
+                let pcm = bench.pcm_suite().measure_detailed(
+                    die.process(),
+                    &env,
+                    &config.pcm_tamper,
+                    rng,
+                );
+                pcms.row_mut(row).copy_from_slice(&pcm);
+                // Scribe-line structures sit outside the product layout —
+                // the attacker cannot touch them.
+                let kerf = bench.pcm_suite().measure_detailed(
+                    die.kerf_process(),
+                    &env,
+                    &sidefp_silicon::pcm::PcmTamper::none(),
+                    rng,
+                );
+                kerf_pcms.row_mut(row).copy_from_slice(&kerf);
+                labels.push(label);
+                tags.push(tag);
+                positions.push(die.position());
+                row += 1;
+            }
+        }
+        DuttPopulation::with_kerf(fingerprints, pcms, kerf_pcms, labels, tags)?
+            .with_positions(positions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sidefp_silicon::pcm::PcmSuite;
+    use sidefp_stats::descriptive;
+
+    fn small_config() -> ExperimentConfig {
+        ExperimentConfig {
+            chips: 12,
+            mc_samples: 40,
+            kde_samples: 1500,
+            ..Default::default()
+        }
+    }
+
+    fn run_stages(seed: u64) -> (PremanufacturingStage, SiliconStage, ExperimentConfig) {
+        let config = small_config();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bench = Testbench::random(&mut rng, 6, PcmSuite::paper_default()).unwrap();
+        let pre = PremanufacturingStage::run(&config, &bench, &mut rng).unwrap();
+        let silicon = SiliconStage::run(&config, &bench, &pre, &mut rng).unwrap();
+        (pre, silicon, config)
+    }
+
+    #[test]
+    fn stage_shapes_match_paper_structure() {
+        let (_, silicon, config) = run_stages(1);
+        assert_eq!(silicon.dutts.len(), config.device_count());
+        assert_eq!(silicon.s3.fingerprints().nrows(), config.device_count());
+        assert_eq!(silicon.s4.fingerprints().nrows(), config.mc_samples);
+        assert_eq!(silicon.s5.fingerprints().nrows(), config.kde_samples);
+        assert_eq!(silicon.kmm_weights.len(), config.mc_samples);
+        assert_eq!(silicon.dutts.free_indices().len(), config.chips);
+    }
+
+    #[test]
+    fn process_shift_separates_pcm_distributions() {
+        // The DUTT PCMs must visibly differ from the simulation PCMs —
+        // otherwise there is nothing for KMM to fix.
+        let (pre, silicon, _) = run_stages(2);
+        let sim_mean = descriptive::mean(&pre.pcms.col(0)).unwrap();
+        let si_mean = descriptive::mean(&silicon.dutts.pcms().col(0)).unwrap();
+        let sim_sd = descriptive::std_dev(&pre.pcms.col(0)).unwrap();
+        assert!(
+            (si_mean - sim_mean).abs() > sim_sd * 0.5,
+            "shift {} vs sim sd {}",
+            si_mean - sim_mean,
+            sim_sd
+        );
+    }
+
+    #[test]
+    fn kmm_calibration_centers_s4_on_the_silicon_population() {
+        let (pre, silicon, _) = run_stages(3);
+        // S4 (predictions from the mean-shift-calibrated simulation PCMs)
+        // must land on the same operating point as S3 (predictions from
+        // the real silicon PCMs) — far from the raw simulation's S1.
+        for j in 0..6 {
+            let s3_mean = descriptive::mean(&silicon.s3.fingerprints().col(j)).unwrap();
+            let s4_mean = descriptive::mean(&silicon.s4.fingerprints().col(j)).unwrap();
+            let s1_mean = descriptive::mean(&pre.s1.fingerprints().col(j)).unwrap();
+            let s3_sd = descriptive::std_dev(&silicon.s3.fingerprints().col(j)).unwrap();
+            assert!(
+                (s4_mean - s3_mean).abs() < 2.0 * s3_sd,
+                "col {j}: S4 mean {s4_mean} vs S3 mean {s3_mean} (sd {s3_sd})"
+            );
+            assert!(
+                (s4_mean - s3_mean).abs() < (s1_mean - s3_mean).abs(),
+                "col {j}: S4 not closer to silicon than raw S1"
+            );
+        }
+    }
+
+    #[test]
+    fn lot_capacity_checked() {
+        let mut config = small_config();
+        config.chips = 10_000;
+        let mut rng = StdRng::seed_from_u64(4);
+        let bench = Testbench::random(&mut rng, 6, PcmSuite::paper_default()).unwrap();
+        let pre = PremanufacturingStage::run(&config, &bench, &mut rng).unwrap();
+        assert!(SiliconStage::run(&config, &bench, &pre, &mut rng).is_err());
+    }
+
+    #[test]
+    fn trojan_versions_share_die_but_differ_in_fingerprint() {
+        let (_, silicon, _) = run_stages(5);
+        // Rows 0..3 belong to the first die: free, amplitude, frequency.
+        let free = silicon.dutts.fingerprints().row(0);
+        let amp = silicon.dutts.fingerprints().row(1);
+        let freq = silicon.dutts.fingerprints().row(2);
+        // Amplitude Trojan raises power; frequency Trojan lowers it.
+        let free_mean: f64 = free.iter().sum::<f64>() / 6.0;
+        let amp_mean: f64 = amp.iter().sum::<f64>() / 6.0;
+        let freq_mean: f64 = freq.iter().sum::<f64>() / 6.0;
+        assert!(amp_mean > free_mean, "amp {amp_mean} vs free {free_mean}");
+        assert!(
+            freq_mean < free_mean,
+            "freq {freq_mean} vs free {free_mean}"
+        );
+        assert_eq!(
+            silicon.dutts.variants()[..3],
+            ["free", "amplitude", "frequency"]
+        );
+    }
+}

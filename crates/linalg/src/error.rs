@@ -1,0 +1,91 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for every fallible operation in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Operand shapes are incompatible (e.g. `2x3 * 2x3`).
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left/first operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A square matrix was required.
+    NotSquare {
+        /// Actual shape encountered.
+        shape: (usize, usize),
+    },
+    /// Matrix is singular (or numerically singular) to working precision.
+    Singular,
+    /// Cholesky factorization found a non-positive pivot.
+    NotPositiveDefinite,
+    /// An iterative algorithm exceeded its iteration budget.
+    NotConverged {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// A matrix with zero rows or columns was passed where data is required.
+    Empty,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "square matrix required, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::Singular => write!(f, "matrix is singular to working precision"),
+            LinalgError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive definite")
+            }
+            LinalgError::NotConverged { iterations } => {
+                write!(f, "iteration did not converge after {iterations} sweeps")
+            }
+            LinalgError::Empty => write!(f, "matrix has no elements"),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::DimensionMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (2, 3),
+        };
+        assert_eq!(e.to_string(), "dimension mismatch in matmul: 2x3 vs 2x3");
+        assert_eq!(
+            LinalgError::NotSquare { shape: (4, 2) }.to_string(),
+            "square matrix required, got 4x2"
+        );
+        assert!(LinalgError::Singular.to_string().contains("singular"));
+        assert!(LinalgError::NotPositiveDefinite
+            .to_string()
+            .contains("positive definite"));
+        assert!(LinalgError::NotConverged { iterations: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(!LinalgError::Empty.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,307 @@
+use crate::{LinalgError, Matrix};
+
+/// Householder QR factorization `A = Q·R` for `m x n` matrices with `m >= n`.
+///
+/// The primary consumer is least-squares fitting in the MARS regression
+/// engine: `min ‖A·x − b‖₂` is solved stably as `R·x = Qᵀ·b` without forming
+/// the (squared-condition-number) normal equations.
+///
+/// # Example
+///
+/// ```
+/// use sidefp_linalg::Matrix;
+///
+/// # fn main() -> Result<(), sidefp_linalg::LinalgError> {
+/// // Overdetermined fit of y = 2x through three noisy points.
+/// let a = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]])?;
+/// let x = a.qr()?.solve_least_squares(&[2.1, 3.9, 6.0])?;
+/// assert!((x[0] - 2.0).abs() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Packed Householder vectors (below diagonal) and R (upper triangle).
+    packed: Matrix,
+    /// Householder scalar for each reflection.
+    betas: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Qr {
+    /// Diagonal entries of `R` smaller than this (relative) are treated as
+    /// rank deficiencies by [`Qr::solve_least_squares`].
+    const RANK_TOL: f64 = 1e-12;
+
+    /// Factorizes `a` (requires `nrows >= ncols`).
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::Empty`] if `a` has no elements.
+    /// - [`LinalgError::DimensionMismatch`] if `nrows < ncols`.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if m < n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "qr (needs rows >= cols)",
+                lhs: (m, n),
+                rhs: (n, n),
+            });
+        }
+        let mut packed = a.clone();
+        let mut betas = Vec::with_capacity(n);
+
+        for k in 0..n {
+            // Build the Householder vector for column k.
+            let mut norm_sq = 0.0;
+            for i in k..m {
+                norm_sq += packed[(i, k)] * packed[(i, k)];
+            }
+            let norm = norm_sq.sqrt();
+            if norm == 0.0 {
+                betas.push(0.0);
+                continue;
+            }
+            let alpha = if packed[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = packed[(k, k)] - alpha;
+            // v = (v0, a[k+1..m, k]); beta = 2 / (vᵀv)
+            let mut vtv = v0 * v0;
+            for i in (k + 1)..m {
+                vtv += packed[(i, k)] * packed[(i, k)];
+            }
+            let beta = if vtv == 0.0 { 0.0 } else { 2.0 / vtv };
+            // Apply the reflection to the trailing columns.
+            for j in (k + 1)..n {
+                let mut dot = v0 * packed[(k, j)];
+                for i in (k + 1)..m {
+                    dot += packed[(i, k)] * packed[(i, j)];
+                }
+                let s = beta * dot;
+                packed[(k, j)] -= s * v0;
+                for i in (k + 1)..m {
+                    let vik = packed[(i, k)];
+                    packed[(i, j)] -= s * vik;
+                }
+            }
+            // Store R diagonal and the v vector (v0 implicit via alpha).
+            packed[(k, k)] = alpha;
+            // Store the sub-diagonal part of v scaled so that v0 is recoverable:
+            // we keep v as-is below the diagonal and remember v0 in betas via a
+            // parallel array.
+            betas.push(beta);
+            // Stash v0 by normalizing: store v_i / v0 below the diagonal.
+            if v0 != 0.0 {
+                for i in (k + 1)..m {
+                    packed[(i, k)] /= v0;
+                }
+                // Fold v0² into beta so the implicit v has v0 = 1.
+                let b = betas.last_mut().expect("just pushed");
+                *b *= v0 * v0;
+            }
+        }
+
+        Ok(Qr {
+            packed,
+            betas,
+            rows: m,
+            cols: n,
+        })
+    }
+
+    /// Applies `Qᵀ` to a vector of length `nrows`.
+    fn apply_qt(&self, b: &[f64]) -> Vec<f64> {
+        let (m, n) = (self.rows, self.cols);
+        let mut y = b.to_vec();
+        for k in 0..n {
+            let beta = self.betas[k];
+            if beta == 0.0 {
+                continue;
+            }
+            // v = (1, packed[k+1..m, k])
+            let mut dot = y[k];
+            for i in (k + 1)..m {
+                dot += self.packed[(i, k)] * y[i];
+            }
+            let s = beta * dot;
+            y[k] -= s;
+            for i in (k + 1)..m {
+                y[i] -= s * self.packed[(i, k)];
+            }
+        }
+        y
+    }
+
+    /// Solves the least-squares problem `min ‖A·x − b‖₂`.
+    ///
+    /// Rank-deficient columns (tiny `R` diagonal) receive a zero
+    /// coefficient rather than an error, which is the behaviour the MARS
+    /// forward pass wants when candidate bases are collinear.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != nrows`.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if b.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "qr solve",
+                lhs: (self.rows, self.cols),
+                rhs: (b.len(), 1),
+            });
+        }
+        let y = self.apply_qt(b);
+        let n = self.cols;
+        let scale = (0..n)
+            .map(|i| self.packed[(i, i)].abs())
+            .fold(0.0_f64, f64::max)
+            .max(1.0);
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let rii = self.packed[(i, i)];
+            if rii.abs() < Self::RANK_TOL * scale {
+                x[i] = 0.0;
+                continue;
+            }
+            let mut sum = y[i];
+            for j in (i + 1)..n {
+                sum -= self.packed[(i, j)] * x[j];
+            }
+            x[i] = sum / rii;
+        }
+        Ok(x)
+    }
+
+    /// Residual sum of squares for a right-hand side.
+    ///
+    /// Exposes the intermediate result so callers fitting many RHS (MARS
+    /// forward pass) don't recompute `‖A·x − b‖²` by hand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != nrows`.
+    pub fn residual_sum_of_squares(&self, b: &[f64]) -> Result<f64, LinalgError> {
+        if b.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "qr rss",
+                lhs: (self.rows, self.cols),
+                rhs: (b.len(), 1),
+            });
+        }
+        let y = self.apply_qt(b);
+        // Components beyond the column space contribute the residual,
+        // except where R had a zero diagonal (rank deficiency).
+        let scale = (0..self.cols)
+            .map(|i| self.packed[(i, i)].abs())
+            .fold(0.0_f64, f64::max)
+            .max(1.0);
+        let mut rss: f64 = y[self.cols..].iter().map(|v| v * v).sum();
+        for i in 0..self.cols {
+            if self.packed[(i, i)].abs() < Self::RANK_TOL * scale {
+                rss += y[i] * y[i];
+            }
+        }
+        Ok(rss)
+    }
+
+    /// The upper-triangular factor `R` (the `n x n` leading block).
+    pub fn r(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.cols, |i, j| {
+            if j >= i {
+                self.packed[(i, j)]
+            } else {
+                0.0
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_square_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let x = a.qr().unwrap().solve_least_squares(&[3.0, 5.0]).unwrap();
+        let lu = a.lu().unwrap().solve(&[3.0, 5.0]).unwrap();
+        assert!((x[0] - lu[0]).abs() < 1e-12);
+        assert!((x[1] - lu[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overdetermined_regression() {
+        // y = 1 + 2x fitted from 4 exact points must recover coefficients.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]).unwrap();
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let x = a.qr().unwrap().solve_least_squares(&y).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn residual_of_exact_fit_is_zero() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let y = [1.0, 2.0, 3.0];
+        let qr = a.qr().unwrap();
+        assert!(qr.residual_sum_of_squares(&y).unwrap() < 1e-20);
+    }
+
+    #[test]
+    fn residual_matches_direct_computation() {
+        let a = Matrix::from_rows(&[&[1.0, 0.5], &[1.0, 1.5], &[1.0, 2.5], &[1.0, 4.0]]).unwrap();
+        let y = [0.9, 2.2, 2.8, 4.5];
+        let qr = a.qr().unwrap();
+        let x = qr.solve_least_squares(&y).unwrap();
+        let yhat = a.matvec(&x).unwrap();
+        let direct: f64 = y
+            .iter()
+            .zip(&yhat)
+            .map(|(yi, yh)| (yi - yh) * (yi - yh))
+            .sum();
+        let via_qr = qr.residual_sum_of_squares(&y).unwrap();
+        assert!((direct - via_qr).abs() < 1e-10);
+    }
+
+    #[test]
+    fn collinear_columns_get_zero_coefficient() {
+        // Second column is an exact copy of the first.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]).unwrap();
+        let qr = a.qr().unwrap();
+        let x = qr.solve_least_squares(&[2.0, 4.0, 6.0]).unwrap();
+        // Fit is still exact with the redundant column zeroed.
+        let yhat = a.matvec(&x).unwrap();
+        assert!((yhat[0] - 2.0).abs() < 1e-10);
+        assert!((yhat[2] - 6.0).abs() < 1e-10);
+        assert_eq!(x[1], 0.0);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let r = a.qr().unwrap().r();
+        assert_eq!(r.shape(), (2, 2));
+        assert_eq!(r[(1, 0)], 0.0);
+        // |R| diag product equals sqrt(det(AᵀA)).
+        let gram = a.gram();
+        let det_gram = gram.lu().unwrap().det();
+        let prod = (r[(0, 0)] * r[(1, 1)]).abs();
+        assert!((prod - det_gram.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_wide_and_empty() {
+        assert!(Matrix::zeros(2, 3).qr().is_err());
+        assert!(Matrix::zeros(0, 0).qr().is_err());
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
+        let qr = a.qr().unwrap();
+        assert!(qr.solve_least_squares(&[1.0]).is_err());
+        assert!(qr.residual_sum_of_squares(&[1.0, 2.0, 3.0]).is_err());
+    }
+}

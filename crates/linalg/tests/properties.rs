@@ -1,0 +1,134 @@
+//! Property-based tests for the linear algebra substrate.
+
+use proptest::prelude::*;
+use sidefp_linalg::{vecops, Matrix};
+
+/// Strategy: a square matrix of the given size with entries in [-10, 10].
+fn square_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0_f64..10.0, n * n)
+        .prop_map(move |data| Matrix::from_vec(n, n, data).expect("size matches"))
+}
+
+/// Strategy: an SPD matrix built as AᵀA + εI.
+fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    square_matrix(n).prop_map(move |a| {
+        let g = a.gram();
+        let eye = Matrix::identity(n).scaled(0.5);
+        (&g + &eye).expect("shapes match")
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(a in square_matrix(4)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop(a in square_matrix(3)) {
+        let i = Matrix::identity(3);
+        let prod = a.matmul(&i).unwrap();
+        prop_assert!((&prod - &a).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn matmul_transpose_reverses((a, b) in (square_matrix(3), square_matrix(3))) {
+        // (AB)ᵀ = BᵀAᵀ
+        let ab_t = a.matmul(&b).unwrap().transpose();
+        let bt_at = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!((&ab_t - &bt_at).unwrap().max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn addition_commutes((a, b) in (square_matrix(3), square_matrix(3))) {
+        let x = (&a + &b).unwrap();
+        let y = (&b + &a).unwrap();
+        prop_assert!((&x - &y).unwrap().max_abs() == 0.0);
+    }
+
+    #[test]
+    fn lu_solve_satisfies_system(a in spd_matrix(4), b in proptest::collection::vec(-5.0_f64..5.0, 4)) {
+        // SPD matrices are never singular, so LU must succeed.
+        let lu = a.lu().unwrap();
+        let x = lu.solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let resid = vecops::distance(&ax, &b);
+        prop_assert!(resid < 1e-6 * (1.0 + vecops::norm(&b)), "residual {resid}");
+    }
+
+    #[test]
+    fn cholesky_reconstructs(a in spd_matrix(4)) {
+        let c = a.cholesky().unwrap();
+        let l = c.factor();
+        let recon = l.matmul(&l.transpose()).unwrap();
+        let err = (&recon - &a).unwrap().max_abs();
+        prop_assert!(err < 1e-8 * a.max_abs().max(1.0));
+    }
+
+    #[test]
+    fn cholesky_and_lu_agree(a in spd_matrix(3), b in proptest::collection::vec(-5.0_f64..5.0, 3)) {
+        let x1 = a.cholesky().unwrap().solve(&b).unwrap();
+        let x2 = a.lu().unwrap().solve(&b).unwrap();
+        prop_assert!(vecops::distance(&x1, &x2) < 1e-6);
+    }
+
+    #[test]
+    fn qr_least_squares_residual_orthogonal(
+        data in proptest::collection::vec(-5.0_f64..5.0, 12),
+        y in proptest::collection::vec(-5.0_f64..5.0, 6),
+    ) {
+        // 6x2 design matrix; residual must be orthogonal to the column space.
+        let a = Matrix::from_vec(6, 2, data).unwrap();
+        if let Ok(qr) = a.qr() {
+            let x = qr.solve_least_squares(&y).unwrap();
+            let yhat = a.matvec(&x).unwrap();
+            let resid = vecops::sub(&y, &yhat);
+            let proj = a.vecmat(&resid).unwrap();
+            for p in proj {
+                prop_assert!(p.abs() < 1e-6, "residual not orthogonal: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn eigen_preserves_trace_and_frobenius(a in spd_matrix(4)) {
+        let e = a.symmetric_eigen().unwrap();
+        let trace: f64 = (0..4).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.eigenvalues().iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-7 * trace.abs().max(1.0));
+        // Frobenius norm² equals the sum of squared eigenvalues.
+        let f2 = a.frobenius_norm().powi(2);
+        let e2: f64 = e.eigenvalues().iter().map(|v| v * v).sum();
+        prop_assert!((f2 - e2).abs() < 1e-6 * f2.max(1.0));
+    }
+
+    #[test]
+    fn spd_eigenvalues_are_positive(a in spd_matrix(3)) {
+        let e = a.symmetric_eigen().unwrap();
+        for &v in e.eigenvalues() {
+            prop_assert!(v > 0.0, "SPD matrix produced eigenvalue {v}");
+        }
+    }
+
+    #[test]
+    fn covariance_is_psd(data in proptest::collection::vec(-10.0_f64..10.0, 30)) {
+        let m = Matrix::from_vec(10, 3, data).unwrap();
+        let cov = m.covariance().unwrap();
+        let e = cov.symmetric_eigen().unwrap();
+        for &v in e.eigenvalues() {
+            prop_assert!(v > -1e-8, "covariance eigenvalue {v} < 0");
+        }
+    }
+
+    #[test]
+    fn vecops_triangle_inequality(
+        a in proptest::collection::vec(-10.0_f64..10.0, 5),
+        b in proptest::collection::vec(-10.0_f64..10.0, 5),
+        c in proptest::collection::vec(-10.0_f64..10.0, 5),
+    ) {
+        let ab = vecops::distance(&a, &b);
+        let bc = vecops::distance(&b, &c);
+        let ac = vecops::distance(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+}

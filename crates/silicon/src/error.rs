@@ -1,0 +1,56 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the synthetic fab substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SiliconError {
+    /// A configuration value is outside its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// A collection argument was empty where content is required.
+    Empty {
+        /// What was empty.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SiliconError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SiliconError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            SiliconError::Empty { what } => write!(f, "{what} must not be empty"),
+        }
+    }
+}
+
+impl Error for SiliconError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SiliconError::InvalidParameter {
+            name: "noise",
+            reason: "must be non-negative".into(),
+        };
+        assert!(e.to_string().contains("noise"));
+        assert!(SiliconError::Empty { what: "pcm kinds" }
+            .to_string()
+            .contains("pcm kinds"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SiliconError>();
+    }
+}

@@ -1,0 +1,70 @@
+//! Synthetic fab substrate: the stand-in for both the paper's trusted SPICE
+//! model and the (shifted) foundry that fabricated the devices under Trojan
+//! test.
+//!
+//! The paper's method hinges on one physical reality this crate reproduces:
+//!
+//! 1. every die's electrical behaviour is a smooth function of a handful of
+//!    underlying **process parameters** (threshold voltages, mobility, gate
+//!    length, oxide thickness, analog passives),
+//! 2. those parameters vary hierarchically (lot → wafer → die position →
+//!    local mismatch) around a **process operating point**,
+//! 3. the SPICE model's statistics describe an *old* operating point — the
+//!    foundry has drifted since the model was calibrated, and
+//! 4. **process control monitors** (PCMs) measure simple structures (path
+//!    delay, ring oscillators, leakage) whose values reveal the true
+//!    operating point without revealing anything about a particular design.
+//!
+//! # Module map
+//!
+//! - [`params`]: the process-parameter vector and its factor loadings,
+//! - [`variation`]: the hierarchical variation model,
+//! - [`foundry`]: operating-point shifts, lots/wafers/dies, fabrication,
+//! - [`wafer`]: die coordinates and radial spatial correlation,
+//! - [`device_models`]: alpha-power-law delay, leakage, transconductance,
+//! - [`pcm`]: the PCM structures and their measurement model,
+//! - [`monte_carlo`]: the "SPICE" Monte Carlo engine (zero-shift foundry).
+//!
+//! # Example: simulate the model vs. a drifted foundry
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use sidefp_silicon::foundry::{Foundry, ProcessShift};
+//! use sidefp_silicon::pcm::{PcmKind, PcmSuite};
+//!
+//! # fn main() -> Result<(), sidefp_silicon::SiliconError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! // The trusted simulation model: zero shift.
+//! let model = Foundry::nominal();
+//! // The real fab has drifted by 1.5 sigma in every factor.
+//! let fab = Foundry::with_shift(ProcessShift::uniform(1.5));
+//! let suite = PcmSuite::new(vec![PcmKind::PathDelay], 0.002)?;
+//!
+//! let sim_die = model.fabricate_die(&mut rng);
+//! let real_die = fab.fabricate_die(&mut rng);
+//! let sim_pcm = suite.measure(sim_die.process(), &mut rng);
+//! let real_pcm = suite.measure(real_die.process(), &mut rng);
+//! assert_ne!(sim_pcm, real_pcm);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod device_models;
+pub mod environment;
+mod error;
+pub mod foundry;
+pub mod monte_carlo;
+pub mod params;
+pub mod pcm;
+pub mod variation;
+pub mod wafer;
+
+pub use environment::Environment;
+pub use error::SiliconError;
+pub use foundry::{Die, Foundry, ProcessShift};
+pub use monte_carlo::MonteCarloEngine;
+pub use params::{ProcessFactor, ProcessParameter, ProcessPoint};
+pub use pcm::{PcmKind, PcmSuite, PcmTamper};
+pub use variation::VariationModel;

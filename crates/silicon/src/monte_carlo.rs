@@ -1,0 +1,249 @@
+//! The "SPICE" Monte Carlo engine.
+//!
+//! In the paper the pre-manufacturing stage runs post-layout Monte Carlo
+//! circuit simulation of `n` golden devices (§2.1). Here, the trusted model
+//! is the **unshifted** foundry: the engine fabricates virtual dies from the
+//! zero-shift distribution and evaluates arbitrary measurement closures on
+//! them — PCM suites, side-channel fingerprints, or both.
+
+use rand::Rng;
+use sidefp_linalg::Matrix;
+
+use crate::foundry::{Die, Foundry};
+use crate::SiliconError;
+
+/// Monte Carlo sampler over a foundry's process distribution.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sidefp_silicon::{Foundry, MonteCarloEngine, PcmSuite};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let engine = MonteCarloEngine::new(Foundry::nominal(), 50)?;
+/// let suite = PcmSuite::paper_default();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let (dies, pcms) = engine.run(&mut rng, |die, rng| {
+///     suite.measure(die.process(), rng)
+/// })?;
+/// assert_eq!(dies.len(), 50);
+/// assert_eq!(pcms.shape(), (50, 1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MonteCarloEngine {
+    foundry: Foundry,
+    samples: usize,
+}
+
+impl MonteCarloEngine {
+    /// Creates an engine drawing `samples` virtual dies from `foundry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SiliconError::InvalidParameter`] for `samples == 0`.
+    pub fn new(foundry: Foundry, samples: usize) -> Result<Self, SiliconError> {
+        if samples == 0 {
+            return Err(SiliconError::InvalidParameter {
+                name: "samples",
+                reason: "must be at least 1".into(),
+            });
+        }
+        Ok(MonteCarloEngine { foundry, samples })
+    }
+
+    /// Number of Monte Carlo samples.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// The foundry model sampled from.
+    pub fn foundry(&self) -> &Foundry {
+        &self.foundry
+    }
+
+    /// Fabricates the virtual dies and evaluates `measure` on each,
+    /// collecting the results into a row-per-die matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SiliconError::InvalidParameter`] if the closure returns
+    /// rows of inconsistent width.
+    pub fn run<R, F>(&self, rng: &mut R, mut measure: F) -> Result<(Vec<Die>, Matrix), SiliconError>
+    where
+        R: Rng,
+        F: FnMut(&Die, &mut R) -> Vec<f64>,
+    {
+        let mut dies = Vec::with_capacity(self.samples);
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let die = self.foundry.fabricate_die(rng);
+            let row = measure(&die, rng);
+            if let Some(first) = rows.first() {
+                if row.len() != first.len() {
+                    return Err(SiliconError::InvalidParameter {
+                        name: "measure",
+                        reason: format!(
+                            "measurement width changed from {} to {}",
+                            first.len(),
+                            row.len()
+                        ),
+                    });
+                }
+            }
+            rows.push(row);
+            dies.push(die);
+        }
+        let cols = rows.first().map_or(0, |r| r.len());
+        if cols == 0 {
+            return Err(SiliconError::InvalidParameter {
+                name: "measure",
+                reason: "measurement closure returned empty rows".into(),
+            });
+        }
+        let mut matrix = Matrix::zeros(self.samples, cols);
+        for (i, row) in rows.iter().enumerate() {
+            matrix.row_mut(i).copy_from_slice(row);
+        }
+        Ok((dies, matrix))
+    }
+
+    /// Runs two measurement closures per die (e.g. PCMs and fingerprints),
+    /// guaranteeing both observe the *same* virtual die.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MonteCarloEngine::run`].
+    pub fn run_paired<R, F, G>(
+        &self,
+        rng: &mut R,
+        mut measure_a: F,
+        mut measure_b: G,
+    ) -> Result<(Vec<Die>, Matrix, Matrix), SiliconError>
+    where
+        R: Rng,
+        F: FnMut(&Die, &mut R) -> Vec<f64>,
+        G: FnMut(&Die, &mut R) -> Vec<f64>,
+    {
+        let mut a_rows: Vec<Vec<f64>> = Vec::with_capacity(self.samples);
+        let (dies, b) = self.run(rng, |die, rng| {
+            a_rows.push(measure_a(die, rng));
+            measure_b(die, rng)
+        })?;
+        let a_cols = a_rows.first().map_or(0, |r| r.len());
+        if a_cols == 0 || a_rows.iter().any(|r| r.len() != a_cols) {
+            return Err(SiliconError::InvalidParameter {
+                name: "measure_a",
+                reason: "inconsistent or empty measurement rows".into(),
+            });
+        }
+        let mut a = Matrix::zeros(self.samples, a_cols);
+        for (i, row) in a_rows.iter().enumerate() {
+            a.row_mut(i).copy_from_slice(row);
+        }
+        Ok((dies, a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ProcessParameter;
+    use crate::pcm::PcmSuite;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sidefp_stats::descriptive;
+
+    #[test]
+    fn run_produces_requested_sample_count() {
+        let engine = MonteCarloEngine::new(Foundry::nominal(), 30).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (dies, m) = engine
+            .run(&mut rng, |die, _| {
+                vec![die.process().get(ProcessParameter::VthN)]
+            })
+            .unwrap();
+        assert_eq!(dies.len(), 30);
+        assert_eq!(m.shape(), (30, 1));
+        assert_eq!(engine.samples(), 30);
+    }
+
+    #[test]
+    fn samples_reflect_process_statistics() {
+        let engine = MonteCarloEngine::new(Foundry::nominal(), 3000).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (_, m) = engine
+            .run(&mut rng, |die, _| {
+                vec![die.process().get(ProcessParameter::VthN)]
+            })
+            .unwrap();
+        let col = m.col(0);
+        let mean = descriptive::mean(&col).unwrap();
+        let sd = descriptive::std_dev(&col).unwrap();
+        assert!((mean - 0.50).abs() < 0.005, "mean {mean}");
+        let expected_sd = (ProcessParameter::VthN.systematic_sigma().powi(2)
+            + ProcessParameter::VthN.local_sigma().powi(2))
+        .sqrt();
+        assert!(
+            (sd - expected_sd).abs() < 0.2 * expected_sd,
+            "sd {sd} vs expected {expected_sd}"
+        );
+    }
+
+    #[test]
+    fn run_paired_observes_same_die() {
+        let engine = MonteCarloEngine::new(Foundry::nominal(), 200).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let suite = PcmSuite::new(vec![crate::pcm::PcmKind::PathDelay], 0.0).unwrap();
+        // Both closures measure the same noise-free quantity; identical
+        // outputs prove they observed the same virtual die.
+        let (dies, a, b) = engine
+            .run_paired(
+                &mut rng,
+                |die, rng| suite.measure(die.process(), rng),
+                |die, rng| suite.measure(die.process(), rng),
+            )
+            .unwrap();
+        assert_eq!(dies.len(), 200);
+        for i in 0..200 {
+            assert_eq!(a[(i, 0)], b[(i, 0)], "row {i} differs between closures");
+        }
+        // And the measured values match the dies returned.
+        for (i, die) in dies.iter().enumerate() {
+            let direct = suite.measure_ideal(die.process())[0];
+            assert!((a[(i, 0)] - direct).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_samples_rejected() {
+        assert!(MonteCarloEngine::new(Foundry::nominal(), 0).is_err());
+    }
+
+    #[test]
+    fn inconsistent_rows_rejected() {
+        let engine = MonteCarloEngine::new(Foundry::nominal(), 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut count = 0;
+        let result = engine.run(&mut rng, |_, _| {
+            count += 1;
+            vec![0.0; count]
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn empty_rows_rejected() {
+        let engine = MonteCarloEngine::new(Foundry::nominal(), 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(engine.run(&mut rng, |_, _| vec![]).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let engine = MonteCarloEngine::new(Foundry::nominal(), 5).unwrap();
+        assert_eq!(engine.foundry(), &Foundry::nominal());
+    }
+}

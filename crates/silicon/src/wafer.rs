@@ -1,0 +1,184 @@
+//! Die coordinates on a wafer.
+//!
+//! Positions are normalized to the unit disk: `(0, 0)` is the wafer center,
+//! radius 1 the edge exclusion boundary. The variation model evaluates its
+//! within-wafer spatial patterns (radial bowl + planar tilt) at these
+//! coordinates, and kerf PCM sites sit between dies at the same coordinates
+//! as their neighbors — which is exactly why kerf e-tests are a trustworthy
+//! proxy for die behaviour.
+
+use rand::{Rng, RngExt};
+
+/// Normalized die (or kerf-site) position on a wafer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiePosition {
+    x: f64,
+    y: f64,
+}
+
+impl DiePosition {
+    /// Creates a position; coordinates are clamped into the unit disk.
+    pub fn new(x: f64, y: f64) -> Self {
+        let r = (x * x + y * y).sqrt();
+        if r > 1.0 {
+            DiePosition { x: x / r, y: y / r }
+        } else {
+            DiePosition { x, y }
+        }
+    }
+
+    /// Uniform random position on the unit disk.
+    pub fn random<R: Rng>(rng: &mut R) -> Self {
+        // Inverse-CDF radius for uniform area density.
+        let r = rng.random::<f64>().sqrt();
+        let theta = rng.random::<f64>() * std::f64::consts::TAU;
+        DiePosition {
+            x: r * theta.cos(),
+            y: r * theta.sin(),
+        }
+    }
+
+    /// `(x, y)` in normalized units.
+    pub fn normalized(&self) -> (f64, f64) {
+        (self.x, self.y)
+    }
+
+    /// Distance from the wafer center, in `[0, 1]`.
+    pub fn radius(&self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// The nearest kerf (scribe-line) site: offset by half a die pitch.
+    ///
+    /// PCMs live on the scribe lines between dies; their process parameters
+    /// track the adjacent die up to the offset distance.
+    pub fn adjacent_kerf_site(&self, die_pitch: f64) -> DiePosition {
+        DiePosition::new(self.x + die_pitch / 2.0, self.y)
+    }
+}
+
+/// A rectangular-grid wafer map clipped to the unit disk.
+///
+/// # Example
+///
+/// ```
+/// use sidefp_silicon::wafer::WaferMap;
+///
+/// let map = WaferMap::grid(5);
+/// assert!(map.positions().len() > 12); // 5x5 grid minus clipped corners
+/// assert!(map.positions().iter().all(|p| p.radius() <= 1.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaferMap {
+    positions: Vec<DiePosition>,
+}
+
+impl WaferMap {
+    /// Builds an `n x n` grid of die positions, keeping those inside the
+    /// unit disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn grid(n: usize) -> Self {
+        assert!(n > 0, "wafer grid requires n >= 1");
+        let mut positions = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                // Cell centers spanning [-0.9, 0.9] (edge exclusion).
+                let x = if n == 1 {
+                    0.0
+                } else {
+                    -0.9 + 1.8 * i as f64 / (n - 1) as f64
+                };
+                let y = if n == 1 {
+                    0.0
+                } else {
+                    -0.9 + 1.8 * j as f64 / (n - 1) as f64
+                };
+                if x * x + y * y <= 1.0 {
+                    positions.push(DiePosition::new(x, y));
+                }
+            }
+        }
+        WaferMap { positions }
+    }
+
+    /// Die positions in row-major order.
+    pub fn positions(&self) -> &[DiePosition] {
+        &self.positions
+    }
+
+    /// Number of dies on the map.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` for an empty map (cannot happen via [`WaferMap::grid`]).
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn positions_clamped_to_disk() {
+        let p = DiePosition::new(3.0, 4.0);
+        assert!((p.radius() - 1.0).abs() < 1e-12);
+        let q = DiePosition::new(0.3, 0.4);
+        assert!((q.radius() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_positions_fill_the_disk() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut max_r: f64 = 0.0;
+        let mut mean_r = 0.0;
+        let n = 5000;
+        for _ in 0..n {
+            let p = DiePosition::random(&mut rng);
+            max_r = max_r.max(p.radius());
+            mean_r += p.radius();
+        }
+        mean_r /= n as f64;
+        assert!(max_r <= 1.0);
+        // Uniform disk → E[r] = 2/3.
+        assert!((mean_r - 2.0 / 3.0).abs() < 0.02, "mean radius {mean_r}");
+    }
+
+    #[test]
+    fn kerf_site_is_close_to_die() {
+        let die = DiePosition::new(0.1, 0.2);
+        let kerf = die.adjacent_kerf_site(0.05);
+        let (dx, dy) = (kerf.normalized().0 - 0.1, kerf.normalized().1 - 0.2);
+        assert!((dx - 0.025).abs() < 1e-12);
+        assert!(dy.abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_clips_corners() {
+        let map = WaferMap::grid(5);
+        // Clipped: the 4 corners at (±0.9, ±0.9) plus the 8 near-corner
+        // cells at (±0.9, ±0.45)/(±0.45, ±0.9) whose radius is 1.006.
+        assert_eq!(map.len(), 25 - 12);
+        assert!(!map.is_empty());
+    }
+
+    #[test]
+    fn single_cell_grid_is_center() {
+        let map = WaferMap::grid(1);
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.positions()[0].normalized(), (0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 1")]
+    fn zero_grid_panics() {
+        let _ = WaferMap::grid(0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the synthetic fab substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sidefp_silicon::device_models;
+use sidefp_silicon::foundry::{Foundry, ProcessShift};
+use sidefp_silicon::params::{ProcessFactor, ProcessParameter, ProcessPoint};
+use sidefp_silicon::pcm::{PcmKind, PcmSuite};
+use sidefp_silicon::wafer::DiePosition;
+
+fn factor_array() -> impl Strategy<Value = [f64; 5]> {
+    proptest::array::uniform5(-3.0_f64..3.0)
+}
+
+fn local_array() -> impl Strategy<Value = [f64; 9]> {
+    proptest::array::uniform9(-3.0_f64..3.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn process_points_yield_physical_devices(f in factor_array(), l in local_array()) {
+        // Any ±3σ process point must produce physically sane devices:
+        // positive delay, positive leakage, positive tank frequency.
+        let p = ProcessPoint::from_factors(&f, &l);
+        let delay = device_models::gate_delay(&p);
+        prop_assert!(delay > 0.0 && delay.is_finite(), "delay {delay}");
+        let leak = device_models::subthreshold_leakage(&p);
+        prop_assert!(leak > 0.0 && leak.is_finite(), "leakage {leak}");
+        let tank = device_models::tank_frequency(&p);
+        prop_assert!(tank > 1.0 && tank < 10.0, "tank {tank} GHz");
+        let amp = device_models::pa_amplitude(&p);
+        prop_assert!(amp > 0.0 && amp.is_finite(), "amplitude {amp}");
+    }
+
+    #[test]
+    fn sigma_deviations_are_bounded_by_inputs(f in factor_array(), l in local_array()) {
+        // Parameter deviations cannot exceed the driving excursions by the
+        // triangle inequality on normalized loadings.
+        let p = ProcessPoint::from_factors(&f, &l);
+        let max_input = f
+            .iter()
+            .chain(l.iter())
+            .fold(0.0_f64, |m, v| m.max(v.abs()));
+        for d in p.sigma_deviations() {
+            prop_assert!(
+                d.abs() <= 2.2 * max_input + 1e-9,
+                "deviation {d} vs max input {max_input}"
+            );
+        }
+    }
+
+    #[test]
+    fn pcm_measurements_are_positive_and_finite(f in factor_array(), l in local_array(), seed in 0_u64..500) {
+        let p = ProcessPoint::from_factors(&f, &l);
+        let suite = PcmSuite::new(PcmKind::ALL.to_vec(), 0.002).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for v in suite.measure(&p, &mut rng) {
+            prop_assert!(v > 0.0 && v.is_finite(), "pcm value {v}");
+        }
+    }
+
+    #[test]
+    fn shift_moves_every_die_consistently(sigma in 0.5_f64..3.0, seed in 0_u64..200) {
+        // A positive implant shift must raise the average VthN of a batch.
+        let nominal = Foundry::nominal();
+        let shifted = Foundry::with_shift(ProcessShift::on_factor(ProcessFactor::ImplantN, sigma));
+        let mut rng_a = StdRng::seed_from_u64(seed);
+        let mut rng_b = StdRng::seed_from_u64(seed);
+        let mean = |f: &Foundry, rng: &mut StdRng| -> f64 {
+            (0..60)
+                .map(|_| f.fabricate_die(rng).process().get(ProcessParameter::VthN))
+                .sum::<f64>()
+                / 60.0
+        };
+        let m_nom = mean(&nominal, &mut rng_a);
+        let m_shift = mean(&shifted, &mut rng_b);
+        prop_assert!(
+            m_shift > m_nom,
+            "shift {sigma}: VthN mean {m_shift} not above nominal {m_nom}"
+        );
+    }
+
+    #[test]
+    fn sigma_scale_shrinks_spread(seed in 0_u64..200) {
+        let full = Foundry::nominal();
+        let narrow = Foundry::nominal().with_sigma_scale(0.5).unwrap();
+        let spread = |f: &Foundry, s: u64| -> f64 {
+            let mut rng = StdRng::seed_from_u64(s);
+            let vals: Vec<f64> = (0..120)
+                .map(|_| f.fabricate_die(&mut rng).process().get(ProcessParameter::VthN))
+                .collect();
+            sidefp_stats::descriptive::std_dev(&vals).unwrap()
+        };
+        let sd_full = spread(&full, seed);
+        let sd_narrow = spread(&narrow, seed.wrapping_add(1));
+        prop_assert!(
+            sd_narrow < sd_full,
+            "narrow sd {sd_narrow} not below full sd {sd_full}"
+        );
+    }
+
+    #[test]
+    fn die_positions_always_inside_unit_disk(x in -5.0_f64..5.0, y in -5.0_f64..5.0) {
+        let p = DiePosition::new(x, y);
+        prop_assert!(p.radius() <= 1.0 + 1e-12);
+        // Kerf site also stays in the disk.
+        let kerf = p.adjacent_kerf_site(0.1);
+        prop_assert!(kerf.radius() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn monotone_delay_in_gate_length(scale in 0.9_f64..1.1) {
+        let mut p = ProcessPoint::nominal();
+        p.set(ProcessParameter::GateLength, 0.35 * scale);
+        let d = device_models::gate_delay(&p);
+        let d_nom = device_models::gate_delay(&ProcessPoint::nominal());
+        if scale > 1.0 {
+            prop_assert!(d >= d_nom);
+        } else if scale < 1.0 {
+            prop_assert!(d <= d_nom);
+        }
+    }
+
+    #[test]
+    fn ring_oscillator_consistent_with_path_delay(f in factor_array()) {
+        // Both derive from the same gate delay: f_ro * t_path is constant
+        // across process points (stage-count ratio).
+        let p = ProcessPoint::from_factors(&f, &[0.0; 9]);
+        let t_path = PcmKind::PathDelay.ideal_value(&p);
+        let f_ro = PcmKind::RingOscillator.ideal_value(&p);
+        let product = t_path * f_ro;
+        let p_nom = ProcessPoint::nominal();
+        let nominal_product =
+            PcmKind::PathDelay.ideal_value(&p_nom) * PcmKind::RingOscillator.ideal_value(&p_nom);
+        prop_assert!(
+            (product / nominal_product - 1.0).abs() < 1e-9,
+            "product drifted: {product} vs {nominal_product}"
+        );
+    }
+}

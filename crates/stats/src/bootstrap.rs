@@ -1,0 +1,138 @@
+//! Bootstrap confidence intervals for detection rates.
+//!
+//! Table 1's FP/FN counts are point estimates over 40/80 devices; the
+//! bootstrap quantifies how much they would wobble across re-draws of the
+//! same device population — context the paper's single numbers lack.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::StatsError;
+
+/// A bootstrap percentile confidence interval for a proportion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProportionInterval {
+    /// The observed proportion.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lower: f64,
+    /// Upper percentile bound.
+    pub upper: f64,
+    /// Confidence level the bounds correspond to.
+    pub confidence: f64,
+}
+
+/// Percentile-bootstrap confidence interval for the success proportion of
+/// Bernoulli outcomes.
+///
+/// # Errors
+///
+/// - [`StatsError::InsufficientData`] for an empty outcome list or zero
+///   resamples.
+/// - [`StatsError::InvalidParameter`] for `confidence ∉ (0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use sidefp_stats::bootstrap::proportion_interval;
+///
+/// # fn main() -> Result<(), sidefp_stats::StatsError> {
+/// // 3 detections missed out of 40.
+/// let outcomes: Vec<bool> = (0..40).map(|i| i < 3).collect();
+/// let ci = proportion_interval(&outcomes, 0.95, 1000, 7)?;
+/// assert!((ci.estimate - 0.075).abs() < 1e-12);
+/// assert!(ci.lower <= ci.estimate && ci.estimate <= ci.upper);
+/// # Ok(())
+/// # }
+/// ```
+pub fn proportion_interval(
+    outcomes: &[bool],
+    confidence: f64,
+    resamples: usize,
+    seed: u64,
+) -> Result<ProportionInterval, StatsError> {
+    if outcomes.is_empty() {
+        return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+    }
+    if resamples == 0 {
+        return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+    }
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "confidence",
+            reason: format!("must be in (0, 1), got {confidence}"),
+        });
+    }
+    let n = outcomes.len();
+    let estimate = outcomes.iter().filter(|o| **o).count() as f64 / n as f64;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats: Vec<f64> = (0..resamples)
+        .map(|_| {
+            let hits = (0..n).filter(|_| outcomes[rng.random_range(0..n)]).count();
+            hits as f64 / n as f64
+        })
+        .collect();
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite proportions"));
+
+    let alpha = 1.0 - confidence;
+    let lo_idx = ((alpha / 2.0) * (resamples - 1) as f64).round() as usize;
+    let hi_idx = ((1.0 - alpha / 2.0) * (resamples - 1) as f64).round() as usize;
+    Ok(ProportionInterval {
+        estimate,
+        lower: stats[lo_idx],
+        upper: stats[hi_idx],
+        confidence,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_brackets_the_estimate() {
+        let outcomes: Vec<bool> = (0..100).map(|i| i % 4 == 0).collect();
+        let ci = proportion_interval(&outcomes, 0.95, 2000, 1).unwrap();
+        assert!((ci.estimate - 0.25).abs() < 1e-12);
+        assert!(ci.lower <= 0.25 && 0.25 <= ci.upper);
+        assert!(ci.upper - ci.lower < 0.25, "interval too wide: {ci:?}");
+        assert_eq!(ci.confidence, 0.95);
+    }
+
+    #[test]
+    fn degenerate_outcomes_give_point_interval() {
+        let all_false = vec![false; 50];
+        let ci = proportion_interval(&all_false, 0.9, 500, 2).unwrap();
+        assert_eq!(ci.estimate, 0.0);
+        assert_eq!(ci.lower, 0.0);
+        assert_eq!(ci.upper, 0.0);
+        let all_true = vec![true; 50];
+        let ci = proportion_interval(&all_true, 0.9, 500, 3).unwrap();
+        assert_eq!((ci.lower, ci.upper), (1.0, 1.0));
+    }
+
+    #[test]
+    fn wider_confidence_gives_wider_interval() {
+        let outcomes: Vec<bool> = (0..60).map(|i| i % 3 == 0).collect();
+        let narrow = proportion_interval(&outcomes, 0.80, 2000, 4).unwrap();
+        let wide = proportion_interval(&outcomes, 0.99, 2000, 4).unwrap();
+        assert!(wide.upper - wide.lower >= narrow.upper - narrow.lower);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let outcomes: Vec<bool> = (0..30).map(|i| i % 5 == 0).collect();
+        let a = proportion_interval(&outcomes, 0.95, 300, 9).unwrap();
+        let b = proportion_interval(&outcomes, 0.95, 300, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(proportion_interval(&[], 0.95, 100, 0).is_err());
+        assert!(proportion_interval(&[true], 0.95, 0, 0).is_err());
+        assert!(proportion_interval(&[true], 0.0, 100, 0).is_err());
+        assert!(proportion_interval(&[true], 1.0, 100, 0).is_err());
+    }
+}

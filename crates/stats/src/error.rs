@@ -1,0 +1,127 @@
+use std::error::Error;
+use std::fmt;
+
+use sidefp_linalg::LinalgError;
+
+/// Error type for every fallible operation in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// Not enough samples for the requested operation.
+    InsufficientData {
+        /// Samples required.
+        needed: usize,
+        /// Samples provided.
+        got: usize,
+    },
+    /// A hyper-parameter is outside its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// Query/prediction dimension does not match the fitted dimension.
+    DimensionMismatch {
+        /// Dimension the model was fitted with.
+        expected: usize,
+        /// Dimension supplied.
+        got: usize,
+    },
+    /// An optimizer exceeded its iteration budget without converging.
+    NotConverged {
+        /// Algorithm that failed.
+        algorithm: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+    },
+    /// Underlying linear algebra failure.
+    Linalg(LinalgError),
+    /// The data is degenerate for the requested operation (e.g. zero
+    /// variance everywhere).
+    DegenerateData(String),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InsufficientData { needed, got } => {
+                write!(
+                    f,
+                    "insufficient data: need at least {needed} samples, got {got}"
+                )
+            }
+            StatsError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            StatsError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: model expects {expected}, got {got}")
+            }
+            StatsError::NotConverged {
+                algorithm,
+                iterations,
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations"
+            ),
+            StatsError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            StatsError::DegenerateData(msg) => write!(f, "degenerate data: {msg}"),
+        }
+    }
+}
+
+impl Error for StatsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StatsError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for StatsError {
+    fn from(e: LinalgError) -> Self {
+        StatsError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StatsError::InsufficientData { needed: 5, got: 2 };
+        assert!(e.to_string().contains('5') && e.to_string().contains('2'));
+        let e = StatsError::InvalidParameter {
+            name: "nu",
+            reason: "must be in (0, 1]".into(),
+        };
+        assert!(e.to_string().contains("nu"));
+        let e = StatsError::DimensionMismatch {
+            expected: 6,
+            got: 3,
+        };
+        assert!(e.to_string().contains('6'));
+        let e = StatsError::NotConverged {
+            algorithm: "smo",
+            iterations: 100,
+        };
+        assert!(e.to_string().contains("smo"));
+        let e = StatsError::DegenerateData("all zero".into());
+        assert!(e.to_string().contains("all zero"));
+    }
+
+    #[test]
+    fn linalg_errors_convert_and_chain() {
+        let e: StatsError = LinalgError::Singular.into();
+        assert!(matches!(e, StatsError::Linalg(LinalgError::Singular)));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

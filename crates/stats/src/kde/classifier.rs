@@ -1,0 +1,161 @@
+//! One-class classification by density level set.
+//!
+//! The paper's trusted region is "a classifier (e.g. neural network,
+//! support vector machine, etc.)" — the 1-class SVM being their choice.
+//! This module provides the natural alternative: threshold the adaptive
+//! KDE itself. The trusted region is `{x : f̂(x) ≥ τ}` with `τ` set at the
+//! ν-quantile of the training points' own densities, so a fraction ν of
+//! training mass falls outside — the same contract as the ν-SVM.
+
+use sidefp_linalg::Matrix;
+
+use crate::descriptive;
+use crate::kde::{AdaptiveKde, KdeConfig};
+use crate::StatsError;
+
+/// A one-class classifier: trusted region = KDE density level set.
+///
+/// # Example
+///
+/// ```
+/// use sidefp_linalg::Matrix;
+/// use sidefp_stats::kde::{DensityClassifier, KdeConfig};
+///
+/// # fn main() -> Result<(), sidefp_stats::StatsError> {
+/// // A dense 9x9 grid of trusted fingerprints.
+/// let train = Matrix::from_fn(81, 2, |i, j| {
+///     if j == 0 { (i % 9) as f64 * 0.1 } else { (i / 9) as f64 * 0.1 }
+/// });
+/// let clf = DensityClassifier::fit(&train, &KdeConfig::default(), 0.05)?;
+/// assert!(clf.is_inlier(&[0.4, 0.4])?);
+/// assert!(!clf.is_inlier(&[100.0, 100.0])?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DensityClassifier {
+    kde: AdaptiveKde,
+    threshold: f64,
+    nu: f64,
+}
+
+impl DensityClassifier {
+    /// Fits the KDE and places the level-set threshold at the ν-quantile
+    /// of the training points' densities.
+    ///
+    /// # Errors
+    ///
+    /// - [`StatsError::InvalidParameter`] for `ν ∉ (0, 1)`.
+    /// - KDE fitting errors.
+    pub fn fit(data: &Matrix, config: &KdeConfig, nu: f64) -> Result<Self, StatsError> {
+        if !(nu > 0.0 && nu < 1.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "nu",
+                reason: format!("must be in (0, 1), got {nu}"),
+            });
+        }
+        let kde = AdaptiveKde::fit(data, config)?;
+        let densities = data
+            .rows_iter()
+            .map(|row| kde.density(row))
+            .collect::<Result<Vec<f64>, StatsError>>()?;
+        let threshold = descriptive::quantile(&densities, nu)?;
+        Ok(DensityClassifier {
+            kde,
+            threshold,
+            nu,
+        })
+    }
+
+    /// The density threshold defining the trusted region.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The ν the classifier was fitted with.
+    pub fn nu(&self) -> f64 {
+        self.nu
+    }
+
+    /// Signed decision value: `f̂(x) − τ` (positive inside).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] for a wrong input length.
+    pub fn decision(&self, x: &[f64]) -> Result<f64, StatsError> {
+        Ok(self.kde.density(x)? - self.threshold)
+    }
+
+    /// `true` if the point lies inside (or on) the trusted level set.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DensityClassifier::decision`].
+    pub fn is_inlier(&self, x: &[f64]) -> Result<bool, StatsError> {
+        Ok(self.decision(x)? >= 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MultivariateNormal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blob(n: usize, seed: u64) -> Matrix {
+        let mvn = MultivariateNormal::independent(vec![0.0, 0.0], &[1.0, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        mvn.sample_matrix(&mut rng, n)
+    }
+
+    #[test]
+    fn accepts_bulk_rejects_far() {
+        let data = blob(150, 1);
+        let clf = DensityClassifier::fit(&data, &KdeConfig::default(), 0.05).unwrap();
+        assert!(clf.is_inlier(&[0.0, 0.0]).unwrap());
+        assert!(!clf.is_inlier(&[8.0, -8.0]).unwrap());
+        assert!(clf.threshold() > 0.0);
+        assert_eq!(clf.nu(), 0.05);
+    }
+
+    #[test]
+    fn training_rejection_close_to_nu() {
+        let data = blob(200, 2);
+        let clf = DensityClassifier::fit(&data, &KdeConfig::default(), 0.1).unwrap();
+        let rejected = data
+            .rows_iter()
+            .filter(|row| !clf.is_inlier(row).unwrap())
+            .count() as f64
+            / 200.0;
+        assert!(
+            (rejected - 0.1).abs() < 0.05,
+            "training rejection {rejected}"
+        );
+    }
+
+    #[test]
+    fn decision_is_monotone_in_density() {
+        let data = blob(120, 3);
+        let clf = DensityClassifier::fit(&data, &KdeConfig::default(), 0.05).unwrap();
+        // Walking away from the center monotonically lowers the decision.
+        let d0 = clf.decision(&[0.0, 0.0]).unwrap();
+        let d2 = clf.decision(&[2.0, 0.0]).unwrap();
+        let d4 = clf.decision(&[4.0, 0.0]).unwrap();
+        assert!(d0 > d2 && d2 > d4, "{d0} {d2} {d4}");
+    }
+
+    #[test]
+    fn rejects_bad_nu() {
+        let data = blob(50, 4);
+        assert!(DensityClassifier::fit(&data, &KdeConfig::default(), 0.0).is_err());
+        assert!(DensityClassifier::fit(&data, &KdeConfig::default(), 1.0).is_err());
+    }
+
+    #[test]
+    fn dimension_checked() {
+        let data = blob(50, 5);
+        let clf = DensityClassifier::fit(&data, &KdeConfig::default(), 0.05).unwrap();
+        assert!(clf.decision(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,241 @@
+use sidefp_linalg::{vecops, Matrix};
+
+use crate::StatsError;
+
+/// A positive-definite kernel function on `ℝᵈ`.
+///
+/// Kernels are shared between the one-class SVM (trusted-boundary learning)
+/// and kernel mean matching (covariate-shift correction). The RBF kernel is
+/// the workhorse; linear and polynomial variants exist for ablations.
+///
+/// # Example
+///
+/// ```
+/// use sidefp_stats::Kernel;
+///
+/// let k = Kernel::Rbf { gamma: 0.5 };
+/// assert!((k.eval(&[0.0], &[0.0]) - 1.0).abs() < 1e-12);
+/// assert!(k.eval(&[0.0], &[2.0]) < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Kernel {
+    /// Gaussian RBF: `exp(−γ‖x − y‖²)`.
+    Rbf {
+        /// Inverse squared length scale; must be positive.
+        gamma: f64,
+    },
+    /// Linear kernel `⟨x, y⟩`.
+    Linear,
+    /// Polynomial kernel `(⟨x, y⟩ + coef0)^degree`.
+    Polynomial {
+        /// Polynomial degree (≥ 1).
+        degree: u32,
+        /// Additive constant.
+        coef0: f64,
+    },
+}
+
+impl Default for Kernel {
+    /// RBF with unit `γ`; callers typically override `γ` with
+    /// [`Kernel::rbf_median_heuristic`].
+    fn default() -> Self {
+        Kernel::Rbf { gamma: 1.0 }
+    }
+}
+
+impl Kernel {
+    /// Evaluates the kernel on a pair of points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        match *self {
+            Kernel::Rbf { gamma } => (-gamma * vecops::squared_distance(x, y)).exp(),
+            Kernel::Linear => vecops::dot(x, y),
+            Kernel::Polynomial { degree, coef0 } => (vecops::dot(x, y) + coef0).powi(degree as i32),
+        }
+    }
+
+    /// Validates the kernel's hyper-parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] for non-positive `γ` or a
+    /// zero polynomial degree.
+    pub fn validate(&self) -> Result<(), StatsError> {
+        match *self {
+            Kernel::Rbf { gamma } if !(gamma > 0.0 && gamma.is_finite()) => {
+                Err(StatsError::InvalidParameter {
+                    name: "gamma",
+                    reason: format!("must be positive and finite, got {gamma}"),
+                })
+            }
+            Kernel::Polynomial { degree: 0, .. } => Err(StatsError::InvalidParameter {
+                name: "degree",
+                reason: "polynomial degree must be at least 1".into(),
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Gram matrix `K[i][j] = k(a_i, b_j)` for rows of `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if the column counts differ.
+    pub fn gram(&self, a: &Matrix, b: &Matrix) -> Result<Matrix, StatsError> {
+        if a.ncols() != b.ncols() {
+            return Err(StatsError::DimensionMismatch {
+                expected: a.ncols(),
+                got: b.ncols(),
+            });
+        }
+        Ok(Matrix::from_fn(a.nrows(), b.nrows(), |i, j| {
+            self.eval(a.row(i), b.row(j))
+        }))
+    }
+
+    /// Symmetric Gram matrix of a single dataset (exploits symmetry).
+    pub fn gram_symmetric(&self, a: &Matrix) -> Matrix {
+        let n = a.nrows();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = self.eval(a.row(i), a.row(j));
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+        }
+        k
+    }
+
+    /// The median heuristic for the RBF bandwidth: `γ = 1 / (2·median²)`
+    /// where the median is over pairwise distances of `data` rows.
+    ///
+    /// # Errors
+    ///
+    /// - [`StatsError::InsufficientData`] for fewer than two rows.
+    /// - [`StatsError::DegenerateData`] if all points coincide.
+    pub fn rbf_median_heuristic(data: &Matrix) -> Result<Kernel, StatsError> {
+        let n = data.nrows();
+        if n < 2 {
+            return Err(StatsError::InsufficientData { needed: 2, got: n });
+        }
+        let mut dists = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = vecops::distance(data.row(i), data.row(j));
+                if d > 0.0 {
+                    dists.push(d);
+                }
+            }
+        }
+        if dists.is_empty() {
+            return Err(StatsError::DegenerateData(
+                "all points coincide; median heuristic undefined".into(),
+            ));
+        }
+        let med = crate::descriptive::median(&dists)?;
+        Ok(Kernel::Rbf {
+            gamma: 1.0 / (2.0 * med * med),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rbf_properties() {
+        let k = Kernel::Rbf { gamma: 2.0 };
+        assert!((k.eval(&[1.0, 2.0], &[1.0, 2.0]) - 1.0).abs() < 1e-15);
+        let v = k.eval(&[0.0], &[1.0]);
+        assert!((v - (-2.0_f64).exp()).abs() < 1e-15);
+        // Symmetry.
+        assert_eq!(k.eval(&[0.3], &[1.7]), k.eval(&[1.7], &[0.3]));
+    }
+
+    #[test]
+    fn linear_is_dot_product() {
+        assert_eq!(Kernel::Linear.eval(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn polynomial_known_value() {
+        let k = Kernel::Polynomial {
+            degree: 2,
+            coef0: 1.0,
+        };
+        // (1*1 + 1)² = 4
+        assert_eq!(k.eval(&[1.0], &[1.0]), 4.0);
+    }
+
+    #[test]
+    fn validate_catches_bad_parameters() {
+        assert!(Kernel::Rbf { gamma: 0.0 }.validate().is_err());
+        assert!(Kernel::Rbf { gamma: -1.0 }.validate().is_err());
+        assert!(Kernel::Rbf { gamma: f64::NAN }.validate().is_err());
+        assert!(Kernel::Polynomial {
+            degree: 0,
+            coef0: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(Kernel::default().validate().is_ok());
+        assert!(Kernel::Linear.validate().is_ok());
+    }
+
+    #[test]
+    fn gram_matrix_shapes_and_symmetry() {
+        let a = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let k = Kernel::default();
+        let g = k.gram_symmetric(&a);
+        assert_eq!(g.shape(), (3, 3));
+        assert!(g.is_symmetric(1e-15));
+        for i in 0..3 {
+            assert!((g[(i, i)] - 1.0).abs() < 1e-15);
+        }
+        let b = Matrix::from_rows(&[&[0.5, 0.5]]).unwrap();
+        let cross = k.gram(&a, &b).unwrap();
+        assert_eq!(cross.shape(), (3, 1));
+        assert!(k.gram(&a, &Matrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn gram_matches_symmetric_gram() {
+        let a = Matrix::from_rows(&[&[0.1, 0.2], &[0.3, -0.1]]).unwrap();
+        let k = Kernel::Rbf { gamma: 0.7 };
+        let g1 = k.gram(&a, &a).unwrap();
+        let g2 = k.gram_symmetric(&a);
+        assert!((&g1 - &g2).unwrap().max_abs() < 1e-15);
+    }
+
+    #[test]
+    fn median_heuristic_scales_with_data() {
+        // Points spaced by 1 → median distance 1ish → gamma ~ 0.5.
+        let a = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]).unwrap();
+        if let Kernel::Rbf { gamma } = Kernel::rbf_median_heuristic(&a).unwrap() {
+            assert!(gamma > 0.2 && gamma < 0.6, "gamma {gamma}");
+        } else {
+            panic!("expected RBF kernel");
+        }
+        // Scaling the data by 10 shrinks gamma by 100.
+        let b = Matrix::from_rows(&[&[0.0], &[10.0], &[20.0]]).unwrap();
+        if let Kernel::Rbf { gamma } = Kernel::rbf_median_heuristic(&b).unwrap() {
+            assert!(gamma > 0.002 && gamma < 0.006, "gamma {gamma}");
+        } else {
+            panic!("expected RBF kernel");
+        }
+    }
+
+    #[test]
+    fn median_heuristic_degenerate_inputs() {
+        let one = Matrix::from_rows(&[&[1.0]]).unwrap();
+        assert!(Kernel::rbf_median_heuristic(&one).is_err());
+        let same = Matrix::from_rows(&[&[1.0], &[1.0]]).unwrap();
+        assert!(Kernel::rbf_median_heuristic(&same).is_err());
+    }
+}

@@ -1,0 +1,447 @@
+use rand::{Rng, RngExt};
+use sidefp_linalg::Matrix;
+
+use crate::qp::{solve_box_band, BoxBandConfig};
+use crate::{descriptive, Kernel, MultivariateNormal, StatsError};
+
+/// Configuration for [`KernelMeanMatching`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct KmmConfig {
+    /// Kernel used for distribution matching; `None` selects an RBF via the
+    /// median heuristic on the pooled train + test data.
+    pub kernel: Option<Kernel>,
+    /// Weight cap `B` of the box constraint `0 ≤ β_i ≤ B` (paper Eq. 3).
+    pub upper: f64,
+    /// Mean-constraint half width `ε`; `None` selects the conventional
+    /// `(√n_tr − 1)/√n_tr` from Gretton et al.
+    pub band: Option<f64>,
+    /// Iteration budget for the projected-gradient QP.
+    pub max_iter: usize,
+}
+
+impl Default for KmmConfig {
+    fn default() -> Self {
+        KmmConfig {
+            kernel: None,
+            upper: 1000.0,
+            band: None,
+            max_iter: 4000,
+        }
+    }
+}
+
+/// Kernel mean matching: covariate-shift correction by importance weighting
+/// (paper §2.4, Eq. 3–4).
+///
+/// Given a *training* population (Monte Carlo simulated PCM vectors) whose
+/// distribution differs from a *testing* population (PCMs measured on the
+/// devices under Trojan test), KMM finds weights `β` on the training samples
+/// that minimize the maximum mean discrepancy between the weighted training
+/// set and the test set in the kernel's feature space. The weighted training
+/// set then *behaves like* the silicon population — the paper's mechanism
+/// for anchoring the simulation model to the foundry's true operating point.
+///
+/// # Example
+///
+/// ```
+/// use sidefp_linalg::Matrix;
+/// use sidefp_stats::{KernelMeanMatching, KmmConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Training spans [0, 4]; test concentrates near 3.
+/// let train = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0], &[4.0]])?;
+/// let test = Matrix::from_rows(&[&[2.8], &[3.0], &[3.2]])?;
+/// let kmm = KernelMeanMatching::fit(&train, &test, &KmmConfig::default())?;
+/// let w = kmm.weights();
+/// assert!(w[3] > w[0]); // mass moves toward the test region
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct KernelMeanMatching {
+    weights: Vec<f64>,
+    train: Matrix,
+    kernel: Kernel,
+}
+
+impl KernelMeanMatching {
+    /// Fits importance weights matching `train` to `test`.
+    ///
+    /// # Errors
+    ///
+    /// - [`StatsError::InsufficientData`] if either set has fewer than two
+    ///   rows.
+    /// - [`StatsError::DimensionMismatch`] if the column counts differ.
+    /// - Parameter and solver errors from the underlying QP.
+    pub fn fit(train: &Matrix, test: &Matrix, config: &KmmConfig) -> Result<Self, StatsError> {
+        let ntr = train.nrows();
+        let nte = test.nrows();
+        if ntr < 2 {
+            return Err(StatsError::InsufficientData {
+                needed: 2,
+                got: ntr,
+            });
+        }
+        if nte < 2 {
+            return Err(StatsError::InsufficientData {
+                needed: 2,
+                got: nte,
+            });
+        }
+        if train.ncols() != test.ncols() {
+            return Err(StatsError::DimensionMismatch {
+                expected: train.ncols(),
+                got: test.ncols(),
+            });
+        }
+
+        let kernel = match config.kernel {
+            Some(k) => {
+                k.validate()?;
+                k
+            }
+            None => {
+                let pooled = train.vstack(test)?;
+                Kernel::rbf_median_heuristic(&pooled)?
+            }
+        };
+
+        // K_ij = k(x_i^tr, x_j^tr)
+        let k_mat = kernel.gram_symmetric(train);
+        // κ_i = (n_tr / n_te) Σ_j k(x_i^tr, x_j^te)  (paper Eq. 4)
+        let cross = kernel.gram(train, test)?;
+        let ratio = ntr as f64 / nte as f64;
+        let kappa: Vec<f64> = (0..ntr)
+            .map(|i| ratio * cross.row(i).iter().sum::<f64>())
+            .collect();
+
+        let band = config
+            .band
+            .unwrap_or(((ntr as f64).sqrt() - 1.0) / (ntr as f64).sqrt());
+        let qp_cfg = BoxBandConfig {
+            upper: config.upper,
+            band,
+            max_iter: config.max_iter,
+            tol: 1e-7,
+        };
+        let weights = solve_box_band(&k_mat, &kappa, &qp_cfg)?;
+
+        Ok(KernelMeanMatching {
+            weights,
+            train: train.clone(),
+            kernel,
+        })
+    }
+
+    /// The fitted importance weights, one per training row.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The kernel used for matching (after any median-heuristic selection).
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Weighted maximum-mean-discrepancy objective value (lower is better);
+    /// useful for diagnostics and ablations.
+    pub fn mmd_objective(&self, test: &Matrix) -> Result<f64, StatsError> {
+        if test.ncols() != self.train.ncols() {
+            return Err(StatsError::DimensionMismatch {
+                expected: self.train.ncols(),
+                got: test.ncols(),
+            });
+        }
+        let ntr = self.train.nrows() as f64;
+        let nte = test.nrows() as f64;
+        // ‖(1/ntr)Σβ_iφ(x_i) − (1/nte)Σφ(z_j)‖² expanded in kernel terms.
+        let k_tr = self.kernel.gram_symmetric(&self.train);
+        let k_te = self.kernel.gram_symmetric(test);
+        let cross = self.kernel.gram(&self.train, test)?;
+        let mut term_tr = 0.0;
+        for i in 0..self.train.nrows() {
+            for j in 0..self.train.nrows() {
+                term_tr += self.weights[i] * self.weights[j] * k_tr[(i, j)];
+            }
+        }
+        let mut term_cross = 0.0;
+        for i in 0..self.train.nrows() {
+            for j in 0..test.nrows() {
+                term_cross += self.weights[i] * cross[(i, j)];
+            }
+        }
+        let mut term_te = 0.0;
+        for i in 0..test.nrows() {
+            for j in 0..test.nrows() {
+                term_te += k_te[(i, j)];
+            }
+        }
+        Ok(term_tr / (ntr * ntr) - 2.0 * term_cross / (ntr * nte) + term_te / (nte * nte))
+    }
+
+    /// Importance-weighted mean of the training rows — KMM's estimate of
+    /// the testing distribution's location using training-support mass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DegenerateData`] if all weights are zero.
+    pub fn weighted_train_mean(&self) -> Result<Vec<f64>, StatsError> {
+        let total: f64 = self.weights.iter().sum();
+        if total <= 0.0 {
+            return Err(StatsError::DegenerateData(
+                "all importance weights are zero".into(),
+            ));
+        }
+        let mut mean = vec![0.0; self.train.ncols()];
+        for (row, w) in self.train.rows_iter().zip(&self.weights) {
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += w * v;
+            }
+        }
+        for m in &mut mean {
+            *m /= total;
+        }
+        Ok(mean)
+    }
+
+    /// Iterated **kernel mean shift** (the paper's §2.2 "mean shifting
+    /// method"): translates the full training population toward the testing
+    /// operating point.
+    ///
+    /// Each round fits KMM between the current (translated) training set
+    /// and the test set, then translates all training rows by the gap
+    /// between the importance-weighted and the raw training mean. Because a
+    /// single KMM round can only move mass within the training support,
+    /// iteration lets the population bridge operating-point drifts larger
+    /// than the training spread — exactly the regime where a stale
+    /// simulation model meets a drifted foundry. The output keeps the
+    /// *training* population's spread (the paper: "m″_p will have a
+    /// wider-spread distribution as compared to m′_p") with the *testing*
+    /// population's location.
+    ///
+    /// # Errors
+    ///
+    /// Propagates KMM fitting errors.
+    pub fn mean_shift_population(
+        train: &Matrix,
+        test: &Matrix,
+        config: &KmmConfig,
+        max_iterations: usize,
+    ) -> Result<Matrix, StatsError> {
+        let mut shifted = train.clone();
+        // Convergence scale: translation below 2% of the per-column test
+        // spread stops the iteration.
+        let test_scale: Vec<f64> = (0..test.ncols())
+            .map(|j| descriptive::std_dev(&test.col(j)).unwrap_or(0.0).max(1e-12))
+            .collect();
+        for _ in 0..max_iterations {
+            let kmm = KernelMeanMatching::fit(&shifted, test, config)?;
+            let weighted = kmm.weighted_train_mean()?;
+            let raw = shifted.column_means();
+            let delta: Vec<f64> = weighted.iter().zip(&raw).map(|(w, r)| w - r).collect();
+            let significant = delta
+                .iter()
+                .zip(&test_scale)
+                .any(|(d, s)| d.abs() > 0.02 * s);
+            if !significant {
+                break;
+            }
+            for i in 0..shifted.nrows() {
+                let row = shifted.row_mut(i);
+                for (v, d) in row.iter_mut().zip(&delta) {
+                    *v += d;
+                }
+            }
+        }
+        Ok(shifted)
+    }
+
+    /// Generates a *shifted population*: `n` samples drawn from the
+    /// training rows with probability proportional to the importance
+    /// weights, each perturbed by Gaussian jitter of `jitter` × the
+    /// per-column training standard deviation.
+    ///
+    /// This is the weighted-bootstrap alternative to
+    /// [`KernelMeanMatching::mean_shift_population`]; it follows the test
+    /// distribution's *shape* more closely but collapses when the
+    /// distributions barely overlap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] for negative `jitter` and
+    /// [`StatsError::DegenerateData`] if all weights are zero.
+    pub fn shifted_population<R: Rng>(
+        &self,
+        rng: &mut R,
+        n: usize,
+        jitter: f64,
+    ) -> Result<Matrix, StatsError> {
+        if jitter < 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "jitter",
+                reason: format!("must be non-negative, got {jitter}"),
+            });
+        }
+        let total: f64 = self.weights.iter().sum();
+        if total <= 0.0 {
+            return Err(StatsError::DegenerateData(
+                "all importance weights are zero".into(),
+            ));
+        }
+        // Cumulative distribution for weighted sampling.
+        let mut cdf = Vec::with_capacity(self.weights.len());
+        let mut acc = 0.0;
+        for w in &self.weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        // Per-column std for jitter scale.
+        let stds: Vec<f64> = (0..self.train.ncols())
+            .map(|j| descriptive::std_dev(&self.train.col(j)).unwrap_or(0.0))
+            .collect();
+
+        let d = self.train.ncols();
+        let mut out = Matrix::zeros(n, d);
+        for i in 0..n {
+            let u: f64 = rng.random();
+            let idx = cdf.partition_point(|c| *c < u).min(cdf.len() - 1);
+            let base = self.train.row(idx);
+            for j in 0..d {
+                let noise = if jitter > 0.0 {
+                    MultivariateNormal::standard_normal(rng) * jitter * stds[j]
+                } else {
+                    0.0
+                };
+                out[(i, j)] = base[j] + noise;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Training ~ N(0,1), test ~ N(1.5, 0.8): classic covariate shift.
+    fn shifted_sets(seed: u64) -> (Matrix, Matrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tr = MultivariateNormal::independent(vec![0.0], &[1.0])
+            .unwrap()
+            .sample_matrix(&mut rng, 80);
+        let te = MultivariateNormal::independent(vec![1.5], &[0.8])
+            .unwrap()
+            .sample_matrix(&mut rng, 60);
+        (tr, te)
+    }
+
+    #[test]
+    fn weights_shift_mass_toward_test_region() {
+        let (tr, te) = shifted_sets(1);
+        let kmm = KernelMeanMatching::fit(&tr, &te, &KmmConfig::default()).unwrap();
+        // Weighted training mean should approach the test mean.
+        let total: f64 = kmm.weights().iter().sum();
+        let wmean: f64 = tr
+            .col(0)
+            .iter()
+            .zip(kmm.weights())
+            .map(|(x, w)| x * w)
+            .sum::<f64>()
+            / total;
+        let raw_mean = descriptive::mean(&tr.col(0)).unwrap();
+        let te_mean = descriptive::mean(&te.col(0)).unwrap();
+        assert!(
+            (wmean - te_mean).abs() < (raw_mean - te_mean).abs(),
+            "weighted mean {wmean} not closer to test mean {te_mean} than raw {raw_mean}"
+        );
+    }
+
+    #[test]
+    fn weighted_mmd_not_worse_than_uniform() {
+        let (tr, te) = shifted_sets(2);
+        let kmm = KernelMeanMatching::fit(&tr, &te, &KmmConfig::default()).unwrap();
+        let weighted = kmm.mmd_objective(&te).unwrap();
+        let uniform = KernelMeanMatching {
+            weights: vec![1.0; tr.nrows()],
+            train: tr.clone(),
+            kernel: kmm.kernel(),
+        }
+        .mmd_objective(&te)
+        .unwrap();
+        assert!(
+            weighted <= uniform + 1e-9,
+            "weighted MMD {weighted} > uniform {uniform}"
+        );
+    }
+
+    #[test]
+    fn identical_distributions_give_near_uniform_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mvn = MultivariateNormal::independent(vec![0.0], &[1.0]).unwrap();
+        let tr = mvn.sample_matrix(&mut rng, 60);
+        let te = mvn.sample_matrix(&mut rng, 60);
+        let kmm = KernelMeanMatching::fit(&tr, &te, &KmmConfig::default()).unwrap();
+        let mean_w = descriptive::mean(kmm.weights()).unwrap();
+        // Mean near 1 and no extreme concentration.
+        assert!((mean_w - 1.0).abs() < 0.5, "mean weight {mean_w}");
+        let max_w = kmm.weights().iter().cloned().fold(0.0_f64, f64::max);
+        assert!(max_w < 10.0, "weight spike {max_w} on identical data");
+    }
+
+    #[test]
+    fn shifted_population_moves_location_keeps_spread() {
+        let (tr, te) = shifted_sets(4);
+        let kmm = KernelMeanMatching::fit(&tr, &te, &KmmConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let pop = kmm.shifted_population(&mut rng, 2000, 0.05).unwrap();
+        let pop_mean = descriptive::mean(&pop.col(0)).unwrap();
+        let te_mean = descriptive::mean(&te.col(0)).unwrap();
+        let tr_mean = descriptive::mean(&tr.col(0)).unwrap();
+        assert!(
+            (pop_mean - te_mean).abs() < (tr_mean - te_mean).abs(),
+            "population mean {pop_mean} did not move toward test mean {te_mean}"
+        );
+        // Spread stays comparable to the training spread (within 2x).
+        let pop_std = descriptive::std_dev(&pop.col(0)).unwrap();
+        let tr_std = descriptive::std_dev(&tr.col(0)).unwrap();
+        assert!(pop_std < 2.0 * tr_std && pop_std > 0.2 * tr_std);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let a = Matrix::from_rows(&[&[0.0], &[1.0]]).unwrap();
+        let one = Matrix::from_rows(&[&[0.0]]).unwrap();
+        let wide = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 2.0]]).unwrap();
+        assert!(KernelMeanMatching::fit(&one, &a, &KmmConfig::default()).is_err());
+        assert!(KernelMeanMatching::fit(&a, &one, &KmmConfig::default()).is_err());
+        assert!(KernelMeanMatching::fit(&a, &wide, &KmmConfig::default()).is_err());
+        let bad_kernel = KmmConfig {
+            kernel: Some(Kernel::Rbf { gamma: -1.0 }),
+            ..Default::default()
+        };
+        assert!(KernelMeanMatching::fit(&a, &a, &bad_kernel).is_err());
+    }
+
+    #[test]
+    fn shifted_population_rejects_negative_jitter() {
+        let (tr, te) = shifted_sets(6);
+        let kmm = KernelMeanMatching::fit(&tr, &te, &KmmConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(kmm.shifted_population(&mut rng, 10, -0.1).is_err());
+    }
+
+    #[test]
+    fn weights_respect_box() {
+        let (tr, te) = shifted_sets(8);
+        let cfg = KmmConfig {
+            upper: 3.0,
+            ..Default::default()
+        };
+        let kmm = KernelMeanMatching::fit(&tr, &te, &cfg).unwrap();
+        for w in kmm.weights() {
+            assert!(*w >= -1e-9 && *w <= 3.0 + 1e-9, "weight {w} outside box");
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Multivariate Adaptive Regression Splines (Friedman 1991).
+//!
+//! MARS is the paper's choice of nonlinear regression for mapping PCM
+//! measurement vectors to side-channel fingerprint values (§3.2: "MARS were
+//! used to train the regression models"). The model is a sum of products of
+//! *hinge* functions `max(0, x_j − t)` / `max(0, t − x_j)`:
+//!
+//! 1. a **forward pass** greedily adds the mirrored hinge pair that most
+//!    reduces the residual sum of squares,
+//! 2. a **backward pruning pass** removes terms one at a time, keeping the
+//!    sub-model with the best generalized cross-validation (GCV) score.
+//!
+//! # Example
+//!
+//! ```
+//! use sidefp_linalg::Matrix;
+//! use sidefp_stats::mars::{Mars, MarsConfig};
+//! use sidefp_stats::Regressor;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // y = |x| has a kink at 0 — exactly what hinges capture.
+//! let xs: Vec<Vec<f64>> = (-10..=10).map(|i| vec![i as f64 / 2.0]).collect();
+//! let x = Matrix::from_samples(&xs)?;
+//! let y: Vec<f64> = xs.iter().map(|v| v[0].abs()).collect();
+//! let model = Mars::fit(&x, &y, &MarsConfig::default())?;
+//! assert!((model.predict(&[3.0])? - 3.0).abs() < 0.5);
+//! assert!((model.predict(&[-3.0])? - 3.0).abs() < 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+mod basis;
+mod model;
+
+pub use basis::{BasisFunction, Hinge, HingeDirection};
+pub use model::{Mars, MarsConfig};

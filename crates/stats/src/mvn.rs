@@ -1,0 +1,210 @@
+use rand::{Rng, RngExt};
+use sidefp_linalg::{Cholesky, Matrix};
+
+use crate::StatsError;
+
+/// Draws a single standard normal variate via the Box–Muller transform.
+///
+/// The `rand` crate deliberately ships no distributions beyond uniform, so
+/// the workspace carries its own Gaussian sampler.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let z = sidefp_stats::MultivariateNormal::standard_normal(&mut rng);
+/// assert!(z.is_finite());
+/// ```
+fn box_muller<R: Rng>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by nudging the uniform away from zero.
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A multivariate normal distribution `N(μ, Σ)` supporting sampling.
+///
+/// Sampling draws i.i.d. standard normals (Box–Muller) and correlates them
+/// through the Cholesky factor of `Σ`. This is the stochastic engine behind
+/// the process-variation model: correlated transistor parameters across a
+/// die are exactly correlated Gaussians.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sidefp_linalg::Matrix;
+/// use sidefp_stats::MultivariateNormal;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cov = Matrix::from_rows(&[&[1.0, 0.8], &[0.8, 1.0]])?;
+/// let mvn = MultivariateNormal::new(vec![0.0, 0.0], &cov)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let x = mvn.sample(&mut rng);
+/// assert_eq!(x.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultivariateNormal {
+    mean: Vec<f64>,
+    chol: Cholesky,
+}
+
+impl MultivariateNormal {
+    /// Constructs the distribution from a mean vector and covariance matrix.
+    ///
+    /// # Errors
+    ///
+    /// - [`StatsError::DimensionMismatch`] if `mean.len() != covariance.nrows()`.
+    /// - [`StatsError::Linalg`] if the covariance is not symmetric positive
+    ///   definite.
+    pub fn new(mean: Vec<f64>, covariance: &Matrix) -> Result<Self, StatsError> {
+        if mean.len() != covariance.nrows() {
+            return Err(StatsError::DimensionMismatch {
+                expected: covariance.nrows(),
+                got: mean.len(),
+            });
+        }
+        let chol = covariance.cholesky()?;
+        Ok(MultivariateNormal { mean, chol })
+    }
+
+    /// Convenience constructor for independent coordinates with the given
+    /// standard deviations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if any standard deviation is
+    /// not strictly positive.
+    pub fn independent(mean: Vec<f64>, stds: &[f64]) -> Result<Self, StatsError> {
+        if stds.len() != mean.len() {
+            return Err(StatsError::DimensionMismatch {
+                expected: mean.len(),
+                got: stds.len(),
+            });
+        }
+        if let Some(bad) = stds.iter().find(|s| **s <= 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "stds",
+                reason: format!("standard deviations must be positive, got {bad}"),
+            });
+        }
+        let n = stds.len();
+        let cov = Matrix::from_fn(n, n, |i, j| if i == j { stds[i] * stds[i] } else { 0.0 });
+        MultivariateNormal::new(mean, &cov)
+    }
+
+    /// Dimension of the distribution.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// The mean vector.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Vec<f64> {
+        let z: Vec<f64> = (0..self.dim()).map(|_| box_muller(rng)).collect();
+        let correlated = self
+            .chol
+            .apply_factor(&z)
+            .expect("factor dimension matches sample dimension");
+        correlated
+            .iter()
+            .zip(&self.mean)
+            .map(|(c, m)| c + m)
+            .collect()
+    }
+
+    /// Draws `n` samples as rows of a matrix.
+    pub fn sample_matrix<R: Rng>(&self, rng: &mut R, n: usize) -> Matrix {
+        let mut out = Matrix::zeros(n, self.dim());
+        for i in 0..n {
+            let s = self.sample(rng);
+            out.row_mut(i).copy_from_slice(&s);
+        }
+        out
+    }
+
+    /// Draws a single standard normal variate (`N(0, 1)`).
+    ///
+    /// Exposed so that other crates can reuse the Box–Muller sampler
+    /// without constructing a distribution object.
+    pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+        box_muller(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| MultivariateNormal::standard_normal(&mut rng))
+            .collect();
+        let m = descriptive::mean(&samples).unwrap();
+        let v = descriptive::variance(&samples).unwrap();
+        assert!(m.abs() < 0.03, "mean {m}");
+        assert!((v - 1.0).abs() < 0.05, "variance {v}");
+    }
+
+    #[test]
+    fn correlated_samples_have_requested_covariance() {
+        let cov = Matrix::from_rows(&[&[2.0, 1.2], &[1.2, 1.0]]).unwrap();
+        let mvn = MultivariateNormal::new(vec![1.0, -1.0], &cov).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples = mvn.sample_matrix(&mut rng, 20_000);
+        let means = samples.column_means();
+        assert!((means[0] - 1.0).abs() < 0.05);
+        assert!((means[1] + 1.0).abs() < 0.05);
+        let c = samples.covariance().unwrap();
+        assert!((c[(0, 0)] - 2.0).abs() < 0.1);
+        assert!((c[(0, 1)] - 1.2).abs() < 0.1);
+        assert!((c[(1, 1)] - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn independent_constructor() {
+        let mvn = MultivariateNormal::independent(vec![0.0, 10.0], &[1.0, 2.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples = mvn.sample_matrix(&mut rng, 10_000);
+        let col1 = samples.col(1);
+        assert!((descriptive::mean(&col1).unwrap() - 10.0).abs() < 0.1);
+        assert!((descriptive::std_dev(&col1).unwrap() - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let cov = Matrix::identity(2);
+        assert!(MultivariateNormal::new(vec![0.0], &cov).is_err());
+        assert!(MultivariateNormal::independent(vec![0.0], &[0.0]).is_err());
+        assert!(MultivariateNormal::independent(vec![0.0], &[1.0, 1.0]).is_err());
+        let not_spd = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(MultivariateNormal::new(vec![0.0, 0.0], &not_spd).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mvn = MultivariateNormal::independent(vec![0.0], &[1.0]).unwrap();
+        let a = mvn.sample(&mut StdRng::seed_from_u64(5));
+        let b = mvn.sample(&mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn accessors() {
+        let mvn = MultivariateNormal::independent(vec![1.0, 2.0], &[1.0, 1.0]).unwrap();
+        assert_eq!(mvn.dim(), 2);
+        assert_eq!(mvn.mean(), &[1.0, 2.0]);
+    }
+}

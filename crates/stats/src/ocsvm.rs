@@ -1,0 +1,335 @@
+use sidefp_linalg::Matrix;
+
+use crate::qp::{SmoConfig, SmoSolver};
+use crate::{Kernel, StatsError};
+
+/// Configuration for the ν-one-class SVM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OneClassSvmConfig {
+    /// Fraction `ν ∈ (0, 1]` of training points allowed outside the
+    /// boundary (and lower bound on the fraction of support vectors).
+    pub nu: f64,
+    /// Kernel; the RBF kernel yields the closed boundaries the paper's
+    /// trusted regions need.
+    pub kernel: Kernel,
+    /// KKT tolerance of the SMO solver.
+    pub tol: f64,
+    /// Iteration budget of the SMO solver.
+    pub max_iter: usize,
+}
+
+impl Default for OneClassSvmConfig {
+    fn default() -> Self {
+        OneClassSvmConfig {
+            nu: 0.05,
+            kernel: Kernel::Rbf { gamma: 1.0 },
+            tol: 1e-6,
+            max_iter: 200_000,
+        }
+    }
+}
+
+/// A trained ν-one-class SVM (Schölkopf et al. 2001).
+///
+/// This is the paper's one-class classifier: trained on a trusted
+/// fingerprint population, its decision boundary *is* the trusted region
+/// (B1–B5). Points with non-negative decision value are inliers
+/// (Trojan-free verdict); negative values are outliers (Trojan-infested
+/// verdict).
+///
+/// The dual `min ½αᵀQα, Σα = 1, 0 ≤ α_i ≤ 1/(νn)` is solved with the
+/// workspace [`SmoSolver`]; the offset `ρ` is recovered as the average
+/// decision value over on-margin support vectors.
+///
+/// # Example
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct OneClassSvm {
+    support_vectors: Matrix,
+    alphas: Vec<f64>,
+    rho: f64,
+    kernel: Kernel,
+    input_dim: usize,
+    trained_nu: f64,
+}
+
+impl OneClassSvm {
+    /// Fits the SVM to the rows of `data`.
+    ///
+    /// # Errors
+    ///
+    /// - [`StatsError::InsufficientData`] for fewer than two rows.
+    /// - [`StatsError::InvalidParameter`] for `ν ∉ (0, 1]` or invalid
+    ///   kernel hyper-parameters.
+    pub fn fit(data: &Matrix, config: &OneClassSvmConfig) -> Result<Self, StatsError> {
+        let n = data.nrows();
+        if n < 2 {
+            return Err(StatsError::InsufficientData { needed: 2, got: n });
+        }
+        if !(config.nu > 0.0 && config.nu <= 1.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "nu",
+                reason: format!("must be in (0, 1], got {}", config.nu),
+            });
+        }
+        config.kernel.validate()?;
+
+        let q = config.kernel.gram_symmetric(data);
+        let c = 1.0 / (config.nu * n as f64);
+        let smo = SmoSolver::new(SmoConfig {
+            upper: c,
+            tol: config.tol,
+            max_iter: config.max_iter,
+        });
+        let sol = smo.solve(&q)?;
+
+        // ρ = mean decision value over margin SVs (0 < α < C); fall back to
+        // all SVs if none are strictly inside the box.
+        let margin_tol = c * 1e-6;
+        let margin: Vec<usize> = (0..n)
+            .filter(|&i| sol.alpha[i] > margin_tol && sol.alpha[i] < c - margin_tol)
+            .collect();
+        let candidates: Vec<usize> = if margin.is_empty() {
+            (0..n).filter(|&i| sol.alpha[i] > margin_tol).collect()
+        } else {
+            margin
+        };
+        if candidates.is_empty() {
+            return Err(StatsError::DegenerateData(
+                "one-class SVM produced no support vectors".into(),
+            ));
+        }
+        let rho =
+            candidates.iter().map(|&i| sol.gradient[i]).sum::<f64>() / candidates.len() as f64;
+
+        // Keep only support vectors for prediction.
+        let sv_idx: Vec<usize> = (0..n).filter(|&i| sol.alpha[i] > margin_tol).collect();
+        let support_vectors = data.select_rows(&sv_idx);
+        let alphas: Vec<f64> = sv_idx.iter().map(|&i| sol.alpha[i]).collect();
+
+        Ok(OneClassSvm {
+            support_vectors,
+            alphas,
+            rho,
+            kernel: config.kernel,
+            input_dim: data.ncols(),
+            trained_nu: config.nu,
+        })
+    }
+
+    /// Signed decision value: positive inside the trusted region, negative
+    /// outside, zero on the boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] on length mismatch.
+    pub fn decision_function(&self, x: &[f64]) -> Result<f64, StatsError> {
+        if x.len() != self.input_dim {
+            return Err(StatsError::DimensionMismatch {
+                expected: self.input_dim,
+                got: x.len(),
+            });
+        }
+        let sum: f64 = self
+            .support_vectors
+            .rows_iter()
+            .zip(&self.alphas)
+            .map(|(sv, a)| a * self.kernel.eval(sv, x))
+            .sum();
+        Ok(sum - self.rho)
+    }
+
+    /// `true` if the point falls inside (or on) the trusted boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` does not match the fitted dimension; use
+    /// [`OneClassSvm::decision_function`] for a fallible variant.
+    pub fn is_inlier(&self, x: &[f64]) -> bool {
+        self.decision_function(x)
+            .expect("dimension mismatch in is_inlier")
+            >= 0.0
+    }
+
+    /// Decision values for every row of `x`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OneClassSvm::decision_function`] errors.
+    pub fn decision_rows(&self, x: &Matrix) -> Result<Vec<f64>, StatsError> {
+        x.rows_iter()
+            .map(|row| self.decision_function(row))
+            .collect()
+    }
+
+    /// Number of support vectors retained.
+    pub fn support_vector_count(&self) -> usize {
+        self.support_vectors.nrows()
+    }
+
+    /// Offset ρ of the decision function.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// The ν the model was trained with.
+    pub fn nu(&self) -> f64 {
+        self.trained_nu
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MultivariateNormal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blob(n: usize, seed: u64) -> Matrix {
+        let mvn = MultivariateNormal::independent(vec![0.0, 0.0], &[1.0, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        mvn.sample_matrix(&mut rng, n)
+    }
+
+    fn default_cfg() -> OneClassSvmConfig {
+        OneClassSvmConfig {
+            nu: 0.1,
+            kernel: Kernel::Rbf { gamma: 0.5 },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn center_in_far_point_out() {
+        let svm = OneClassSvm::fit(&blob(100, 1), &default_cfg()).unwrap();
+        assert!(svm.is_inlier(&[0.0, 0.0]));
+        assert!(!svm.is_inlier(&[10.0, 10.0]));
+        assert!(svm.decision_function(&[0.0, 0.0]).unwrap() > 0.0);
+        assert!(svm.decision_function(&[10.0, 10.0]).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn nu_controls_training_rejection_rate() {
+        let data = blob(200, 2);
+        for nu in [0.05, 0.2] {
+            let cfg = OneClassSvmConfig {
+                nu,
+                kernel: Kernel::Rbf { gamma: 0.5 },
+                ..Default::default()
+            };
+            let svm = OneClassSvm::fit(&data, &cfg).unwrap();
+            let rejected = data
+                .rows_iter()
+                .filter(|row| svm.decision_function(row).unwrap() < 0.0)
+                .count() as f64
+                / 200.0;
+            // ν is an upper bound on the rejection fraction (within slack).
+            assert!(
+                rejected <= nu + 0.07,
+                "nu = {nu}: rejected fraction {rejected}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_nu_rejects_more() {
+        let data = blob(200, 3);
+        let count_rejected = |nu: f64| {
+            let cfg = OneClassSvmConfig {
+                nu,
+                kernel: Kernel::Rbf { gamma: 0.5 },
+                ..Default::default()
+            };
+            let svm = OneClassSvm::fit(&data, &cfg).unwrap();
+            data.rows_iter()
+                .filter(|row| svm.decision_function(row).unwrap() < 0.0)
+                .count()
+        };
+        assert!(count_rejected(0.3) >= count_rejected(0.02));
+    }
+
+    #[test]
+    fn support_vector_fraction_at_least_nu() {
+        let data = blob(100, 4);
+        let cfg = OneClassSvmConfig {
+            nu: 0.2,
+            kernel: Kernel::Rbf { gamma: 0.5 },
+            ..Default::default()
+        };
+        let svm = OneClassSvm::fit(&data, &cfg).unwrap();
+        // ν-property: at least ν·n support vectors.
+        assert!(
+            svm.support_vector_count() as f64 >= 0.2 * 100.0 - 1.0,
+            "only {} SVs",
+            svm.support_vector_count()
+        );
+    }
+
+    #[test]
+    fn separates_shifted_cluster() {
+        // Train on cluster at origin; points from a cluster at (4, 4) must
+        // be rejected.
+        let train = blob(150, 5);
+        let svm = OneClassSvm::fit(&train, &default_cfg()).unwrap();
+        let mvn = MultivariateNormal::independent(vec![4.0, 4.0], &[0.5, 0.5]).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let outliers = mvn.sample_matrix(&mut rng, 50);
+        let rejected = outliers
+            .rows_iter()
+            .filter(|row| svm.decision_function(row).unwrap() < 0.0)
+            .count();
+        assert!(rejected >= 48, "only {rejected}/50 outliers rejected");
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let data = blob(20, 7);
+        let bad_nu = OneClassSvmConfig {
+            nu: 0.0,
+            ..default_cfg()
+        };
+        assert!(OneClassSvm::fit(&data, &bad_nu).is_err());
+        let bad_nu2 = OneClassSvmConfig {
+            nu: 1.5,
+            ..default_cfg()
+        };
+        assert!(OneClassSvm::fit(&data, &bad_nu2).is_err());
+        let bad_kernel = OneClassSvmConfig {
+            kernel: Kernel::Rbf { gamma: -1.0 },
+            ..default_cfg()
+        };
+        assert!(OneClassSvm::fit(&data, &bad_kernel).is_err());
+        assert!(OneClassSvm::fit(&Matrix::zeros(1, 2), &default_cfg()).is_err());
+    }
+
+    #[test]
+    fn decision_dimension_checked() {
+        let svm = OneClassSvm::fit(&blob(30, 8), &default_cfg()).unwrap();
+        assert!(svm.decision_function(&[1.0]).is_err());
+        assert_eq!(svm.input_dim(), 2);
+    }
+
+    #[test]
+    fn decision_rows_matches_pointwise() {
+        let data = blob(40, 9);
+        let svm = OneClassSvm::fit(&data, &default_cfg()).unwrap();
+        let batch = svm.decision_rows(&data).unwrap();
+        for (i, row) in data.rows_iter().enumerate() {
+            assert_eq!(batch[i], svm.decision_function(row).unwrap());
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let svm = OneClassSvm::fit(&blob(30, 10), &default_cfg()).unwrap();
+        assert_eq!(svm.nu(), 0.1);
+        assert!(svm.rho().is_finite());
+        assert!(svm.support_vector_count() > 0);
+    }
+}

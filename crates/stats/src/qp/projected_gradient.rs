@@ -1,0 +1,273 @@
+use sidefp_linalg::Matrix;
+
+use crate::StatsError;
+
+/// Configuration for the projected-gradient box-and-band QP solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxBandConfig {
+    /// Upper bound `B` of the box `0 ≤ β_i ≤ B`.
+    pub upper: f64,
+    /// Half-width `ε` of the mean band `|mean(β) − 1| ≤ ε`.
+    pub band: f64,
+    /// Maximum gradient iterations.
+    pub max_iter: usize,
+    /// Convergence tolerance on the iterate change (infinity norm).
+    pub tol: f64,
+}
+
+impl Default for BoxBandConfig {
+    fn default() -> Self {
+        BoxBandConfig {
+            upper: 1000.0,
+            band: 0.1,
+            max_iter: 2000,
+            tol: 1e-7,
+        }
+    }
+}
+
+/// Projects `beta` onto the box `[0, B]ⁿ` intersected with the band
+/// `|mean(β) − 1| ≤ ε` by alternating projections.
+///
+/// The two sets are convex and their intersection is non-empty whenever
+/// `B ≥ 1 − ε` (the constant vector `1` is then nearly feasible), so the
+/// alternation converges; a handful of rounds suffices in practice.
+fn project_box_band(beta: &mut [f64], upper: f64, band: f64) {
+    let n = beta.len() as f64;
+    for _ in 0..64 {
+        // Project onto the box.
+        for b in beta.iter_mut() {
+            *b = b.clamp(0.0, upper);
+        }
+        // Project onto the band: shift the mean into [1 − ε, 1 + ε].
+        let mean: f64 = beta.iter().sum::<f64>() / n;
+        let target = if mean < 1.0 - band {
+            1.0 - band
+        } else if mean > 1.0 + band {
+            1.0 + band
+        } else {
+            // Box projection may have moved us; verify box feasibility.
+            if beta.iter().all(|b| (0.0..=upper).contains(b)) {
+                return;
+            }
+            continue;
+        };
+        let shift = target - mean;
+        for b in beta.iter_mut() {
+            *b += shift;
+        }
+    }
+    // Final safety clamp: box feasibility is the hard constraint.
+    for b in beta.iter_mut() {
+        *b = b.clamp(0.0, upper);
+    }
+}
+
+/// Solves `min ½βᵀKβ − κᵀβ` subject to `0 ≤ β_i ≤ B` and
+/// `|mean(β) − 1| ≤ ε` by projected gradient descent.
+///
+/// This is the kernel-mean-matching QP (paper Eq. 4). `K` must be symmetric
+/// positive semi-definite (a Gram matrix); the step size is derived from a
+/// Gershgorin bound on its largest eigenvalue, so no line search is needed.
+///
+/// # Errors
+///
+/// - [`StatsError::DimensionMismatch`] if `kappa.len() != k.nrows()`.
+/// - [`StatsError::InvalidParameter`] on non-positive `upper`/`band`,
+///   or if the constraint set is empty (`B < 1 − ε`).
+/// - [`StatsError::Linalg`] if `k` is not square.
+///
+/// # Example
+///
+/// ```
+/// use sidefp_linalg::Matrix;
+/// use sidefp_stats::qp::{solve_box_band, BoxBandConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let k = Matrix::identity(3);
+/// let kappa = vec![1.0, 1.0, 1.0];
+/// let beta = solve_box_band(&k, &kappa, &BoxBandConfig::default())?;
+/// // With K = I the unconstrained optimum is β = κ = 1, which is feasible.
+/// assert!(beta.iter().all(|b| (b - 1.0).abs() < 1e-4));
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_box_band(
+    k: &Matrix,
+    kappa: &[f64],
+    config: &BoxBandConfig,
+) -> Result<Vec<f64>, StatsError> {
+    if !k.is_square() {
+        return Err(StatsError::Linalg(sidefp_linalg::LinalgError::NotSquare {
+            shape: k.shape(),
+        }));
+    }
+    let n = k.nrows();
+    if kappa.len() != n {
+        return Err(StatsError::DimensionMismatch {
+            expected: n,
+            got: kappa.len(),
+        });
+    }
+    if config.upper <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "upper",
+            reason: format!("box upper bound must be positive, got {}", config.upper),
+        });
+    }
+    if config.band <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "band",
+            reason: format!("band half-width must be positive, got {}", config.band),
+        });
+    }
+    if config.upper < 1.0 - config.band {
+        return Err(StatsError::InvalidParameter {
+            name: "upper",
+            reason: format!(
+                "constraint set empty: upper bound {} < 1 - band {}",
+                config.upper,
+                1.0 - config.band
+            ),
+        });
+    }
+
+    // Gershgorin bound on the spectral radius for the fixed step size.
+    let mut lipschitz = 0.0_f64;
+    for i in 0..n {
+        let row_sum: f64 = k.row(i).iter().map(|v| v.abs()).sum();
+        lipschitz = lipschitz.max(row_sum);
+    }
+    let step = 1.0 / lipschitz.max(1e-12);
+
+    // Feasible start: the all-ones vector clamped into the box.
+    let mut beta = vec![1.0_f64.min(config.upper); n];
+    project_box_band(&mut beta, config.upper, config.band);
+
+    for _ in 0..config.max_iter {
+        // grad = K β − κ
+        let grad = {
+            let mut g = k.matvec(&beta)?;
+            for (gi, ki) in g.iter_mut().zip(kappa) {
+                *gi -= ki;
+            }
+            g
+        };
+        let mut next: Vec<f64> = beta.iter().zip(&grad).map(|(b, g)| b - step * g).collect();
+        project_box_band(&mut next, config.upper, config.band);
+
+        let delta = next
+            .iter()
+            .zip(&beta)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0_f64, f64::max);
+        beta = next;
+        if delta < config.tol {
+            break;
+        }
+    }
+    Ok(beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_recovers_kappa_when_feasible() {
+        let k = Matrix::identity(4);
+        let kappa = vec![0.9, 1.1, 1.0, 1.0];
+        let beta = solve_box_band(&k, &kappa, &BoxBandConfig::default()).unwrap();
+        for (b, t) in beta.iter().zip(&kappa) {
+            assert!((b - t).abs() < 1e-3, "beta {b} target {t}");
+        }
+    }
+
+    #[test]
+    fn box_constraint_binds() {
+        let k = Matrix::identity(2);
+        // Unconstrained optimum is (5, 5) but box caps at 2; the mean band
+        // then pulls toward mean 1 + eps.
+        let kappa = vec![5.0, 5.0];
+        let cfg = BoxBandConfig {
+            upper: 2.0,
+            band: 0.5,
+            ..Default::default()
+        };
+        let beta = solve_box_band(&k, &kappa, &cfg).unwrap();
+        for b in &beta {
+            assert!(*b <= 2.0 + 1e-9 && *b >= 0.0);
+        }
+        let mean: f64 = beta.iter().sum::<f64>() / 2.0;
+        assert!(mean <= 1.5 + 1e-6, "mean {mean} violates band");
+    }
+
+    #[test]
+    fn mean_band_holds() {
+        let k = Matrix::identity(3);
+        let kappa = vec![0.0, 0.0, 0.0]; // optimum wants all zeros
+        let cfg = BoxBandConfig {
+            band: 0.2,
+            ..Default::default()
+        };
+        let beta = solve_box_band(&k, &kappa, &cfg).unwrap();
+        let mean: f64 = beta.iter().sum::<f64>() / 3.0;
+        assert!(mean >= 0.8 - 1e-6, "mean {mean} fell below the band");
+    }
+
+    #[test]
+    fn objective_decreases_from_start() {
+        // Random-ish SPD kernel.
+        let a = Matrix::from_rows(&[&[1.0, 0.3, 0.1], &[0.3, 1.0, 0.2], &[0.1, 0.2, 1.0]]).unwrap();
+        let kappa = vec![2.0, 0.5, 1.5];
+        let obj = |b: &[f64]| -> f64 {
+            let kb = a.matvec(b).unwrap();
+            0.5 * b.iter().zip(&kb).map(|(x, y)| x * y).sum::<f64>()
+                - kappa.iter().zip(b).map(|(k, x)| k * x).sum::<f64>()
+        };
+        let start = vec![1.0; 3];
+        let beta = solve_box_band(&a, &kappa, &BoxBandConfig::default()).unwrap();
+        assert!(obj(&beta) <= obj(&start) + 1e-9);
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let k = Matrix::identity(2);
+        let kappa = vec![1.0, 1.0];
+        let bad_upper = BoxBandConfig {
+            upper: 0.0,
+            ..Default::default()
+        };
+        assert!(solve_box_band(&k, &kappa, &bad_upper).is_err());
+        let bad_band = BoxBandConfig {
+            band: 0.0,
+            ..Default::default()
+        };
+        assert!(solve_box_band(&k, &kappa, &bad_band).is_err());
+        let empty_set = BoxBandConfig {
+            upper: 0.5,
+            band: 0.1,
+            ..Default::default()
+        };
+        assert!(solve_box_band(&k, &kappa, &empty_set).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let k = Matrix::zeros(2, 3);
+        assert!(solve_box_band(&k, &[1.0, 1.0], &BoxBandConfig::default()).is_err());
+        let k = Matrix::identity(2);
+        assert!(solve_box_band(&k, &[1.0], &BoxBandConfig::default()).is_err());
+    }
+
+    #[test]
+    fn projection_satisfies_both_sets() {
+        let mut beta = vec![-5.0, 10.0, 0.5];
+        project_box_band(&mut beta, 2.0, 0.3);
+        for b in &beta {
+            assert!(*b >= -1e-9 && *b <= 2.0 + 1e-9);
+        }
+        let mean: f64 = beta.iter().sum::<f64>() / 3.0;
+        assert!((0.7 - 1e-6..=1.3 + 1e-6).contains(&mean), "mean {mean}");
+    }
+}

@@ -1,0 +1,295 @@
+use sidefp_linalg::Matrix;
+
+use crate::StatsError;
+
+/// Configuration for the SMO solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmoConfig {
+    /// Per-coordinate upper bound `C` (for the ν-OCSVM, `C = 1/(ν·n)`).
+    pub upper: f64,
+    /// KKT violation tolerance.
+    pub tol: f64,
+    /// Maximum number of pairwise updates.
+    pub max_iter: usize,
+}
+
+impl Default for SmoConfig {
+    fn default() -> Self {
+        SmoConfig {
+            upper: 1.0,
+            tol: 1e-6,
+            max_iter: 100_000,
+        }
+    }
+}
+
+/// Result of an SMO run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmoSolution {
+    /// Optimal dual variables.
+    pub alpha: Vec<f64>,
+    /// Final gradient `Qα` (useful for computing the SVM offset ρ).
+    pub gradient: Vec<f64>,
+    /// Number of pairwise updates performed.
+    pub iterations: usize,
+    /// Whether the KKT conditions were met within tolerance.
+    pub converged: bool,
+}
+
+/// Sequential minimal optimization for `min ½αᵀQα` subject to `Σα = 1`,
+/// `0 ≤ α_i ≤ C`.
+///
+/// This is exactly the dual of the ν-one-class SVM (all labels positive, no
+/// linear term). The solver picks the maximal-violating pair at each step
+/// and updates it analytically, so the equality constraint is preserved by
+/// construction.
+///
+/// # Example
+///
+/// ```
+/// use sidefp_linalg::Matrix;
+/// use sidefp_stats::qp::{SmoConfig, SmoSolver};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let q = Matrix::identity(4);
+/// let sol = SmoSolver::new(SmoConfig::default()).solve(&q)?;
+/// // Identity Q: optimum spreads mass uniformly, α_i = 1/4.
+/// for a in &sol.alpha {
+///     assert!((a - 0.25).abs() < 1e-4);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SmoSolver {
+    config: SmoConfig,
+}
+
+impl SmoSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: SmoConfig) -> Self {
+        SmoSolver { config }
+    }
+
+    /// Solves the QP for the symmetric PSD matrix `q`.
+    ///
+    /// # Errors
+    ///
+    /// - [`StatsError::Linalg`] if `q` is not square.
+    /// - [`StatsError::InvalidParameter`] if `upper·n < 1` (infeasible) or
+    ///   `upper ≤ 0`.
+    /// - Never returns [`StatsError::NotConverged`]: a best-effort solution
+    ///   with `converged = false` is returned instead, because a slightly
+    ///   sub-optimal boundary is still usable downstream.
+    pub fn solve(&self, q: &Matrix) -> Result<SmoSolution, StatsError> {
+        if !q.is_square() {
+            return Err(StatsError::Linalg(sidefp_linalg::LinalgError::NotSquare {
+                shape: q.shape(),
+            }));
+        }
+        let n = q.nrows();
+        let c = self.config.upper;
+        if c <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "upper",
+                reason: format!("must be positive, got {c}"),
+            });
+        }
+        if (c * n as f64) < 1.0 - 1e-12 {
+            return Err(StatsError::InvalidParameter {
+                name: "upper",
+                reason: format!("infeasible: upper * n = {} < 1", c * n as f64),
+            });
+        }
+
+        // Feasible start: uniform weights, clipped into the box. Uniform is
+        // always feasible because C·n ≥ 1.
+        let mut alpha = vec![(1.0 / n as f64).min(c); n];
+        // Repair any mass deficit from clipping (cannot happen for uniform,
+        // but keep the invariant explicit).
+        let mass: f64 = alpha.iter().sum();
+        if (mass - 1.0).abs() > 1e-12 {
+            let scale = 1.0 / mass;
+            for a in &mut alpha {
+                *a *= scale;
+            }
+        }
+
+        // gradient = Qα.
+        let mut grad = q.matvec(&alpha)?;
+
+        let mut iterations = 0;
+        let mut converged = false;
+        while iterations < self.config.max_iter {
+            // Maximal violating pair:
+            //   i (can increase): α_i < C with minimal gradient,
+            //   j (can decrease): α_j > 0 with maximal gradient.
+            let mut i_best = usize::MAX;
+            let mut g_min = f64::INFINITY;
+            let mut j_best = usize::MAX;
+            let mut g_max = f64::NEG_INFINITY;
+            for t in 0..n {
+                if alpha[t] < c - 1e-15 && grad[t] < g_min {
+                    g_min = grad[t];
+                    i_best = t;
+                }
+                if alpha[t] > 1e-15 && grad[t] > g_max {
+                    g_max = grad[t];
+                    j_best = t;
+                }
+            }
+            if i_best == usize::MAX || j_best == usize::MAX || g_max - g_min < self.config.tol {
+                converged = true;
+                break;
+            }
+            let (i, j) = (i_best, j_best);
+
+            // Analytic update along e_i − e_j: minimize
+            //   ½(α + δ(e_i − e_j))ᵀ Q (α + δ(e_i − e_j))
+            // → δ* = (g_j − g_i) / (Q_ii + Q_jj − 2Q_ij).
+            let denom = q[(i, i)] + q[(j, j)] - 2.0 * q[(i, j)];
+            let mut delta = if denom > 1e-12 {
+                (grad[j] - grad[i]) / denom
+            } else {
+                // Flat direction: move as far as the box allows.
+                f64::INFINITY
+            };
+            // Box clipping. NaN or non-positive steps mean the pair is
+            // numerically stuck.
+            delta = delta.min(c - alpha[i]).min(alpha[j]);
+            if delta.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                // Numerically stuck pair; treat as converged to avoid spin.
+                converged = true;
+                break;
+            }
+
+            alpha[i] += delta;
+            alpha[j] -= delta;
+            // Incremental gradient update: grad += δ(Q e_i − Q e_j).
+            for t in 0..n {
+                grad[t] += delta * (q[(i, t)] - q[(j, t)]);
+            }
+            iterations += 1;
+        }
+
+        Ok(SmoSolution {
+            alpha,
+            gradient: grad,
+            iterations,
+            converged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn objective(q: &Matrix, alpha: &[f64]) -> f64 {
+        let qa = q.matvec(alpha).unwrap();
+        0.5 * alpha.iter().zip(&qa).map(|(a, b)| a * b).sum::<f64>()
+    }
+
+    #[test]
+    fn identity_spreads_mass_uniformly() {
+        let q = Matrix::identity(5);
+        let sol = SmoSolver::new(SmoConfig::default()).solve(&q).unwrap();
+        assert!(sol.converged);
+        for a in &sol.alpha {
+            assert!((a - 0.2).abs() < 1e-4, "alpha {a}");
+        }
+    }
+
+    #[test]
+    fn mass_conservation_invariant() {
+        let q = Matrix::from_rows(&[&[1.0, 0.9, 0.1], &[0.9, 1.0, 0.2], &[0.1, 0.2, 1.0]]).unwrap();
+        let sol = SmoSolver::new(SmoConfig::default()).solve(&q).unwrap();
+        let mass: f64 = sol.alpha.iter().sum();
+        assert!((mass - 1.0).abs() < 1e-10, "mass {mass}");
+        assert!(sol.alpha.iter().all(|a| *a >= -1e-12 && *a <= 1.0 + 1e-12));
+    }
+
+    #[test]
+    fn box_constraint_respected() {
+        let q = Matrix::identity(4);
+        let cfg = SmoConfig {
+            upper: 0.3,
+            ..Default::default()
+        };
+        let sol = SmoSolver::new(cfg).solve(&q).unwrap();
+        for a in &sol.alpha {
+            assert!(*a <= 0.3 + 1e-12 && *a >= -1e-12);
+        }
+        let mass: f64 = sol.alpha.iter().sum();
+        assert!((mass - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn beats_or_matches_uniform_start() {
+        let q = Matrix::from_rows(&[
+            &[2.0, 0.5, 0.0, 0.1],
+            &[0.5, 1.0, 0.3, 0.0],
+            &[0.0, 0.3, 1.5, 0.2],
+            &[0.1, 0.0, 0.2, 0.8],
+        ])
+        .unwrap();
+        let sol = SmoSolver::new(SmoConfig::default()).solve(&q).unwrap();
+        let uniform = vec![0.25; 4];
+        assert!(objective(&q, &sol.alpha) <= objective(&q, &uniform) + 1e-12);
+    }
+
+    #[test]
+    fn correlated_q_concentrates_on_uncorrelated_point() {
+        // Points 0 and 1 are near-duplicates (high Q entries); point 2 is
+        // independent. The optimum should shift mass toward point 2.
+        let q =
+            Matrix::from_rows(&[&[1.0, 0.99, 0.0], &[0.99, 1.0, 0.0], &[0.0, 0.0, 1.0]]).unwrap();
+        let sol = SmoSolver::new(SmoConfig::default()).solve(&q).unwrap();
+        assert!(
+            sol.alpha[2] > sol.alpha[0],
+            "alpha {:?} should favor the independent point",
+            sol.alpha
+        );
+    }
+
+    #[test]
+    fn infeasible_and_invalid_configs_rejected() {
+        let q = Matrix::identity(2);
+        let infeasible = SmoConfig {
+            upper: 0.4, // 0.4 * 2 < 1
+            ..Default::default()
+        };
+        assert!(SmoSolver::new(infeasible).solve(&q).is_err());
+        let negative = SmoConfig {
+            upper: -1.0,
+            ..Default::default()
+        };
+        assert!(SmoSolver::new(negative).solve(&q).is_err());
+        assert!(SmoSolver::new(SmoConfig::default())
+            .solve(&Matrix::zeros(2, 3))
+            .is_err());
+    }
+
+    #[test]
+    fn tight_box_forces_uniform() {
+        // With C = 1/n exactly, the only feasible point is uniform.
+        let q = Matrix::from_rows(&[&[3.0, 0.1], &[0.1, 1.0]]).unwrap();
+        let cfg = SmoConfig {
+            upper: 0.5,
+            ..Default::default()
+        };
+        let sol = SmoSolver::new(cfg).solve(&q).unwrap();
+        assert!((sol.alpha[0] - 0.5).abs() < 1e-9);
+        assert!((sol.alpha[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gradient_output_matches_q_alpha() {
+        let q = Matrix::from_rows(&[&[1.0, 0.2], &[0.2, 1.0]]).unwrap();
+        let sol = SmoSolver::new(SmoConfig::default()).solve(&q).unwrap();
+        let qa = q.matvec(&sol.alpha).unwrap();
+        for (g, e) in sol.gradient.iter().zip(&qa) {
+            assert!((g - e).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+use sidefp_linalg::Matrix;
+
+use crate::StatsError;
+
+/// A fitted single-output regression model `g : ℝᵈ → ℝ`.
+///
+/// The golden-free flow trains one regressor per side-channel fingerprint
+/// coordinate (paper §2.1: `g_j : m_p ↦ m_j`). Implementations in this
+/// workspace: [`mars::Mars`](crate::mars::Mars) (the paper's choice),
+/// [`ridge::PolynomialRidge`](crate::ridge::PolynomialRidge) and
+/// [`knn::KnnRegressor`](crate::knn::KnnRegressor) (ablation baselines).
+///
+/// The trait is object-safe so that pipelines can hold `Box<dyn Regressor>`
+/// and swap models per configuration.
+pub trait Regressor: std::fmt::Debug + Send + Sync {
+    /// Predicts the output for a single input vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if `x` does not match the
+    /// fitted input dimension.
+    fn predict(&self, x: &[f64]) -> Result<f64, StatsError>;
+
+    /// Input dimension the model was fitted on.
+    fn input_dim(&self) -> usize;
+
+    /// Predicts outputs for every row of `x`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Regressor::predict`] errors.
+    fn predict_rows(&self, x: &Matrix) -> Result<Vec<f64>, StatsError> {
+        x.rows_iter().map(|row| self.predict(row)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal stub: predicts the sum of inputs.
+    #[derive(Debug)]
+    struct SumModel {
+        dim: usize,
+    }
+
+    impl Regressor for SumModel {
+        fn predict(&self, x: &[f64]) -> Result<f64, StatsError> {
+            if x.len() != self.dim {
+                return Err(StatsError::DimensionMismatch {
+                    expected: self.dim,
+                    got: x.len(),
+                });
+            }
+            Ok(x.iter().sum())
+        }
+
+        fn input_dim(&self) -> usize {
+            self.dim
+        }
+    }
+
+    #[test]
+    fn default_predict_rows_maps_all_rows() {
+        let m = SumModel { dim: 2 };
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(m.predict_rows(&x).unwrap(), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let m: Box<dyn Regressor> = Box::new(SumModel { dim: 1 });
+        assert_eq!(m.predict(&[5.0]).unwrap(), 5.0);
+        assert_eq!(m.input_dim(), 1);
+        assert!(m.predict(&[1.0, 2.0]).is_err());
+    }
+}

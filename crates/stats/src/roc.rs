@@ -1,0 +1,197 @@
+//! ROC analysis over detector scores.
+//!
+//! FP/FN counts (Table 1) evaluate one operating point of a boundary; the
+//! ROC curve evaluates the whole decision function. Scores follow the
+//! trusted-region convention: **higher = more trusted**, so a positive
+//! (Trojan-free) device should out-score an infested one.
+
+use crate::{DetectionLabel, StatsError};
+
+/// One point of the ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// Decision threshold this point corresponds to.
+    pub threshold: f64,
+    /// True-positive rate: Trojan-free devices accepted as trusted.
+    pub true_positive_rate: f64,
+    /// False-positive rate: Trojan-infested devices accepted as trusted
+    /// (the paper's FP, normalized).
+    pub false_positive_rate: f64,
+}
+
+/// A ROC curve over (score, label) pairs.
+///
+/// # Example
+///
+/// ```
+/// use sidefp_stats::roc::RocCurve;
+/// use sidefp_stats::DetectionLabel::{TrojanFree, TrojanInfested};
+///
+/// # fn main() -> Result<(), sidefp_stats::StatsError> {
+/// // A perfect scorer: every free device out-scores every infested one.
+/// let scores = [(1.0, TrojanFree), (0.9, TrojanFree),
+///               (-0.5, TrojanInfested), (-1.0, TrojanInfested)];
+/// let roc = RocCurve::from_scores(scores)?;
+/// assert_eq!(roc.auc(), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RocCurve {
+    points: Vec<RocPoint>,
+    auc: f64,
+}
+
+impl RocCurve {
+    /// Builds the curve from (score, ground-truth) pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InsufficientData`] unless both classes are
+    /// present, or [`StatsError::DegenerateData`] for non-finite scores.
+    pub fn from_scores<I>(scores: I) -> Result<Self, StatsError>
+    where
+        I: IntoIterator<Item = (f64, DetectionLabel)>,
+    {
+        let mut pairs: Vec<(f64, DetectionLabel)> = scores.into_iter().collect();
+        if pairs.iter().any(|(s, _)| !s.is_finite()) {
+            return Err(StatsError::DegenerateData(
+                "ROC scores must be finite".into(),
+            ));
+        }
+        let positives = pairs
+            .iter()
+            .filter(|(_, l)| *l == DetectionLabel::TrojanFree)
+            .count();
+        let negatives = pairs.len() - positives;
+        if positives == 0 || negatives == 0 {
+            return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+        }
+
+        // Sweep thresholds from high to low: start at (0, 0), end at (1, 1).
+        pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+        let mut points = Vec::with_capacity(pairs.len() + 1);
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        points.push(RocPoint {
+            threshold: f64::INFINITY,
+            true_positive_rate: 0.0,
+            false_positive_rate: 0.0,
+        });
+        let mut i = 0;
+        while i < pairs.len() {
+            // Process ties together so the curve is well-defined.
+            let threshold = pairs[i].0;
+            while i < pairs.len() && pairs[i].0 == threshold {
+                match pairs[i].1 {
+                    DetectionLabel::TrojanFree => tp += 1,
+                    DetectionLabel::TrojanInfested => fp += 1,
+                }
+                i += 1;
+            }
+            points.push(RocPoint {
+                threshold,
+                true_positive_rate: tp as f64 / positives as f64,
+                false_positive_rate: fp as f64 / negatives as f64,
+            });
+        }
+
+        // Trapezoidal AUC.
+        let mut auc = 0.0;
+        for w in points.windows(2) {
+            let dx = w[1].false_positive_rate - w[0].false_positive_rate;
+            auc += dx * (w[0].true_positive_rate + w[1].true_positive_rate) / 2.0;
+        }
+
+        Ok(RocCurve { points, auc })
+    }
+
+    /// The curve's points, from threshold `+∞` downward.
+    pub fn points(&self) -> &[RocPoint] {
+        &self.points
+    }
+
+    /// Area under the curve: `P(score_free > score_infested)` (ties count
+    /// half). 1.0 = perfect separation, 0.5 = chance.
+    pub fn auc(&self) -> f64 {
+        self.auc
+    }
+
+    /// True-positive rate achievable at zero false positives — the paper's
+    /// operating regime (never accept a Trojan).
+    pub fn tpr_at_zero_fpr(&self) -> f64 {
+        self.points
+            .iter()
+            .filter(|p| p.false_positive_rate == 0.0)
+            .map(|p| p.true_positive_rate)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use DetectionLabel::{TrojanFree as Free, TrojanInfested as Infested};
+
+    #[test]
+    fn perfect_separation() {
+        let roc =
+            RocCurve::from_scores([(2.0, Free), (1.0, Free), (-1.0, Infested), (-2.0, Infested)])
+                .unwrap();
+        assert_eq!(roc.auc(), 1.0);
+        assert_eq!(roc.tpr_at_zero_fpr(), 1.0);
+        assert_eq!(roc.points().first().unwrap().true_positive_rate, 0.0);
+        assert_eq!(roc.points().last().unwrap().true_positive_rate, 1.0);
+    }
+
+    #[test]
+    fn inverted_scorer_has_zero_auc() {
+        let roc =
+            RocCurve::from_scores([(-1.0, Free), (-2.0, Free), (1.0, Infested), (2.0, Infested)])
+                .unwrap();
+        assert_eq!(roc.auc(), 0.0);
+        assert_eq!(roc.tpr_at_zero_fpr(), 0.0);
+    }
+
+    #[test]
+    fn interleaved_scores() {
+        // free at 3 and 1, infested at 2 and 0: one inversion out of four
+        // pairs → AUC = 3/4.
+        let roc =
+            RocCurve::from_scores([(3.0, Free), (2.0, Infested), (1.0, Free), (0.0, Infested)])
+                .unwrap();
+        assert!((roc.auc() - 0.75).abs() < 1e-12);
+        assert_eq!(roc.tpr_at_zero_fpr(), 0.5);
+    }
+
+    #[test]
+    fn ties_count_half() {
+        let roc = RocCurve::from_scores([(1.0, Free), (1.0, Infested)]).unwrap();
+        assert!((roc.auc() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_curve() {
+        let roc = RocCurve::from_scores([
+            (0.9, Free),
+            (0.8, Infested),
+            (0.7, Free),
+            (0.4, Infested),
+            (0.2, Free),
+        ])
+        .unwrap();
+        for w in roc.points().windows(2) {
+            assert!(w[1].true_positive_rate >= w[0].true_positive_rate);
+            assert!(w[1].false_positive_rate >= w[0].false_positive_rate);
+            assert!(w[1].threshold <= w[0].threshold);
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        assert!(RocCurve::from_scores([(1.0, Free)]).is_err());
+        assert!(RocCurve::from_scores([(1.0, Infested)]).is_err());
+        assert!(RocCurve::from_scores([(f64::NAN, Free), (0.0, Infested)]).is_err());
+        assert!(RocCurve::from_scores(std::iter::empty()).is_err());
+    }
+}

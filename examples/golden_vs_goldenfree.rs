@@ -1,0 +1,77 @@
+//! Head-to-head: the classical golden-chip method (reference [12] of the
+//! paper) against the golden chip-free boundaries across several
+//! independent fabrication runs.
+//!
+//! ```text
+//! cargo run --release --example golden_vs_goldenfree
+//! ```
+
+use std::error::Error;
+
+use sidefp_core::{ExperimentConfig, PaperExperiment};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("Golden-chip vs golden chip-free detection, 5 independent fab runs");
+    println!("(each seed is a fresh lot at a fresh foundry operating point)\n");
+    println!("seed   B3(FP|FN)   B4(FP|FN)   B5(FP|FN)   golden(FP|FN)");
+
+    let mut b5_fp_total = 0usize;
+    let mut b5_fn_total = 0usize;
+    let mut golden_fp_total = 0usize;
+    let mut golden_fn_total = 0usize;
+    let mut free_total = 0usize;
+    let mut infested_total = 0usize;
+
+    for seed in [2014, 7, 42, 1999, 31337] {
+        let config = ExperimentConfig {
+            seed,
+            chips: 20,
+            kde_samples: 20_000,
+            ..Default::default()
+        };
+        let result = PaperExperiment::new(config)?.run()?;
+        let cell = |name: &str| -> String {
+            result
+                .row(name)
+                .map(|r| {
+                    format!(
+                        "{:>2}|{:<3}",
+                        r.counts.false_positives(),
+                        r.counts.false_negatives()
+                    )
+                })
+                .unwrap_or_else(|| "-".into())
+        };
+        let b5 = result.row("B5").ok_or("B5 missing")?;
+        b5_fp_total += b5.counts.false_positives();
+        b5_fn_total += b5.counts.false_negatives();
+        golden_fp_total += result.golden_baseline.counts.false_positives();
+        golden_fn_total += result.golden_baseline.counts.false_negatives();
+        free_total += b5.counts.free_total();
+        infested_total += b5.counts.infested_total();
+        println!(
+            "{seed:<6} {}      {}      {}      {:>2}|{:<3}",
+            cell("B3"),
+            cell("B4"),
+            cell("B5"),
+            result.golden_baseline.counts.false_positives(),
+            result.golden_baseline.counts.false_negatives(),
+        );
+    }
+
+    println!();
+    println!(
+        "aggregate over {} infested / {} free devices:",
+        infested_total, free_total
+    );
+    println!(
+        "  B5 (no golden chips): {b5_fp_total}/{infested_total} missed Trojans, {b5_fn_total}/{free_total} false alarms"
+    );
+    println!(
+        "  golden-chip baseline: {golden_fp_total}/{infested_total} missed Trojans, {golden_fn_total}/{free_total} false alarms"
+    );
+    println!();
+    println!("The paper's claim: \"an almost equally effective trusted region can be");
+    println!("learned\" without any golden chip — B5 should track the baseline closely.");
+    Ok(())
+}

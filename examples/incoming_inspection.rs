@@ -1,0 +1,87 @@
+//! Incoming inspection: the workflow a downstream integrator would run on
+//! a shipment of parts from an untrusted foundry — no golden chips, only
+//! the simulation model and the shipment itself.
+//!
+//! ```text
+//! cargo run --release --example incoming_inspection
+//! ```
+
+use std::error::Error;
+
+use sidefp_core::spc::paired_check;
+use sidefp_core::stages::trojan_test;
+use sidefp_core::{ExperimentConfig, PaperExperiment};
+use sidefp_stats::DetectionLabel;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // The shipment: 18 chips x 3 versions from a drifted foundry. (In a
+    // real deployment the mix is unknown; the simulator gives us ground
+    // truth to grade the verdicts.)
+    let config = ExperimentConfig {
+        chips: 18,
+        kde_samples: 20_000,
+        ..Default::default()
+    };
+    println!(
+        "Incoming inspection of {} devices...",
+        config.device_count()
+    );
+
+    let artifacts = PaperExperiment::new(config)?.run_with_artifacts()?;
+    let dutts = &artifacts.silicon.dutts;
+    let b5 = &artifacts.silicon.b5;
+
+    // Step 1: integrity of the measurement anchor — paired die-vs-kerf SPC.
+    let spc = paired_check(dutts.pcms(), dutts.kerf_pcms(), 3.0)?;
+    println!(
+        "PCM integrity check: worst |z| = {:.1} -> {}",
+        spc.worst_zscore(),
+        if spc.alarm() {
+            "ALARM (monitors may be tampered; stop)"
+        } else {
+            "clean"
+        }
+    );
+
+    // Step 2: per-device verdicts against the golden-free trusted region.
+    println!("\nper-device verdicts (B5):");
+    println!("device  verdict    decision   truth");
+    let mut correct = 0;
+    for (i, row) in dutts.fingerprints().rows_iter().enumerate() {
+        let decision = b5.decision(row)?;
+        let verdict = b5.classify(row)?;
+        let truth = dutts.labels()[i];
+        if verdict == truth {
+            correct += 1;
+        }
+        // Print a compact sample: first two chips and any misclassification.
+        if i < 6 || verdict != truth {
+            println!(
+                "{i:>5}   {:<9} {decision:>+8.4}   {} ({})",
+                match verdict {
+                    DetectionLabel::TrojanFree => "ACCEPT",
+                    DetectionLabel::TrojanInfested => "REJECT",
+                },
+                truth,
+                dutts.variants()[i],
+            );
+        }
+    }
+    println!("  ... ({correct}/{} verdicts correct)", dutts.len());
+
+    // Step 3: summary the purchasing department reads.
+    let summary = trojan_test::evaluate_boundaries(&[b5], dutts)?;
+    let counts = summary[0].counts;
+    println!(
+        "\nshipment summary: {} suspect devices flagged, {} accepted;",
+        counts.infested_total() - counts.false_positives() + counts.false_negatives(),
+        counts.free_total() - counts.false_negatives() + counts.false_positives(),
+    );
+    println!(
+        "ground truth: {} missed Trojans, {} false alarms ({}% accuracy)",
+        counts.false_positives(),
+        counts.false_negatives(),
+        (counts.accuracy() * 100.0).round()
+    );
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Quickstart: run the golden chip-free Trojan detection flow end to end
+//! and print the paper's Table 1.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Uses a reduced experiment size (12 chips, 5 000 KDE samples) so it
+//! completes in a few hundred milliseconds; see the `table1` bench binary
+//! for the full paper-sized run.
+
+use std::error::Error;
+
+use sidefp_core::{ExperimentConfig, PaperExperiment};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. Configure the experiment. The default configuration reproduces
+    //    the paper (40 chips x 3 versions, 100 Monte Carlo samples, 10^5
+    //    KDE samples); here we shrink it for a fast demo.
+    let config = ExperimentConfig {
+        chips: 12,
+        kde_samples: 5_000,
+        ..Default::default()
+    };
+    println!(
+        "Running golden chip-free detection on {} devices ({} Trojan-free, {} infested)...",
+        config.device_count(),
+        config.chips,
+        config.chips * 2
+    );
+
+    // 2. Run all three stages: pre-manufacturing (Monte Carlo simulation,
+    //    regression, B1/B2), silicon measurement (PCMs, KMM, KDE, B3-B5)
+    //    and the Trojan test.
+    let result = PaperExperiment::new(config)?.run()?;
+
+    // 3. Inspect the detection metrics. FP counts missed Trojans, FN
+    //    counts false alarms on Trojan-free devices (paper conventions).
+    println!();
+    println!("{}", result.render_table1());
+
+    // 4. The headline claim: the best golden-free boundary (B5) approaches
+    //    the golden-chip baseline without ever touching a trusted chip.
+    let b5 = result.row("B5").ok_or("B5 row missing")?;
+    let golden = &result.golden_baseline;
+    println!(
+        "B5 (golden-free) vs golden-chip baseline: {} missed Trojans vs {}, {} false alarms vs {}",
+        b5.counts.false_positives(),
+        golden.counts.false_positives(),
+        b5.counts.false_negatives(),
+        golden.counts.false_negatives(),
+    );
+    Ok(())
+}

@@ -1,0 +1,133 @@
+//! Integration of the threat model across crates: Trojans fabricated on
+//! realistic (process-varied) dies leak the key while passing production
+//! test — across the whole lot, not just the nominal corner.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sidefp_chip::attacker::KeyRecoveryAttack;
+use sidefp_chip::device::WirelessCryptoIc;
+use sidefp_chip::spec::FunctionalSpec;
+use sidefp_chip::trojan::Trojan;
+use sidefp_silicon::foundry::{Foundry, ProcessShift};
+use sidefp_silicon::wafer::WaferMap;
+
+#[test]
+fn trojans_leak_on_every_die_of_a_lot() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let foundry = Foundry::with_shift(ProcessShift::uniform(0.5));
+    let map = WaferMap::grid(4);
+    let lot = foundry.fabricate_lot(&mut rng, 1, &map);
+    let key: [u8; 16] = core::array::from_fn(|_| rng.random());
+
+    for (kind, attack) in [
+        (Trojan::amplitude_leak(), KeyRecoveryAttack::amplitude()),
+        (Trojan::frequency_leak(), KeyRecoveryAttack::frequency()),
+    ] {
+        for die in lot.iter().take(6) {
+            let device = WirelessCryptoIc::new(die.process().clone(), key, kind);
+            let txs: Vec<_> = (0..16)
+                .map(|i| device.transmit_block(&[(i * 17) as u8; 16], &mut rng))
+                .collect();
+            let recovered = attack.recover(&txs);
+            let rate = KeyRecoveryAttack::recovery_rate(&recovered, &key);
+            assert!(
+                rate > 0.97,
+                "{kind:?} leaked only {:.1}% on a process-varied die",
+                rate * 100.0
+            );
+        }
+    }
+}
+
+#[test]
+fn trojans_pass_production_test_across_the_lot() {
+    let mut rng = StdRng::seed_from_u64(41);
+    let foundry = Foundry::nominal();
+    let map = WaferMap::grid(4);
+    let lot = foundry.fabricate_lot(&mut rng, 1, &map);
+    let key = [0x5a; 16];
+    let vectors: Vec<[u8; 16]> = (0..4)
+        .map(|_| core::array::from_fn(|_| rng.random()))
+        .collect();
+
+    let mut passes = 0;
+    let mut total = 0;
+    for die in &lot {
+        for trojan in [
+            Trojan::None,
+            Trojan::amplitude_leak(),
+            Trojan::frequency_leak(),
+        ] {
+            let device = WirelessCryptoIc::new(die.process().clone(), key, trojan);
+            let report = FunctionalSpec::default()
+                .run(&device, key, &vectors, &mut rng)
+                .unwrap();
+            total += 1;
+            if report.passes() {
+                passes += 1;
+            }
+        }
+    }
+    // Traditional test cannot tell the versions apart: essentially the
+    // whole lot ships (a rare far-corner die may legitimately fail spec).
+    assert!(
+        passes as f64 / total as f64 > 0.95,
+        "only {passes}/{total} devices passed production test"
+    );
+}
+
+#[test]
+fn dormant_payload_evades_both_test_and_air_interface() {
+    // Trojan III: passes production test, leaks nothing an attacker can
+    // demodulate — detectable only through supply-side fingerprints.
+    let mut rng = StdRng::seed_from_u64(77);
+    let die = Foundry::nominal().fabricate_die(&mut rng);
+    let key: [u8; 16] = core::array::from_fn(|_| rng.random());
+    let device = WirelessCryptoIc::new(die.process().clone(), key, Trojan::dormant_payload());
+
+    // Passes spec.
+    let vectors: Vec<[u8; 16]> = (0..4)
+        .map(|_| core::array::from_fn(|_| rng.random()))
+        .collect();
+    let report = FunctionalSpec::default()
+        .run(&device, key, &vectors, &mut rng)
+        .unwrap();
+    assert!(report.passes(), "{report:?}");
+
+    // Leaks nothing over the air: key recovery stays at chance.
+    let txs: Vec<_> = (0..16)
+        .map(|i| device.transmit_block(&[(i * 29) as u8; 16], &mut rng))
+        .collect();
+    for attack in [
+        KeyRecoveryAttack::amplitude(),
+        KeyRecoveryAttack::frequency(),
+    ] {
+        let rate = KeyRecoveryAttack::recovery_rate(&attack.recover(&txs), &key);
+        assert!(
+            (0.25..0.75).contains(&rate),
+            "payload trojan leaked: recovery rate {rate}"
+        );
+    }
+
+    // But its supply current betrays it.
+    let clean = WirelessCryptoIc::new(die.process().clone(), key, Trojan::None);
+    let meter = sidefp_chip::supply::SupplyCurrentMeter {
+        noise_relative: 0.0,
+    };
+    let iddt_clean = meter.measure(&clean, &[0x5a; 16], &mut rng);
+    let iddt_bad = meter.measure(&device, &[0x5a; 16], &mut rng);
+    assert!(iddt_bad > iddt_clean * 1.03, "{iddt_bad} vs {iddt_clean}");
+}
+
+#[test]
+fn encryption_identical_across_all_three_versions() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let die = Foundry::nominal().fabricate_die(&mut rng);
+    let key: [u8; 16] = core::array::from_fn(|_| rng.random());
+    let pt: [u8; 16] = core::array::from_fn(|_| rng.random());
+    let clean = WirelessCryptoIc::new(die.process().clone(), key, Trojan::None);
+    let amp = WirelessCryptoIc::new(die.process().clone(), key, Trojan::amplitude_leak());
+    let freq = WirelessCryptoIc::new(die.process().clone(), key, Trojan::frequency_leak());
+    assert_eq!(clean.encrypt(&pt), amp.encrypt(&pt));
+    assert_eq!(clean.encrypt(&pt), freq.encrypt(&pt));
+}

@@ -1,0 +1,123 @@
+//! Cross-crate statistical invariants: the silicon substrate's populations
+//! must behave the way the statistics substrate assumes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sidefp_chip::device::WirelessCryptoIc;
+use sidefp_chip::measurement::{FingerprintPlan, SideChannelMeter};
+use sidefp_chip::trojan::Trojan;
+use sidefp_linalg::Matrix;
+use sidefp_silicon::device_models;
+use sidefp_silicon::foundry::{Foundry, ProcessShift};
+use sidefp_silicon::params::ProcessFactor;
+use sidefp_silicon::pcm::PcmSuite;
+use sidefp_stats::{descriptive, KernelMeanMatching, KmmConfig, Pca, StandardScaler};
+
+fn fingerprints(foundry: &Foundry, n: usize, seed: u64) -> Matrix {
+    // Fixed measurement plan (seed 2014) so populations measured with
+    // different fabrication seeds stay comparable.
+    let plan = FingerprintPlan::random(&mut StdRng::seed_from_u64(2014), 6).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let meter = SideChannelMeter::default();
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            let die = foundry.fabricate_die(&mut rng);
+            let device = WirelessCryptoIc::new(die.process().clone(), [0x77; 16], Trojan::None);
+            meter.fingerprint(&device, &plan, &mut rng)
+        })
+        .collect();
+    Matrix::from_samples(&rows).unwrap()
+}
+
+#[test]
+fn fingerprint_population_is_pca_compressible() {
+    // Process variation is common-mode dominated: the top principal
+    // component must explain the overwhelming majority of variance.
+    let fps = fingerprints(&Foundry::nominal(), 120, 1);
+    let pca = Pca::fit(&fps).unwrap();
+    let top = pca.explained_variance_ratio()[0];
+    assert!(top > 0.85, "PC1 explains only {:.1}%", top * 100.0);
+}
+
+#[test]
+fn pcm_delay_correlates_with_transmission_power() {
+    // The physical premise of the regression g: slower dies transmit
+    // weaker pulses.
+    let mut rng = StdRng::seed_from_u64(2);
+    let foundry = Foundry::nominal();
+    let suite = PcmSuite::paper_default();
+    let mut delays = Vec::new();
+    let mut amps = Vec::new();
+    for _ in 0..200 {
+        let die = foundry.fabricate_die(&mut rng);
+        delays.push(suite.measure(die.process(), &mut rng)[0]);
+        amps.push(device_models::pa_amplitude(die.process()));
+    }
+    let r = descriptive::pearson_correlation(&delays, &amps).unwrap();
+    assert!(r < -0.8, "delay/amplitude correlation {r} too weak");
+}
+
+#[test]
+fn kmm_recovers_known_operating_point_shift() {
+    // Fabricate PCMs at two operating points and verify the iterated mean
+    // shift recovers the gap.
+    let mut rng = StdRng::seed_from_u64(3);
+    let suite = PcmSuite::paper_default();
+    let model = Foundry::nominal();
+    let fab = Foundry::with_shift(ProcessShift::on_factor(ProcessFactor::ImplantN, 2.0));
+    let sim_rows: Vec<Vec<f64>> = (0..120)
+        .map(|_| suite.measure(model.fabricate_die(&mut rng).process(), &mut rng))
+        .collect();
+    let si_rows: Vec<Vec<f64>> = (0..120)
+        .map(|_| suite.measure(fab.fabricate_die(&mut rng).process(), &mut rng))
+        .collect();
+    let sim = Matrix::from_samples(&sim_rows).unwrap();
+    let silicon = Matrix::from_samples(&si_rows).unwrap();
+
+    let shifted =
+        KernelMeanMatching::mean_shift_population(&sim, &silicon, &KmmConfig::default(), 10)
+            .unwrap();
+    let si_mean = descriptive::mean(&silicon.col(0)).unwrap();
+    let shifted_mean = descriptive::mean(&shifted.col(0)).unwrap();
+    let si_sd = descriptive::std_dev(&silicon.col(0)).unwrap();
+    assert!(
+        (shifted_mean - si_mean).abs() < 0.5 * si_sd,
+        "mean shift residual {} vs silicon sd {si_sd}",
+        (shifted_mean - si_mean).abs()
+    );
+    // Spread is preserved from the simulation population.
+    let sim_sd = descriptive::std_dev(&sim.col(0)).unwrap();
+    let shifted_sd = descriptive::std_dev(&shifted.col(0)).unwrap();
+    assert!((shifted_sd - sim_sd).abs() < 0.15 * sim_sd);
+}
+
+#[test]
+fn scaler_roundtrips_fingerprint_units() {
+    let fps = fingerprints(&Foundry::nominal(), 60, 4);
+    let scaler = StandardScaler::fit(&fps).unwrap();
+    let z = scaler.transform(&fps).unwrap();
+    let back = scaler.inverse_transform(&z).unwrap();
+    let err = (&back - &fps).unwrap().max_abs();
+    assert!(err < 1e-10, "roundtrip error {err}");
+}
+
+#[test]
+fn shifted_foundry_separates_fingerprint_population() {
+    // The experiment's premise: a large operating-point drift displaces
+    // the fingerprint population by multiple standard deviations.
+    let nominal = fingerprints(&Foundry::nominal(), 80, 5);
+    // A multi-factor drift like the paper experiment's.
+    let drift = ProcessShift::on_factor(ProcessFactor::ImplantN, 3.0)
+        .and(ProcessFactor::ImplantP, 2.6)
+        .and(ProcessFactor::Oxide, -2.0)
+        .and(ProcessFactor::Litho, 2.0);
+    let shifted = fingerprints(&Foundry::with_shift(drift), 80, 6);
+    let nom_mean = descriptive::mean(&nominal.col(0)).unwrap();
+    let shf_mean = descriptive::mean(&shifted.col(0)).unwrap();
+    let nom_sd = descriptive::std_dev(&nominal.col(0)).unwrap();
+    assert!(
+        (nom_mean - shf_mean).abs() > 2.0 * nom_sd,
+        "shift {} vs sd {nom_sd}",
+        (nom_mean - shf_mean).abs()
+    );
+}

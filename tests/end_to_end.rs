@@ -1,0 +1,162 @@
+//! End-to-end integration: the complete golden chip-free flow at reduced
+//! size, exercising every crate together.
+
+use sidefp_core::config::{RegressionSpace, RegressorKind};
+use sidefp_core::{ExperimentConfig, PaperExperiment};
+use sidefp_stats::DetectionLabel;
+
+fn reduced_config(seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        seed,
+        chips: 12,
+        mc_samples: 60,
+        kde_samples: 4000,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn full_flow_produces_all_artifacts() {
+    let artifacts = PaperExperiment::new(reduced_config(1))
+        .unwrap()
+        .run_with_artifacts()
+        .unwrap();
+
+    // Stage 1 artifacts.
+    let pre = &artifacts.premanufacturing;
+    assert_eq!(pre.s1.len(), 60);
+    assert_eq!(pre.s2.len(), 4000);
+    assert_eq!(pre.pcms.shape(), (60, 1));
+    assert_eq!(pre.predictor.output_dim(), 6);
+
+    // Stage 2 artifacts.
+    let si = &artifacts.silicon;
+    assert_eq!(si.dutts.len(), 36);
+    assert_eq!(si.s3.len(), 36);
+    assert_eq!(si.s4.len(), 60);
+    assert_eq!(si.s5.len(), 4000);
+    assert_eq!(si.kmm_weights.len(), 60);
+
+    // Result completeness.
+    let result = &artifacts.result;
+    assert_eq!(result.table1.len(), 5);
+    assert_eq!(result.fig4.len(), 6);
+    assert!(result.render_table1().contains("golden"));
+}
+
+#[test]
+fn silicon_boundaries_beat_simulation_boundaries() {
+    // The paper's core claim, as an invariant: the silicon-anchored
+    // boundaries classify Trojan-free devices better than the
+    // simulation-only ones under foundry drift.
+    let result = PaperExperiment::new(reduced_config(2))
+        .unwrap()
+        .run()
+        .unwrap();
+    let fn_of = |name: &str| result.row(name).unwrap().counts.false_negatives();
+    assert_eq!(fn_of("B1"), 12, "B1 should reject every Trojan-free device");
+    assert_eq!(fn_of("B2"), 12, "B2 should reject every Trojan-free device");
+    assert!(
+        fn_of("B5") < fn_of("B1"),
+        "B5 ({}) must improve on B1 ({})",
+        fn_of("B5"),
+        fn_of("B1")
+    );
+    assert!(
+        fn_of("B5") <= fn_of("B3"),
+        "B5 ({}) must not be worse than B3 ({})",
+        fn_of("B5"),
+        fn_of("B3")
+    );
+}
+
+#[test]
+fn no_boundary_misses_many_trojans() {
+    let result = PaperExperiment::new(reduced_config(3))
+        .unwrap()
+        .run()
+        .unwrap();
+    for row in &result.table1 {
+        let rate = row.counts.false_positive_rate();
+        assert!(
+            rate <= 0.15,
+            "{} missed {:.0}% of Trojans",
+            row.dataset,
+            rate * 100.0
+        );
+    }
+}
+
+#[test]
+fn boundaries_are_reusable_classifiers() {
+    // The trained boundary objects classify arbitrary fingerprints.
+    let artifacts = PaperExperiment::new(reduced_config(4))
+        .unwrap()
+        .run_with_artifacts()
+        .unwrap();
+    let b5 = &artifacts.silicon.b5;
+    let center = artifacts.silicon.s5.fingerprints().column_means();
+    assert_eq!(b5.classify(&center).unwrap(), DetectionLabel::TrojanFree);
+    let far: Vec<f64> = center.iter().map(|v| v * 10.0).collect();
+    assert_eq!(b5.classify(&far).unwrap(), DetectionLabel::TrojanInfested);
+}
+
+#[test]
+fn negative_control_no_drift_no_trojans() {
+    // If the foundry never drifted and the "Trojans" do nothing, every
+    // boundary should accept essentially everything: no drift to detect,
+    // nothing to flag. (FN may keep a small ν-governed residue.)
+    use sidefp_silicon::foundry::ProcessShift;
+    let config = ExperimentConfig {
+        process_shift: ProcessShift::none(),
+        amplitude_delta: 0.0,
+        frequency_delta: 0.0,
+        model_sigma_scale: 1.0,
+        ..reduced_config(6)
+    };
+    let result = PaperExperiment::new(config).unwrap().run().unwrap();
+    for name in ["B3", "B4", "B5"] {
+        let counts = result.row(name).unwrap().counts;
+        // "Trojan-free" and "infested" devices are now identical; the
+        // boundary must treat them identically.
+        let fp_rate = counts.false_positive_rate(); // accepted infested
+        let fn_rate = counts.false_negative_rate(); // rejected free
+        let accepted_free = 1.0 - fn_rate;
+        assert!(
+            (fp_rate - accepted_free).abs() < 0.35,
+            "{name}: asymmetric treatment of identical populations: \
+             accepted infested {fp_rate:.2} vs accepted free {accepted_free:.2}"
+        );
+    }
+    // B5 accepts the bulk of all (identical) devices.
+    let b5 = result.row("B5").unwrap().counts;
+    assert!(
+        b5.false_negative_rate() < 0.5,
+        "B5 rejected most clean devices under the null: {b5}"
+    );
+}
+
+#[test]
+fn alternative_regressors_and_spaces_run_end_to_end() {
+    for (regressor, space) in [
+        (
+            RegressorKind::Ridge(sidefp_stats::ridge::RidgeConfig {
+                degree: 2,
+                lambda: 1e-6,
+            }),
+            RegressionSpace::Log,
+        ),
+        (
+            RegressorKind::Knn(sidefp_stats::knn::KnnConfig { k: 5 }),
+            RegressionSpace::Linear,
+        ),
+    ] {
+        let config = ExperimentConfig {
+            regressor,
+            regression_space: space,
+            ..reduced_config(5)
+        };
+        let result = PaperExperiment::new(config).unwrap().run().unwrap();
+        assert_eq!(result.table1.len(), 5);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-style invariants of the full pipeline across randomized small
+//! configurations. (Hand-rolled cases rather than proptest: each case runs
+//! a complete fabrication + detection flow.)
+
+use sidefp_core::{ExperimentConfig, PaperExperiment};
+
+fn small(seed: u64, chips: usize, mc: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        seed,
+        chips,
+        mc_samples: mc,
+        kde_samples: 1500,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn totals_are_conserved_for_every_boundary() {
+    for (seed, chips, mc) in [(11, 8, 40), (12, 10, 50), (13, 14, 60)] {
+        let result = PaperExperiment::new(small(seed, chips, mc))
+            .unwrap()
+            .run()
+            .unwrap();
+        for row in &result.table1 {
+            assert_eq!(row.counts.infested_total(), chips * 2, "{}", row.dataset);
+            assert_eq!(row.counts.free_total(), chips, "{}", row.dataset);
+            assert!(row.counts.false_positives() <= chips * 2);
+            assert!(row.counts.false_negatives() <= chips);
+            let rate_sum = row.counts.false_positive_rate() + row.counts.accuracy();
+            assert!(rate_sum.is_finite());
+        }
+    }
+}
+
+#[test]
+fn b1_rejects_everything_under_large_drift_for_any_seed() {
+    for seed in [21, 22, 23, 24] {
+        let result = PaperExperiment::new(small(seed, 8, 40))
+            .unwrap()
+            .run()
+            .unwrap();
+        let b1 = result.row("B1").unwrap().counts;
+        assert_eq!(
+            b1.false_negatives(),
+            8,
+            "seed {seed}: B1 accepted free devices under 4-sigma drift"
+        );
+    }
+}
+
+#[test]
+fn determinism_is_bitwise_across_reruns() {
+    for seed in [31, 32] {
+        let a = PaperExperiment::new(small(seed, 8, 40)).unwrap().run().unwrap();
+        let b = PaperExperiment::new(small(seed, 8, 40)).unwrap().run().unwrap();
+        assert_eq!(a.table1, b.table1);
+        assert_eq!(a.golden_baseline, b.golden_baseline);
+        for (pa, pb) in a.fig4.iter().zip(&b.fig4) {
+            assert_eq!(pa.devices, pb.devices);
+            assert_eq!(pa.population, pb.population);
+        }
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_populations() {
+    let a = PaperExperiment::new(small(41, 8, 40)).unwrap().run().unwrap();
+    let b = PaperExperiment::new(small(42, 8, 40)).unwrap().run().unwrap();
+    assert_ne!(
+        a.fig4[0].devices, b.fig4[0].devices,
+        "independent fabrication runs produced identical measurements"
+    );
+}

@@ -1,0 +1,140 @@
+//! The headline reproduction test: the paper-sized experiment must
+//! reproduce the qualitative shape of Table 1 (DAC'14).
+//!
+//! Paper reference:
+//!   S1  FP 0/80  FN 40/40
+//!   S2  FP 0/80  FN 40/40
+//!   S3  FP 0/80  FN 24/40
+//!   S4  FP 0/80  FN 18/40
+//!   S5  FP 0/80  FN  3/40
+//!
+//! We assert the *shape*: simulation-only boundaries fail completely with
+//! zero missed Trojans, the silicon-anchored boundaries recover a majority
+//! ordering B3 ≥ B4 ≥ B5, and B5 approaches the golden baseline.
+
+use sidefp_core::{ExperimentConfig, PaperExperiment};
+
+#[test]
+fn paper_table1_shape_reproduces() {
+    // Full paper-sized run; ~1 s in release, a few seconds in test profile.
+    let result = PaperExperiment::new(ExperimentConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
+
+    let row = |name: &str| result.row(name).unwrap().counts;
+
+    // Every boundary: zero (or near-zero) missed Trojans out of 80.
+    for name in ["B1", "B2", "B3", "B4", "B5"] {
+        assert!(
+            row(name).false_positives() <= 2,
+            "{name} missed {} / {} Trojans",
+            row(name).false_positives(),
+            row(name).infested_total()
+        );
+        assert_eq!(row(name).infested_total(), 80);
+        assert_eq!(row(name).free_total(), 40);
+    }
+
+    // B1/B2: the simulation-only trusted region misses the process shift
+    // entirely — every Trojan-free device is (wrongly) flagged.
+    assert_eq!(row("B1").false_negatives(), 40, "B1 {:?}", row("B1"));
+    assert_eq!(row("B2").false_negatives(), 40, "B2 {:?}", row("B2"));
+
+    // B3: silicon anchoring recovers a meaningful fraction (paper: 24/40).
+    let b3 = row("B3").false_negatives();
+    assert!(
+        (10..=32).contains(&b3),
+        "B3 FN {b3} outside paper-like band"
+    );
+
+    // B4: the KMM-calibrated population does at least as well (paper: 18/40).
+    let b4 = row("B4").false_negatives();
+    assert!(b4 <= b3 + 2, "B4 FN {b4} much worse than B3 FN {b3}");
+
+    // B5: tail enhancement nearly closes the gap (paper: 3/40).
+    let b5 = row("B5").false_negatives();
+    assert!(b5 <= 8, "B5 FN {b5} too high");
+    assert!(b5 < b3, "B5 FN {b5} did not improve on B3 FN {b3}");
+
+    // Golden baseline: near-perfect, and B5 is comparable (the paper's
+    // "almost equally effective" claim).
+    let golden = result.golden_baseline.counts;
+    assert!(golden.false_positives() <= 2, "golden {golden}");
+    assert!(golden.false_negatives() <= 6, "golden {golden}");
+    assert!(
+        b5 as i64 - golden.false_negatives() as i64 <= 6,
+        "B5 FN {b5} too far from golden FN {}",
+        golden.false_negatives()
+    );
+}
+
+#[test]
+fn fig4_projections_reproduce_geometry() {
+    let result = PaperExperiment::new(ExperimentConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
+
+    // Panel (a): the three device clusters separate along PC1.
+    let panel_a = &result.fig4[0];
+    let centroid = |variant: &str| {
+        let mut sum = 0.0;
+        let mut count = 0;
+        for (i, row) in panel_a.devices.rows_iter().enumerate() {
+            if panel_a.variants[i] == variant {
+                sum += row[0];
+                count += 1;
+            }
+        }
+        sum / count as f64
+    };
+    let free = centroid("free");
+    let amp = centroid("amplitude");
+    let freq = centroid("frequency");
+    assert!(
+        (amp - free).abs() > 1e-3 && (freq - free).abs() > 1e-3,
+        "clusters not separated: free {free} amp {amp} freq {freq}"
+    );
+    assert!(
+        (amp > free) != (freq > free),
+        "amplitude and frequency Trojans should flank the free cluster"
+    );
+
+    // Panels (b)/(c): S1/S2 populations disjoint from every device along
+    // their own PC1 (paper: "do not encompass any of the Trojan-free").
+    for panel in &result.fig4[1..3] {
+        let pop = panel.population.as_ref().unwrap();
+        let pop_min = pop.col(0).iter().cloned().fold(f64::INFINITY, f64::min);
+        let pop_max = pop.col(0).iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let overlapping = panel
+            .devices
+            .col(0)
+            .iter()
+            .filter(|v| **v >= pop_min && **v <= pop_max)
+            .count();
+        assert!(
+            overlapping <= 6,
+            "panel {}: {} devices overlap the {} population",
+            panel.label,
+            overlapping,
+            panel.dataset
+        );
+    }
+
+    // Panel (f): S5 overlaps the Trojan-free cluster.
+    let panel_f = &result.fig4[5];
+    let pop = panel_f.population.as_ref().unwrap();
+    let pop_min = pop.col(0).iter().cloned().fold(f64::INFINITY, f64::min);
+    let pop_max = pop.col(0).iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let free_inside = panel_f
+        .devices
+        .rows_iter()
+        .enumerate()
+        .filter(|(i, row)| panel_f.variants[*i] == "free" && row[0] >= pop_min && row[0] <= pop_max)
+        .count();
+    assert!(
+        free_inside >= 30,
+        "only {free_inside}/40 Trojan-free devices inside the S5 span"
+    );
+}

@@ -6,14 +6,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sidefp_chip::aes::Aes128;
 use sidefp_linalg::Matrix;
+use sidefp_stats::bootstrap::proportion_interval;
 use sidefp_stats::kde::{AdaptiveKde, KdeConfig};
 use sidefp_stats::mars::{Mars, MarsConfig};
-use sidefp_stats::bootstrap::proportion_interval;
 use sidefp_stats::mmd_test::mmd_permutation_test;
 use sidefp_stats::roc::RocCurve;
 use sidefp_stats::{
-    DetectionLabel, Kernel, KernelMeanMatching, KmmConfig, MultivariateNormal, OneClassSvm,
-    OneClassSvmConfig, Pca,
+    DetectionLabel, GramMatrix, Kernel, KernelMeanMatching, KmmConfig, MultivariateNormal,
+    OneClassSvm, OneClassSvmConfig, Pca,
 };
 
 fn gaussian(n: usize, d: usize, seed: u64) -> Matrix {
@@ -120,6 +120,49 @@ fn bench_ocsvm(c: &mut Criterion) {
     });
 }
 
+fn bench_gram(c: &mut Criterion) {
+    // The shared Gram-matrix engine every kernel consumer (KMM, OCSVM,
+    // MMD) now runs on: symmetric fill at the B-boundary training size,
+    // with a threads=1 contrast to expose the fan-out gain.
+    let data = gaussian(600, 6, 30);
+    let kernel = Kernel::Rbf { gamma: 0.5 };
+    c.bench_function("gram_symmetric_600x6", |b| {
+        b.iter(|| std::hint::black_box(GramMatrix::symmetric(kernel, &data)))
+    });
+    c.bench_function("gram_symmetric_600x6_threads1", |b| {
+        b.iter(|| {
+            sidefp_parallel::with_threads(1, || {
+                std::hint::black_box(GramMatrix::symmetric(kernel, &data))
+            })
+        })
+    });
+    let queries = gaussian(600, 6, 31);
+    c.bench_function("gram_cross_600x600", |b| {
+        b.iter(|| std::hint::black_box(GramMatrix::cross(kernel, &data, &queries).unwrap()))
+    });
+}
+
+fn bench_parallel_kde(c: &mut Criterion) {
+    // Parallel density evaluation and streamed sampling — the S2/S5
+    // enhancement hot path.
+    let data = gaussian(200, 6, 32);
+    let kde = AdaptiveKde::fit(&data, &KdeConfig::default()).unwrap();
+    let queries = gaussian(400, 6, 33);
+    c.bench_function("kde_density_rows_400", |b| {
+        b.iter(|| std::hint::black_box(kde.density_rows(&queries).unwrap()))
+    });
+    c.bench_function("kde_density_rows_400_threads1", |b| {
+        b.iter(|| {
+            sidefp_parallel::with_threads(1, || {
+                std::hint::black_box(kde.density_rows(&queries).unwrap())
+            })
+        })
+    });
+    c.bench_function("kde_sample_streamed_1000", |b| {
+        b.iter(|| std::hint::black_box(kde.sample_matrix_streamed(3, 1000)))
+    });
+}
+
 fn bench_pca(c: &mut Criterion) {
     let data = gaussian(1000, 6, 9);
     c.bench_function("pca_fit_1000x6", |b| {
@@ -153,24 +196,20 @@ fn bench_inference(c: &mut Criterion) {
     let a = gaussian(60, 6, 21);
     let bm = gaussian(60, 6, 22);
     c.bench_function("mmd_permutation_100", |b| {
-        b.iter(|| {
-            std::hint::black_box(mmd_permutation_test(&a, &bm, None, 100, 1).unwrap())
-        })
+        b.iter(|| std::hint::black_box(mmd_permutation_test(&a, &bm, None, 100, 1).unwrap()))
     });
 
     // Bootstrap CI over 120 Bernoulli outcomes.
     let outcomes: Vec<bool> = (0..120).map(|i| i % 7 == 0).collect();
     c.bench_function("bootstrap_ci_2000", |b| {
-        b.iter(|| {
-            std::hint::black_box(proportion_interval(&outcomes, 0.95, 2000, 1).unwrap())
-        })
+        b.iter(|| std::hint::black_box(proportion_interval(&outcomes, 0.95, 2000, 1).unwrap()))
     });
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_aes, bench_linalg, bench_kde, bench_kmm, bench_mars, bench_ocsvm, bench_pca,
-        bench_inference
+    targets = bench_aes, bench_linalg, bench_kde, bench_kmm, bench_mars, bench_ocsvm, bench_gram,
+        bench_parallel_kde, bench_pca, bench_inference
 }
 criterion_main!(benches);

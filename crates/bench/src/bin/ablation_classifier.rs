@@ -49,7 +49,9 @@ fn main() {
     // Alternative: KDE density level set at the same nu, on a subsample of
     // S5 (density queries are O(n) per point).
     let s5 = artifacts.silicon.s5.fingerprints();
-    let sub: Vec<usize> = (0..s5.nrows()).step_by((s5.nrows() / 1500).max(1)).collect();
+    let sub: Vec<usize> = (0..s5.nrows())
+        .step_by((s5.nrows() / 1500).max(1))
+        .collect();
     let train = s5.select_rows(&sub);
     for nu in [0.02, 0.05, 0.1] {
         match DensityClassifier::fit(&train, &KdeConfig::default(), nu) {

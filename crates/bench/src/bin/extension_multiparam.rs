@@ -12,7 +12,7 @@
 //! ```
 
 use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use sidefp_chip::device::WirelessCryptoIc;
 use sidefp_chip::measurement::{FingerprintPlan, SideChannelMeter};
 use sidefp_chip::supply::SupplyCurrentMeter;

@@ -1,0 +1,71 @@
+//! Pipeline performance harness: times the reduced end-to-end experiment
+//! at threads=1 versus the default worker pool and reports the speedup.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf            # print the comparison
+//! perf --json     # additionally dump BENCH_pipeline.json
+//! ```
+//!
+//! Run with `--release`; the debug profile distorts the hot paths.
+
+use std::time::Instant;
+
+use sidefp_core::{ExperimentConfig, PaperExperiment, ParallelismConfig};
+
+/// Wall-clock of one full reduced run at the given worker count.
+fn time_run(threads: usize, seed: u64) -> f64 {
+    let config = ExperimentConfig {
+        seed,
+        chips: 12,
+        mc_samples: 60,
+        kde_samples: 8000,
+        parallelism: ParallelismConfig {
+            threads,
+            deterministic: true,
+        },
+        ..Default::default()
+    };
+    let experiment = PaperExperiment::new(config).expect("valid config");
+    let start = Instant::now();
+    let result = experiment.run().expect("experiment runs");
+    assert_eq!(result.table1.len(), 5);
+    start.elapsed().as_secs_f64() * 1000.0
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // Warm-up run so allocator and page-cache effects don't bias the
+    // single-threaded baseline.
+    let _ = time_run(1, 1);
+
+    let reps = 3;
+    let best = |threads: usize| {
+        (0..reps)
+            .map(|r| time_run(threads, 2 + r))
+            .fold(f64::INFINITY, f64::min)
+    };
+    let single_ms = best(1);
+    let pooled_ms = best(0);
+    let speedup = single_ms / pooled_ms;
+
+    println!("pipeline (chips 12, mc 60, kde 8000), best of {reps}:");
+    println!("  threads=1       {single_ms:8.1} ms");
+    println!("  threads=auto({cores}) {pooled_ms:8.1} ms");
+    println!("  speedup         {speedup:8.2}x");
+
+    if json {
+        let payload = format!(
+            "{{\n  \"bench\": \"pipeline\",\n  \"cores\": {cores},\n  \
+             \"threads1_ms\": {single_ms:.2},\n  \"default_ms\": {pooled_ms:.2},\n  \
+             \"speedup\": {speedup:.3}\n}}\n"
+        );
+        std::fs::write("BENCH_pipeline.json", payload).expect("write BENCH_pipeline.json");
+        println!("wrote BENCH_pipeline.json");
+    }
+}

@@ -19,7 +19,7 @@ fn main() -> ExitCode {
     let seed = env::args()
         .nth(1)
         .and_then(|s| s.parse::<u64>().ok())
-        .unwrap_or(2014);
+        .unwrap_or(ExperimentConfig::default().seed);
     let config = ExperimentConfig {
         seed,
         ..Default::default()

@@ -22,7 +22,7 @@ fn main() -> ExitCode {
     let seed = env::args()
         .nth(1)
         .and_then(|s| s.parse::<u64>().ok())
-        .unwrap_or(2014);
+        .unwrap_or(ExperimentConfig::default().seed);
     let config = ExperimentConfig {
         seed,
         kde_samples: 20_000,
@@ -81,9 +81,9 @@ fn main() -> ExitCode {
                 line.push(' ');
                 continue;
             }
-            let cell = dies
-                .iter()
-                .find(|(x, y, _)| (x - cx).abs() < 1.0 / GRID as f64 && (y - cy).abs() < 1.0 / GRID as f64);
+            let cell = dies.iter().find(|(x, y, _)| {
+                (x - cx).abs() < 1.0 / GRID as f64 && (y - cy).abs() < 1.0 / GRID as f64
+            });
             line.push(match cell {
                 Some((_, _, Cell::FalseAlarm)) => 'X',
                 Some((_, _, Cell::CorrectAccept)) => 'o',
@@ -120,7 +120,10 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let alarms = dies.iter().filter(|(_, _, c)| *c == Cell::FalseAlarm).count();
+    let alarms = dies
+        .iter()
+        .filter(|(_, _, c)| *c == Cell::FalseAlarm)
+        .count();
     println!();
     println!(
         "{} dies mapped, {} false alarms; SVG written to {}",

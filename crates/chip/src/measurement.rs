@@ -7,7 +7,7 @@
 //! receiver front-end; its reading is the average received pulse power plus
 //! instrument noise.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 use sidefp_stats::MultivariateNormal;
 
 use crate::device::WirelessCryptoIc;

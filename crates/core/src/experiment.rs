@@ -2,7 +2,7 @@
 //! and the Figure-4 projections.
 
 use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use sidefp_linalg::Matrix;
 use sidefp_stats::Pca;
 
@@ -76,10 +76,25 @@ impl PaperExperiment {
 
     /// Runs the experiment, also returning the stage intermediates.
     ///
+    /// The whole run executes inside the worker pool described by
+    /// [`crate::ParallelismConfig`]: every stage's hot path (Monte Carlo,
+    /// Gram matrices, KDE sampling/density, OCSVM scoring, MARS knot
+    /// search) fans out across `parallelism.threads` workers, and with
+    /// `parallelism.deterministic` (the default) the result is
+    /// bit-identical at any thread count.
+    ///
     /// # Errors
     ///
     /// Propagates any stage error.
     pub fn run_with_artifacts(&self) -> Result<RunArtifacts, CoreError> {
+        let par = self.config.parallelism;
+        sidefp_parallel::with_threads(par.threads, || {
+            sidefp_parallel::with_determinism(par.deterministic, || self.run_stages())
+        })
+    }
+
+    /// The stage pipeline itself; assumes the parallelism scope is set.
+    fn run_stages(&self) -> Result<RunArtifacts, CoreError> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let bench = Testbench::random(
             &mut rng,

@@ -51,7 +51,7 @@ pub mod stages;
 pub mod tuning;
 
 pub use boundary::TrustedBoundary;
-pub use config::ExperimentConfig;
+pub use config::{ExperimentConfig, ParallelismConfig};
 pub use error::CoreError;
 pub use experiment::PaperExperiment;
 pub use report::{ExperimentResult, Table1Row};

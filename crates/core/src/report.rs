@@ -82,14 +82,24 @@ impl ExperimentResult {
     /// Table 1 plus a per-panel Figure-4 summary.
     pub fn render_markdown(&self) -> String {
         let mut out = String::new();
-        out.push_str("## Table 1 — Trojan detection metrics
+        out.push_str(
+            "## Table 1 — Trojan detection metrics
 
-");
-        out.push_str("| boundary | FP (missed Trojans) | FN (false alarms) |
-");
-        out.push_str("|----------|--------------------:|------------------:|
-");
-        for row in self.table1.iter().chain(std::iter::once(&self.golden_baseline)) {
+",
+        );
+        out.push_str(
+            "| boundary | FP (missed Trojans) | FN (false alarms) |
+",
+        );
+        out.push_str(
+            "|----------|--------------------:|------------------:|
+",
+        );
+        for row in self
+            .table1
+            .iter()
+            .chain(std::iter::once(&self.golden_baseline))
+        {
             out.push_str(&format!(
                 "| {} | {}/{} | {}/{} |
 ",
@@ -101,14 +111,20 @@ impl ExperimentResult {
             ));
         }
         if !self.fig4.is_empty() {
-            out.push_str("
+            out.push_str(
+                "
 ## Figure 4 — PCA panels
 
-");
-            out.push_str("| panel | dataset | population | PC1 var |
-");
-            out.push_str("|-------|---------|-----------:|--------:|
-");
+",
+            );
+            out.push_str(
+                "| panel | dataset | population | PC1 var |
+",
+            );
+            out.push_str(
+                "|-------|---------|-----------:|--------:|
+",
+            );
             for panel in &self.fig4 {
                 out.push_str(&format!(
                     "| ({}) | {} | {} | {:.1}% |

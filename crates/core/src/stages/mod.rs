@@ -8,7 +8,6 @@ pub use premanufacturing::PremanufacturingStage;
 pub use silicon_stage::SiliconStage;
 
 use rand::Rng;
-use rand::RngExt;
 use sidefp_chip::measurement::{FingerprintPlan, SideChannelMeter};
 use sidefp_silicon::pcm::PcmSuite;
 

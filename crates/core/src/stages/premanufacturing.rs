@@ -59,8 +59,11 @@ impl PremanufacturingStage {
         let meter = bench.meter().clone();
         let plan = bench.plan().clone();
 
-        let (_dies, pcms, fingerprints) = engine.run_paired(
-            rng,
+        // Parallel fan-out: each Monte Carlo sample runs on its own RNG
+        // stream forked from a seed drawn here, so the stage stays a pure
+        // function of the caller's rng state at any thread count.
+        let (_dies, pcms, fingerprints) = engine.run_paired_streamed(
+            rng.next_u64(),
             |die, rng| suite.measure(die.process(), rng),
             |die, rng| {
                 let device = WirelessCryptoIc::new(die.process().clone(), key, Trojan::None);
@@ -79,9 +82,10 @@ impl PremanufacturingStage {
         // B1 straight from the simulated fingerprints.
         let b1 = TrustedBoundary::fit("B1", &fingerprints, &config.boundary, config.seed ^ 0xb1)?;
 
-        // S2: adaptive-KDE tail enhancement, then B2.
+        // S2: adaptive-KDE tail enhancement (sampled on per-row parallel
+        // RNG streams), then B2.
         let kde = AdaptiveKde::fit(&fingerprints, &config.kde)?;
-        let s2_matrix = kde.sample_matrix(rng, config.kde_samples);
+        let s2_matrix = kde.sample_matrix_streamed(rng.next_u64(), config.kde_samples);
         let b2 = TrustedBoundary::fit(
             "B2",
             &s2_matrix,

@@ -10,7 +10,8 @@
 //!   PCM population,
 //! - **S5 / B5**: KDE tail enhancement of S4.
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use sidefp_chip::device::WirelessCryptoIc;
 use sidefp_chip::trojan::Trojan;
 use sidefp_linalg::Matrix;
@@ -103,9 +104,10 @@ impl SiliconStage {
         let s4_matrix = pre.predictor.predict_rows(&shifted_pcms)?;
         let b4 = TrustedBoundary::fit("B4", &s4_matrix, &config.boundary, config.seed ^ 0xb4)?;
 
-        // S5: KDE tail enhancement of S4.
+        // S5: KDE tail enhancement of S4, sampled on per-row parallel
+        // RNG streams.
         let kde = AdaptiveKde::fit(&s4_matrix, &config.kde)?;
-        let s5_matrix = kde.sample_matrix(rng, config.kde_samples);
+        let s5_matrix = kde.sample_matrix_streamed(rng.next_u64(), config.kde_samples);
         let b5 = TrustedBoundary::fit(
             "B5",
             &s5_matrix,
@@ -172,45 +174,54 @@ impl SiliconStage {
         let n = config.device_count();
         let nm = bench.plan().len();
         let np = bench.pcm_suite().len();
+        let env = config.test_environment;
+
+        // Tester-floor measurements fan out across devices, each on its
+        // own RNG stream forked from a seed drawn here — the lot keeps a
+        // single fabrication stream, but the `chips × 3` device
+        // measurements are independent and embarrassingly parallel.
+        let meas_seed = rng.next_u64();
+        let measured = sidefp_parallel::map_indexed(n, |row| {
+            let die = dies[row / 3];
+            let (trojan, _, _) = variants[row % 3];
+            let mut rng = StdRng::seed_from_u64(sidefp_parallel::fork_seed(meas_seed, row as u64));
+            let device = WirelessCryptoIc::new_at(die.process().clone(), bench.key(), trojan, &env);
+            let fp = bench.meter().fingerprint(&device, bench.plan(), &mut rng);
+            // On-die PCM structure: same die, fresh measurement noise,
+            // same tester environment, possibly through adversarially
+            // modified monitors.
+            let pcm = bench.pcm_suite().measure_detailed(
+                die.process(),
+                &env,
+                &config.pcm_tamper,
+                &mut rng,
+            );
+            // Scribe-line structures sit outside the product layout —
+            // the attacker cannot touch them.
+            let kerf = bench.pcm_suite().measure_detailed(
+                die.kerf_process(),
+                &env,
+                &sidefp_silicon::pcm::PcmTamper::none(),
+                &mut rng,
+            );
+            (fp, pcm, kerf)
+        });
+
         let mut fingerprints = Matrix::zeros(n, nm);
         let mut pcms = Matrix::zeros(n, np);
         let mut kerf_pcms = Matrix::zeros(n, np);
         let mut labels = Vec::with_capacity(n);
         let mut tags = Vec::with_capacity(n);
         let mut positions = Vec::with_capacity(n);
-
-        let mut row = 0;
-        let env = config.test_environment;
-        for die in dies {
-            for (trojan, label, tag) in variants {
-                let device =
-                    WirelessCryptoIc::new_at(die.process().clone(), bench.key(), trojan, &env);
-                let fp = bench.meter().fingerprint(&device, bench.plan(), rng);
-                fingerprints.row_mut(row).copy_from_slice(&fp);
-                // On-die PCM structure: same die, fresh measurement noise,
-                // same tester environment, possibly through adversarially
-                // modified monitors.
-                let pcm = bench.pcm_suite().measure_detailed(
-                    die.process(),
-                    &env,
-                    &config.pcm_tamper,
-                    rng,
-                );
-                pcms.row_mut(row).copy_from_slice(&pcm);
-                // Scribe-line structures sit outside the product layout —
-                // the attacker cannot touch them.
-                let kerf = bench.pcm_suite().measure_detailed(
-                    die.kerf_process(),
-                    &env,
-                    &sidefp_silicon::pcm::PcmTamper::none(),
-                    rng,
-                );
-                kerf_pcms.row_mut(row).copy_from_slice(&kerf);
-                labels.push(label);
-                tags.push(tag);
-                positions.push(die.position());
-                row += 1;
-            }
+        for (row, (fp, pcm, kerf)) in measured.iter().enumerate() {
+            let die = dies[row / 3];
+            let (_, label, tag) = variants[row % 3];
+            fingerprints.row_mut(row).copy_from_slice(fp);
+            pcms.row_mut(row).copy_from_slice(pcm);
+            kerf_pcms.row_mut(row).copy_from_slice(kerf);
+            labels.push(label);
+            tags.push(tag);
+            positions.push(die.position());
         }
         DuttPopulation::with_kerf(fingerprints, pcms, kerf_pcms, labels, tags)?
             .with_positions(positions)

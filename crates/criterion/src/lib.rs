@@ -1,0 +1,249 @@
+//! Minimal benchmark harness for the sidefp workspace.
+//!
+//! A vendored stand-in for the crates.io `criterion` crate so benches build
+//! and run fully offline. It keeps the call surface the workspace's bench
+//! targets use — [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], the [`criterion_group!`] / [`criterion_main!`]
+//! macros — and reports median / mean / min wall-clock time per iteration
+//! to stderr. There is no statistical outlier analysis or HTML report;
+//! numbers here are for tracking relative regressions, not publication.
+//!
+//! Passing `--bench` (as `cargo bench` does) runs every benchmark; passing
+//! `--test` (as `cargo test --benches` does) runs each benchmark once as a
+//! smoke test.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; kept for call-site
+/// compatibility, all variants behave identically here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// The benchmark driver: names benchmarks and collects their timings.
+pub struct Criterion {
+    sample_size: usize,
+    smoke_only: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        // `cargo test --benches` passes --test; run one iteration per
+        // bench so the target is exercised without burning minutes.
+        let smoke_only = args.iter().any(|a| a == "--test");
+        let filter = args.iter().skip(1).find(|a| !a.starts_with('-')).cloned();
+        Criterion {
+            sample_size: 10,
+            smoke_only,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs `routine` under the name `id`, printing summary timings.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(f) = &self.filter {
+            if !id.contains(f.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            iters_per_sample: 1,
+            smoke_only: self.smoke_only,
+        };
+        if self.smoke_only {
+            routine(&mut bencher);
+            eprintln!("{id}: ok (smoke)");
+            return self;
+        }
+        // Warm-up pass, then timed samples.
+        routine(&mut bencher);
+        bencher.samples.clear();
+        for _ in 0..self.sample_size {
+            routine(&mut bencher);
+        }
+        report(id, &bencher.samples);
+        self
+    }
+
+    /// Finalizes the run (a no-op; reports stream as benches finish).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Times the body of one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    smoke_only: bool,
+}
+
+impl Bencher {
+    /// Measures `routine`, called in a tight loop.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        let iters = if self.smoke_only {
+            1
+        } else {
+            self.iters_per_sample
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed() / iters as u32);
+    }
+
+    /// Measures `routine` on inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, T, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> T,
+    {
+        let iters = if self.smoke_only {
+            1
+        } else {
+            self.iters_per_sample
+        };
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.samples.push(total / iters as u32);
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        eprintln!("{id}: no samples");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    eprintln!(
+        "{id}: median {median:.2?}  mean {mean:.2?}  min {min:.2?}  ({} samples)",
+        sorted.len()
+    );
+}
+
+/// Declares a group of benchmark functions; both the positional and the
+/// `name = / config = / targets =` forms are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits the `main` function running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh(sample_size: usize, smoke_only: bool) -> Criterion {
+        Criterion {
+            sample_size,
+            smoke_only,
+            filter: None,
+        }
+    }
+
+    #[test]
+    fn iter_collects_expected_sample_count() {
+        let mut c = fresh(4, false);
+        let mut calls = 0_u64;
+        c.bench_function("counting", |b| b.iter(|| calls += 1));
+        // One warm-up invocation plus sample_size timed invocations.
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn smoke_mode_runs_each_routine_once() {
+        let mut c = fresh(10, true);
+        let mut calls = 0_u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut c = fresh(3, false);
+        let mut setups = 0_u64;
+        let mut runs = 0_u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |v| {
+                    runs += 1;
+                    v
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, runs);
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion {
+            sample_size: 2,
+            smoke_only: false,
+            filter: Some("match".into()),
+        };
+        let mut calls = 0_u64;
+        c.bench_function("other", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 0);
+        c.bench_function("matching", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+}

@@ -29,7 +29,6 @@
 //! ```
 
 #![warn(missing_docs)]
-
 // Triangular solves and Householder updates read far more clearly with
 // explicit index loops than with iterator adaptors.
 #![allow(clippy::needless_range_loop)]

@@ -161,6 +161,11 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutable borrow of the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Consumes the matrix and returns the row-major buffer.
     pub fn into_vec(self) -> Vec<f64> {
         self.data
@@ -250,6 +255,12 @@ impl Matrix {
 
     /// Matrix product `A * B`.
     ///
+    /// Output rows are computed in parallel row blocks (one per worker),
+    /// and the inner loops walk `k` in cache-friendly panels so a panel of
+    /// `rhs` rows stays hot while a block of output rows accumulates.
+    /// Each output element is an identical i-k-j accumulation regardless
+    /// of the blocking, so results match the naive triple loop exactly.
+    ///
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `self.ncols() != rhs.nrows()`.
@@ -261,20 +272,36 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
+        // Panel height over the shared dimension: a panel of rhs (64 rows
+        // × ncols) is revisited for every output row in a block, so it
+        // should fit comfortably in L1/L2.
+        const K_PANEL: usize = 64;
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                let rrow = rhs.row(k);
-                let orow = out.row_mut(i);
-                for (o, b) in orow.iter_mut().zip(rrow) {
-                    *o += a * b;
+        if self.rows == 0 || rhs.cols == 0 || self.cols == 0 {
+            return Ok(out);
+        }
+        let ncols = rhs.cols;
+        let row_blocks = sidefp_parallel::split_even(self.rows, sidefp_parallel::current_threads());
+        let cuts: Vec<usize> = row_blocks.iter().skip(1).map(|r| r.start * ncols).collect();
+        sidefp_parallel::for_each_split_mut(out.as_mut_slice(), &cuts, |block, slice| {
+            let rows = row_blocks[block].clone();
+            for k0 in (0..self.cols).step_by(K_PANEL) {
+                let k1 = (k0 + K_PANEL).min(self.cols);
+                for (local, i) in rows.clone().enumerate() {
+                    let orow = &mut slice[local * ncols..(local + 1) * ncols];
+                    for k in k0..k1 {
+                        let a = self[(i, k)];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let rrow = rhs.row(k);
+                        for (o, b) in orow.iter_mut().zip(rrow) {
+                            *o += a * b;
+                        }
+                    }
                 }
             }
-        }
+        });
         Ok(out)
     }
 
@@ -667,6 +694,33 @@ mod tests {
         assert!(near(c[(0, 1)], 22.0));
         assert!(near(c[(1, 0)], 43.0));
         assert!(near(c[(1, 1)], 50.0));
+    }
+
+    #[test]
+    fn matmul_identical_at_any_thread_count() {
+        let a = Matrix::from_fn(37, 23, |i, j| ((i * 31 + j * 7) % 13) as f64 * 0.37 - 1.5);
+        let b = Matrix::from_fn(23, 29, |i, j| ((i * 11 + j * 17) % 19) as f64 * 0.21 - 0.9);
+        let reference = sidefp_parallel::with_threads(1, || a.matmul(&b).unwrap());
+        for threads in [2, 3, 8] {
+            let got = sidefp_parallel::with_threads(threads, || a.matmul(&b).unwrap());
+            assert_eq!(got.as_slice(), reference.as_slice(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn matmul_empty_shapes() {
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 4);
+        assert_eq!(a.matmul(&b).unwrap().shape(), (0, 4));
+        let c = Matrix::zeros(4, 0);
+        assert_eq!(b.matmul(&c).unwrap().shape(), (3, 0));
+    }
+
+    #[test]
+    fn as_mut_slice_is_row_major() {
+        let mut m = Matrix::zeros(2, 2);
+        m.as_mut_slice()[3] = 5.0;
+        assert_eq!(m[(1, 1)], 5.0);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! centered at the mean values or reflect only a narrow portion of the
 //! distribution" (§2.2).
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 use sidefp_stats::MultivariateNormal;
 
 use crate::params::ProcessFactor;

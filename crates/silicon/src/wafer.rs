@@ -7,7 +7,7 @@
 //! as their neighbors — which is exactly why kerf e-tests are a trustworthy
 //! proxy for die behaviour.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Normalized die (or kerf-site) position on a wafer.
 #[derive(Debug, Clone, Copy, PartialEq)]

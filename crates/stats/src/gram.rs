@@ -1,0 +1,354 @@
+//! Shared Gram-matrix engine for the kernel methods.
+//!
+//! KMM, the one-class SVM and the MMD permutation test all start from the
+//! same object: a pairwise kernel matrix over data rows. [`GramMatrix`]
+//! computes it once — in parallel, exploiting symmetry — and exposes the
+//! summation helpers those consumers need, so none of them carries its own
+//! pairwise-kernel loop.
+//!
+//! Parallel layout: the upper triangle is filled by contiguous row chunks
+//! whose boundaries equalize the *triangle* work `Σ (n − i)`, not the row
+//! count — early rows are much heavier than late ones. Each worker writes
+//! only its own rows of the backing buffer (disjoint `split_at_mut`
+//! slices, no locks); the lower triangle is mirrored afterwards with plain
+//! copies. Every element is an independent kernel evaluation, so the
+//! result is bit-identical at any thread count.
+
+use sidefp_linalg::Matrix;
+
+use crate::{Kernel, StatsError};
+
+/// A precomputed symmetric kernel matrix `K[i][j] = k(x_i, x_j)` over the
+/// rows of one dataset, tagged with the kernel that produced it.
+///
+/// # Example
+///
+/// ```
+/// use sidefp_linalg::Matrix;
+/// use sidefp_stats::{GramMatrix, Kernel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let data = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 0.0], &[0.0, 2.0]])?;
+/// let gram = GramMatrix::symmetric(Kernel::Rbf { gamma: 0.5 }, &data);
+/// assert_eq!(gram.len(), 3);
+/// assert_eq!(gram.matrix()[(0, 0)], 1.0);
+/// assert_eq!(gram.matrix()[(0, 1)], gram.matrix()[(1, 0)]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GramMatrix {
+    kernel: Kernel,
+    values: Matrix,
+}
+
+impl GramMatrix {
+    /// Computes the symmetric Gram matrix of `data`'s rows in parallel.
+    pub fn symmetric(kernel: Kernel, data: &Matrix) -> GramMatrix {
+        let n = data.nrows();
+        let ncols = n;
+        let mut values = Matrix::zeros(n, n);
+        if n > 0 {
+            let row_blocks = triangle_blocks(n, sidefp_parallel::current_threads());
+            let cuts: Vec<usize> = row_blocks.iter().skip(1).map(|r| r.start * ncols).collect();
+            sidefp_parallel::for_each_split_mut(values.as_mut_slice(), &cuts, |block, slice| {
+                let rows = row_blocks[block].clone();
+                for (local, i) in rows.clone().enumerate() {
+                    let xi = data.row(i);
+                    let out = &mut slice[local * ncols..(local + 1) * ncols];
+                    for (j, v) in out.iter_mut().enumerate().skip(i) {
+                        *v = kernel.eval(xi, data.row(j));
+                    }
+                }
+            });
+            // Mirror the strict upper triangle; cheap copies, no kernel
+            // evaluations.
+            for i in 1..n {
+                for j in 0..i {
+                    values[(i, j)] = values[(j, i)];
+                }
+            }
+        }
+        GramMatrix { kernel, values }
+    }
+
+    /// Computes the rectangular cross-Gram `K[i][j] = k(a_i, b_j)` in
+    /// parallel row chunks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if the column counts of
+    /// `a` and `b` differ.
+    pub fn cross(kernel: Kernel, a: &Matrix, b: &Matrix) -> Result<Matrix, StatsError> {
+        if a.ncols() != b.ncols() {
+            return Err(StatsError::DimensionMismatch {
+                expected: a.ncols(),
+                got: b.ncols(),
+            });
+        }
+        let (na, nb) = (a.nrows(), b.nrows());
+        let mut values = Matrix::zeros(na, nb);
+        if na == 0 || nb == 0 {
+            return Ok(values);
+        }
+        let row_blocks = sidefp_parallel::split_even(na, sidefp_parallel::current_threads());
+        let cuts: Vec<usize> = row_blocks.iter().skip(1).map(|r| r.start * nb).collect();
+        sidefp_parallel::for_each_split_mut(values.as_mut_slice(), &cuts, |block, slice| {
+            let rows = row_blocks[block].clone();
+            for (local, i) in rows.clone().enumerate() {
+                let xi = a.row(i);
+                let out = &mut slice[local * nb..(local + 1) * nb];
+                for (o, j) in out.iter_mut().zip(0..nb) {
+                    *o = kernel.eval(xi, b.row(j));
+                }
+            }
+        });
+        Ok(values)
+    }
+
+    /// The kernel this matrix was computed with.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// The symmetric kernel matrix itself.
+    pub fn matrix(&self) -> &Matrix {
+        &self.values
+    }
+
+    /// Consumes the wrapper, returning the kernel matrix.
+    pub fn into_matrix(self) -> Matrix {
+        self.values
+    }
+
+    /// Number of data rows (the matrix is `len × len`).
+    pub fn len(&self) -> usize {
+        self.values.nrows()
+    }
+
+    /// `true` for a 0×0 Gram matrix.
+    pub fn is_empty(&self) -> bool {
+        self.values.nrows() == 0
+    }
+
+    /// Sum of `K[i][j]` over `i ∈ rows`, `j ∈ cols` — the building block
+    /// of every MMD-style statistic.
+    pub fn block_sum(&self, rows: &[usize], cols: &[usize]) -> f64 {
+        sidefp_parallel::reduce_sum(rows.len(), |r| {
+            let row = self.values.row(rows[r]);
+            cols.iter().map(|&c| row[c]).sum()
+        })
+    }
+
+    /// Sum of every entry of the matrix.
+    pub fn total_sum(&self) -> f64 {
+        let n = self.len();
+        sidefp_parallel::reduce_sum(n, |i| self.values.row(i).iter().sum())
+    }
+
+    /// The quadratic form `wᵀ K w` (the weighted-MMD training term).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w.len() != self.len()`.
+    pub fn weighted_quadratic(&self, w: &[f64]) -> f64 {
+        assert_eq!(w.len(), self.len(), "weight vector length mismatch");
+        sidefp_parallel::reduce_sum(self.len(), |i| {
+            let row = self.values.row(i);
+            w[i] * row.iter().zip(w).map(|(k, wj)| k * wj).sum::<f64>()
+        })
+    }
+
+    /// Per-row sums of the matrix.
+    pub fn row_sums(&self) -> Vec<f64> {
+        sidefp_parallel::map_indexed(self.len(), |i| self.values.row(i).iter().sum())
+    }
+}
+
+/// Splits `0..n` rows into at most `parts` contiguous blocks whose
+/// upper-triangle workloads `Σ (n − i)` are near-equal: the parallel
+/// symmetric fill is balanced even though early rows touch many more
+/// pairs than late ones.
+fn triangle_blocks(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n);
+    if parts == 1 {
+        return std::iter::once(0..n).collect();
+    }
+    let total: f64 = (n * (n + 1)) as f64 / 2.0;
+    let target = total / parts as f64;
+    let mut blocks = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    let mut acc = 0.0;
+    for i in 0..n {
+        acc += (n - i) as f64;
+        // Close the block once its workload reaches the target, always
+        // leaving at least one row per remaining block.
+        let remaining_blocks = parts - blocks.len();
+        let remaining_rows = n - i - 1;
+        if (acc >= target && remaining_blocks > 1 && remaining_rows >= remaining_blocks - 1)
+            || i + 1 == n
+        {
+            blocks.push(start..i + 1);
+            start = i + 1;
+            acc = 0.0;
+            if blocks.len() == parts {
+                break;
+            }
+        }
+    }
+    if start < n {
+        // Tail rows fold into the last block.
+        let last = blocks.pop().expect("at least one block exists");
+        blocks.push(last.start..n);
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sidefp_parallel::with_threads;
+
+    fn sample(n: usize, d: usize) -> Matrix {
+        Matrix::from_fn(n, d, |i, j| ((i * 13 + j * 5) % 17) as f64 * 0.17 - 1.0)
+    }
+
+    #[test]
+    fn symmetric_matches_direct_evaluation() {
+        let data = sample(23, 4);
+        let kernel = Kernel::Rbf { gamma: 0.7 };
+        let gram = GramMatrix::symmetric(kernel, &data);
+        for i in 0..23 {
+            for j in 0..23 {
+                let expected = kernel.eval(data.row(i), data.row(j));
+                assert_eq!(gram.matrix()[(i, j)], expected, "({i}, {j})");
+            }
+        }
+        assert_eq!(gram.kernel(), kernel);
+        assert_eq!(gram.len(), 23);
+        assert!(!gram.is_empty());
+    }
+
+    #[test]
+    fn symmetric_identical_at_any_thread_count() {
+        let data = sample(41, 3);
+        let kernel = Kernel::Rbf { gamma: 1.3 };
+        let reference = with_threads(1, || GramMatrix::symmetric(kernel, &data));
+        for threads in [2, 3, 8] {
+            let got = with_threads(threads, || GramMatrix::symmetric(kernel, &data));
+            assert_eq!(
+                got.matrix().as_slice(),
+                reference.matrix().as_slice(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_matches_direct_evaluation() {
+        let a = sample(7, 3);
+        let b = sample(11, 3);
+        let kernel = Kernel::Linear;
+        let cross = GramMatrix::cross(kernel, &a, &b).unwrap();
+        assert_eq!(cross.shape(), (7, 11));
+        for i in 0..7 {
+            for j in 0..11 {
+                assert_eq!(cross[(i, j)], kernel.eval(a.row(i), b.row(j)));
+            }
+        }
+    }
+
+    #[test]
+    fn cross_rejects_column_mismatch() {
+        let a = sample(4, 3);
+        let b = sample(4, 2);
+        assert!(matches!(
+            GramMatrix::cross(Kernel::Linear, &a, &b),
+            Err(StatsError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn block_and_total_sums_agree() {
+        let data = sample(15, 2);
+        let gram = GramMatrix::symmetric(Kernel::Rbf { gamma: 0.4 }, &data);
+        let all: Vec<usize> = (0..15).collect();
+        let brute: f64 = (0..15)
+            .flat_map(|i| (0..15).map(move |j| (i, j)))
+            .map(|(i, j)| gram.matrix()[(i, j)])
+            .sum();
+        assert!((gram.block_sum(&all, &all) - brute).abs() < 1e-12);
+        assert!((gram.total_sum() - brute).abs() < 1e-12);
+        let left = &all[..7];
+        let right = &all[7..];
+        let brute_lr: f64 = left
+            .iter()
+            .flat_map(|&i| right.iter().map(move |&j| (i, j)))
+            .map(|(i, j)| gram.matrix()[(i, j)])
+            .sum();
+        assert!((gram.block_sum(left, right) - brute_lr).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_quadratic_matches_brute_force() {
+        let data = sample(9, 2);
+        let gram = GramMatrix::symmetric(Kernel::Rbf { gamma: 0.8 }, &data);
+        let w: Vec<f64> = (0..9).map(|i| 0.3 + 0.1 * i as f64).collect();
+        let brute: f64 = (0..9)
+            .flat_map(|i| (0..9).map(move |j| (i, j)))
+            .map(|(i, j)| w[i] * w[j] * gram.matrix()[(i, j)])
+            .sum();
+        assert!((gram.weighted_quadratic(&w) - brute).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_sums_match_matrix_rows() {
+        let data = sample(8, 2);
+        let gram = GramMatrix::symmetric(Kernel::Linear, &data);
+        let sums = gram.row_sums();
+        for (i, s) in sums.iter().enumerate() {
+            let expected: f64 = gram.matrix().row(i).iter().sum();
+            assert_eq!(*s, expected);
+        }
+    }
+
+    #[test]
+    fn triangle_blocks_cover_and_balance() {
+        for n in [1usize, 2, 5, 16, 101] {
+            for parts in [1usize, 2, 3, 8] {
+                let blocks = triangle_blocks(n, parts);
+                let mut expect = 0;
+                for b in &blocks {
+                    assert_eq!(b.start, expect);
+                    assert!(!b.is_empty());
+                    expect = b.end;
+                }
+                assert_eq!(expect, n);
+                assert!(blocks.len() <= parts.min(n));
+            }
+        }
+        // Balance sanity on a big triangle: no block should carry more
+        // than ~2x the ideal share of pair evaluations.
+        let n = 400;
+        let blocks = triangle_blocks(n, 8);
+        let total = (n * (n + 1)) / 2;
+        for b in &blocks {
+            let work: usize = b.clone().map(|i| n - i).sum();
+            assert!(
+                work <= total / 4,
+                "block {b:?} carries {work} of {total} evaluations"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_gram_is_empty() {
+        let gram = GramMatrix::symmetric(Kernel::Linear, &Matrix::zeros(0, 0));
+        assert!(gram.is_empty());
+        assert_eq!(gram.total_sum(), 0.0);
+        assert_eq!(gram.clone().into_matrix().shape(), (0, 0));
+    }
+}

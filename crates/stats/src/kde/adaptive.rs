@@ -1,4 +1,4 @@
-use rand::{Rng, RngExt};
+use rand::{Rng, SeedableRng};
 use sidefp_linalg::Matrix;
 
 use crate::kde::Epanechnikov;
@@ -95,10 +95,11 @@ impl AdaptiveKde {
         };
 
         // Pilot density (fixed bandwidth, Eq. 5) evaluated at every
-        // observation, in z-space.
-        let pilot: Vec<f64> = (0..m)
-            .map(|i| Self::density_fixed(&z, &kernel, bandwidth, z.row(i)))
-            .collect();
+        // observation, in z-space. The m × m evaluation is the fitting
+        // hot spot; observations are scored in parallel.
+        let pilot: Vec<f64> = sidefp_parallel::map_indexed(m, |i| {
+            Self::density_fixed(&z, &kernel, bandwidth, z.row(i))
+        });
 
         // Compact support can zero the pilot at isolated points; floor it
         // so the geometric mean and the λ exponents stay defined.
@@ -130,25 +131,24 @@ impl AdaptiveKde {
         })
     }
 
-    /// Fixed-bandwidth density in z-space (Eq. 5).
+    /// Fixed-bandwidth density in z-space (Eq. 5), summed with the
+    /// deterministic blocked reduction.
     fn density_fixed(z: &Matrix, kernel: &Epanechnikov, h: f64, x: &[f64]) -> f64 {
         let m = z.nrows() as f64;
         let d = z.ncols() as f64;
         let inv_h = 1.0 / h;
-        let sum: f64 = z
-            .rows_iter()
-            .map(|row| {
-                let t2: f64 = row
-                    .iter()
-                    .zip(x)
-                    .map(|(a, b)| {
-                        let u = (b - a) * inv_h;
-                        u * u
-                    })
-                    .sum();
-                kernel.density_from_sq_radius(t2)
-            })
-            .sum();
+        let sum = sidefp_parallel::reduce_sum(z.nrows(), |i| {
+            let t2: f64 = z
+                .row(i)
+                .iter()
+                .zip(x)
+                .map(|(a, b)| {
+                    let u = (b - a) * inv_h;
+                    u * u
+                })
+                .sum();
+            kernel.density_from_sq_radius(t2)
+        });
         sum / (m * h.powf(d))
     }
 
@@ -186,11 +186,12 @@ impl AdaptiveKde {
         let zx = self.scaler.transform_sample(x)?;
         let m = self.len() as f64;
         let d = self.dim() as f64;
-        let mut sum = 0.0;
-        for (i, row) in self.z.rows_iter().enumerate() {
+        let sum = sidefp_parallel::reduce_sum(self.len(), |i| {
             let hl = self.bandwidth * self.lambdas[i];
             let inv = 1.0 / hl;
-            let t2: f64 = row
+            let t2: f64 = self
+                .z
+                .row(i)
                 .iter()
                 .zip(&zx)
                 .map(|(a, b)| {
@@ -198,9 +199,30 @@ impl AdaptiveKde {
                     u * u
                 })
                 .sum();
-            sum += self.kernel.density_from_sq_radius(t2) / hl.powf(d);
-        }
+            self.kernel.density_from_sq_radius(t2) / hl.powf(d)
+        });
         Ok(sum / m / self.jacobian)
+    }
+
+    /// Adaptive density at every row of `x`, scored in parallel (one
+    /// worker block per chunk of query rows).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if `x`'s column count
+    /// differs from the fitted dimension.
+    pub fn density_rows(&self, x: &Matrix) -> Result<Vec<f64>, StatsError> {
+        if x.ncols() != self.dim() {
+            return Err(StatsError::DimensionMismatch {
+                expected: self.dim(),
+                got: x.ncols(),
+            });
+        }
+        let rows = sidefp_parallel::map_indexed(x.nrows(), |i| {
+            self.density(x.row(i))
+                .expect("row width checked against fitted dimension")
+        });
+        Ok(rows)
     }
 
     /// Draws one synthetic sample in original units: picks an observation
@@ -228,6 +250,22 @@ impl AdaptiveKde {
         for i in 0..n {
             let s = self.sample(rng);
             out.row_mut(i).copy_from_slice(&s);
+        }
+        out
+    }
+
+    /// Draws `n` synthetic samples in parallel, each row from its own RNG
+    /// stream forked from `seed` — the result is a pure function of the
+    /// seed, identical at any thread count.
+    pub fn sample_matrix_streamed(&self, seed: u64, n: usize) -> Matrix {
+        let rows = sidefp_parallel::map_indexed(n, |i| {
+            let mut rng =
+                rand::rngs::StdRng::seed_from_u64(sidefp_parallel::fork_seed(seed, i as u64));
+            self.sample(&mut rng)
+        });
+        let mut out = Matrix::zeros(n, self.dim());
+        for (i, row) in rows.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(row);
         }
         out
     }
@@ -348,6 +386,52 @@ mod tests {
     fn density_dimension_checked() {
         let kde = AdaptiveKde::fit(&gaussian_blob(30, 10), &KdeConfig::default()).unwrap();
         assert!(kde.density(&[1.0]).is_err());
+        assert!(kde.density_rows(&Matrix::zeros(2, 1)).is_err());
+    }
+
+    #[test]
+    fn density_rows_matches_pointwise() {
+        let data = gaussian_blob(60, 11);
+        let kde = AdaptiveKde::fit(&data, &KdeConfig::default()).unwrap();
+        let batch = kde.density_rows(&data).unwrap();
+        for (i, row) in data.rows_iter().enumerate() {
+            assert_eq!(batch[i], kde.density(row).unwrap(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn fit_and_density_identical_at_any_thread_count() {
+        let data = gaussian_blob(120, 12);
+        let reference = sidefp_parallel::with_threads(1, || {
+            let kde = AdaptiveKde::fit(&data, &KdeConfig::default()).unwrap();
+            let rows = kde.density_rows(&data).unwrap();
+            (kde.lambdas().to_vec(), rows)
+        });
+        for threads in [2, 8] {
+            let got = sidefp_parallel::with_threads(threads, || {
+                let kde = AdaptiveKde::fit(&data, &KdeConfig::default()).unwrap();
+                let rows = kde.density_rows(&data).unwrap();
+                (kde.lambdas().to_vec(), rows)
+            });
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn streamed_sampling_is_seed_deterministic_at_any_thread_count() {
+        let data = gaussian_blob(80, 13);
+        let kde = AdaptiveKde::fit(&data, &KdeConfig::default()).unwrap();
+        let reference = sidefp_parallel::with_threads(1, || kde.sample_matrix_streamed(99, 500));
+        for threads in [2, 8] {
+            let got =
+                sidefp_parallel::with_threads(threads, || kde.sample_matrix_streamed(99, 500));
+            assert_eq!(got.as_slice(), reference.as_slice(), "threads={threads}");
+        }
+        // Streamed samples still follow the source distribution.
+        let sm = reference.column_means();
+        let dm = data.column_means();
+        assert!((sm[0] - dm[0]).abs() < 0.15);
+        assert!((sm[1] - dm[1]).abs() < 0.3);
     }
 
     #[test]

@@ -60,11 +60,7 @@ impl DensityClassifier {
             .map(|row| kde.density(row))
             .collect::<Result<Vec<f64>, StatsError>>()?;
         let threshold = descriptive::quantile(&densities, nu)?;
-        Ok(DensityClassifier {
-            kde,
-            threshold,
-            nu,
-        })
+        Ok(DensityClassifier { kde, threshold, nu })
     }
 
     /// The density threshold defining the trusted region.

@@ -82,33 +82,20 @@ impl Kernel {
 
     /// Gram matrix `K[i][j] = k(a_i, b_j)` for rows of `a` and `b`.
     ///
+    /// Delegates to the shared parallel engine in [`crate::GramMatrix`].
+    ///
     /// # Errors
     ///
     /// Returns [`StatsError::DimensionMismatch`] if the column counts differ.
     pub fn gram(&self, a: &Matrix, b: &Matrix) -> Result<Matrix, StatsError> {
-        if a.ncols() != b.ncols() {
-            return Err(StatsError::DimensionMismatch {
-                expected: a.ncols(),
-                got: b.ncols(),
-            });
-        }
-        Ok(Matrix::from_fn(a.nrows(), b.nrows(), |i, j| {
-            self.eval(a.row(i), b.row(j))
-        }))
+        crate::GramMatrix::cross(*self, a, b)
     }
 
     /// Symmetric Gram matrix of a single dataset (exploits symmetry).
+    ///
+    /// Delegates to the shared parallel engine in [`crate::GramMatrix`].
     pub fn gram_symmetric(&self, a: &Matrix) -> Matrix {
-        let n = a.nrows();
-        let mut k = Matrix::zeros(n, n);
-        for i in 0..n {
-            for j in i..n {
-                let v = self.eval(a.row(i), a.row(j));
-                k[(i, j)] = v;
-                k[(j, i)] = v;
-            }
-        }
-        k
+        crate::GramMatrix::symmetric(*self, a).into_matrix()
     }
 
     /// The median heuristic for the RBF bandwidth: `γ = 1 / (2·median²)`
@@ -123,15 +110,17 @@ impl Kernel {
         if n < 2 {
             return Err(StatsError::InsufficientData { needed: 2, got: n });
         }
-        let mut dists = Vec::with_capacity(n * (n - 1) / 2);
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let d = vecops::distance(data.row(i), data.row(j));
-                if d > 0.0 {
-                    dists.push(d);
-                }
-            }
-        }
+        // Collect the strict upper triangle of pairwise distances in
+        // parallel, one row at a time; concatenation in row order keeps
+        // the multiset (and the median) independent of the thread count.
+        let per_row: Vec<Vec<f64>> = sidefp_parallel::map_indexed(n, |i| {
+            let xi = data.row(i);
+            ((i + 1)..n)
+                .map(|j| vecops::distance(xi, data.row(j)))
+                .filter(|d| *d > 0.0)
+                .collect()
+        });
+        let dists: Vec<f64> = per_row.into_iter().flatten().collect();
         if dists.is_empty() {
             return Err(StatsError::DegenerateData(
                 "all points coincide; median heuristic undefined".into(),

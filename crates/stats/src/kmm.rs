@@ -1,8 +1,8 @@
-use rand::{Rng, RngExt};
+use rand::Rng;
 use sidefp_linalg::Matrix;
 
 use crate::qp::{solve_box_band, BoxBandConfig};
-use crate::{descriptive, Kernel, MultivariateNormal, StatsError};
+use crate::{descriptive, GramMatrix, Kernel, MultivariateNormal, StatsError};
 
 /// Configuration for [`KernelMeanMatching`].
 #[derive(Debug, Clone, PartialEq)]
@@ -61,7 +61,10 @@ impl Default for KmmConfig {
 pub struct KernelMeanMatching {
     weights: Vec<f64>,
     train: Matrix,
-    kernel: Kernel,
+    /// Train-side Gram matrix, cached from fitting so diagnostics like
+    /// [`KernelMeanMatching::mmd_objective`] never recompute the pairwise
+    /// kernels.
+    train_gram: GramMatrix,
 }
 
 impl KernelMeanMatching {
@@ -71,6 +74,8 @@ impl KernelMeanMatching {
     ///
     /// - [`StatsError::InsufficientData`] if either set has fewer than two
     ///   rows.
+    /// - [`StatsError::InvalidParameter`] if the matrices have no feature
+    ///   columns.
     /// - [`StatsError::DimensionMismatch`] if the column counts differ.
     /// - Parameter and solver errors from the underlying QP.
     pub fn fit(train: &Matrix, test: &Matrix, config: &KmmConfig) -> Result<Self, StatsError> {
@@ -86,6 +91,12 @@ impl KernelMeanMatching {
             return Err(StatsError::InsufficientData {
                 needed: 2,
                 got: nte,
+            });
+        }
+        if train.ncols() == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "train",
+                reason: "matrix has no feature columns".into(),
             });
         }
         if train.ncols() != test.ncols() {
@@ -106,14 +117,14 @@ impl KernelMeanMatching {
             }
         };
 
-        // K_ij = k(x_i^tr, x_j^tr)
-        let k_mat = kernel.gram_symmetric(train);
+        // K_ij = k(x_i^tr, x_j^tr) — computed once by the shared parallel
+        // engine and kept for post-fit diagnostics.
+        let train_gram = GramMatrix::symmetric(kernel, train);
         // κ_i = (n_tr / n_te) Σ_j k(x_i^tr, x_j^te)  (paper Eq. 4)
-        let cross = kernel.gram(train, test)?;
+        let cross = GramMatrix::cross(kernel, train, test)?;
         let ratio = ntr as f64 / nte as f64;
-        let kappa: Vec<f64> = (0..ntr)
-            .map(|i| ratio * cross.row(i).iter().sum::<f64>())
-            .collect();
+        let kappa: Vec<f64> =
+            sidefp_parallel::map_indexed(ntr, |i| ratio * cross.row(i).iter().sum::<f64>());
 
         let band = config
             .band
@@ -124,12 +135,12 @@ impl KernelMeanMatching {
             max_iter: config.max_iter,
             tol: 1e-7,
         };
-        let weights = solve_box_band(&k_mat, &kappa, &qp_cfg)?;
+        let weights = solve_box_band(train_gram.matrix(), &kappa, &qp_cfg)?;
 
         Ok(KernelMeanMatching {
             weights,
             train: train.clone(),
-            kernel,
+            train_gram,
         })
     }
 
@@ -140,11 +151,14 @@ impl KernelMeanMatching {
 
     /// The kernel used for matching (after any median-heuristic selection).
     pub fn kernel(&self) -> Kernel {
-        self.kernel
+        self.train_gram.kernel()
     }
 
     /// Weighted maximum-mean-discrepancy objective value (lower is better);
     /// useful for diagnostics and ablations.
+    ///
+    /// The train-side quadratic term reuses the Gram matrix cached at fit
+    /// time; only the test-side and cross blocks are evaluated fresh.
     pub fn mmd_objective(&self, test: &Matrix) -> Result<f64, StatsError> {
         if test.ncols() != self.train.ncols() {
             return Err(StatsError::DimensionMismatch {
@@ -154,28 +168,14 @@ impl KernelMeanMatching {
         }
         let ntr = self.train.nrows() as f64;
         let nte = test.nrows() as f64;
+        let kernel = self.train_gram.kernel();
         // ‖(1/ntr)Σβ_iφ(x_i) − (1/nte)Σφ(z_j)‖² expanded in kernel terms.
-        let k_tr = self.kernel.gram_symmetric(&self.train);
-        let k_te = self.kernel.gram_symmetric(test);
-        let cross = self.kernel.gram(&self.train, test)?;
-        let mut term_tr = 0.0;
-        for i in 0..self.train.nrows() {
-            for j in 0..self.train.nrows() {
-                term_tr += self.weights[i] * self.weights[j] * k_tr[(i, j)];
-            }
-        }
-        let mut term_cross = 0.0;
-        for i in 0..self.train.nrows() {
-            for j in 0..test.nrows() {
-                term_cross += self.weights[i] * cross[(i, j)];
-            }
-        }
-        let mut term_te = 0.0;
-        for i in 0..test.nrows() {
-            for j in 0..test.nrows() {
-                term_te += k_te[(i, j)];
-            }
-        }
+        let term_tr = self.train_gram.weighted_quadratic(&self.weights);
+        let cross = GramMatrix::cross(kernel, &self.train, test)?;
+        let term_cross = sidefp_parallel::reduce_sum(self.train.nrows(), |i| {
+            self.weights[i] * cross.row(i).iter().sum::<f64>()
+        });
+        let term_te = GramMatrix::symmetric(kernel, test).total_sum();
         Ok(term_tr / (ntr * ntr) - 2.0 * term_cross / (ntr * nte) + term_te / (nte * nte))
     }
 
@@ -365,8 +365,8 @@ mod tests {
         let weighted = kmm.mmd_objective(&te).unwrap();
         let uniform = KernelMeanMatching {
             weights: vec![1.0; tr.nrows()],
+            train_gram: GramMatrix::symmetric(kmm.kernel(), &tr),
             train: tr.clone(),
-            kernel: kmm.kernel(),
         }
         .mmd_objective(&te)
         .unwrap();
@@ -422,6 +422,24 @@ mod tests {
             ..Default::default()
         };
         assert!(KernelMeanMatching::fit(&a, &a, &bad_kernel).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_column_matrices_with_typed_error() {
+        let empty = Matrix::zeros(3, 0);
+        match KernelMeanMatching::fit(&empty, &empty, &KmmConfig::default()) {
+            Err(StatsError::InvalidParameter { name: "train", .. }) => {}
+            other => panic!("expected InvalidParameter for train, got {other:?}"),
+        }
+        // Column-count mismatch stays a DimensionMismatch.
+        let a = Matrix::from_rows(&[&[0.0], &[1.0]]).unwrap();
+        match KernelMeanMatching::fit(&a, &empty, &KmmConfig::default()) {
+            Err(StatsError::DimensionMismatch {
+                expected: 1,
+                got: 0,
+            }) => {}
+            other => panic!("expected DimensionMismatch, got {other:?}"),
+        }
     }
 
     #[test]

@@ -51,6 +51,7 @@
 pub mod bootstrap;
 pub mod descriptive;
 mod error;
+mod gram;
 pub mod kde;
 mod kernel;
 mod kmm;
@@ -68,6 +69,7 @@ pub mod roc;
 mod scaler;
 
 pub use error::StatsError;
+pub use gram::GramMatrix;
 pub use kernel::Kernel;
 pub use kmm::{KernelMeanMatching, KmmConfig};
 pub use metrics::{ConfusionCounts, DetectionLabel};

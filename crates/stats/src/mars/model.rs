@@ -104,7 +104,11 @@ impl Mars {
 
         // ---- Forward pass ----
         while bases.len() + 1 < term_cap {
-            let mut best: Option<(BasisFunction, BasisFunction, f64)> = None;
+            // Enumerate every admissible (parent, feature, knot) triple
+            // first, then score the trial fits in parallel: each trial is
+            // an independent QR factorization, the dominant cost of the
+            // forward pass.
+            let mut candidates: Vec<(usize, usize, f64)> = Vec::new();
             for parent_idx in 0..bases.len() {
                 if bases[parent_idx].degree() >= config.max_interaction {
                     continue;
@@ -115,28 +119,33 @@ impl Mars {
                         continue;
                     }
                     for knot in Self::candidate_knots(x, parent_col, feature, config.max_knots) {
-                        let pos = bases[parent_idx].with_hinge(Hinge {
-                            feature,
-                            knot,
-                            direction: HingeDirection::Positive,
-                        });
-                        let neg = bases[parent_idx].with_hinge(Hinge {
-                            feature,
-                            knot,
-                            direction: HingeDirection::Negative,
-                        });
-                        let mut cols = design_cols.clone();
-                        cols.push(Self::basis_column(&pos, x));
-                        cols.push(Self::basis_column(&neg, x));
-                        let rss = Self::fit_rss(&cols, y)?;
-                        if best.as_ref().is_none_or(|(_, _, b)| rss < *b) {
-                            best = Some((pos, neg, rss));
-                        }
+                        candidates.push((parent_idx, feature, knot));
                     }
                 }
             }
+            let scores: Vec<Result<f64, StatsError>> =
+                sidefp_parallel::map_indexed(candidates.len(), |c| {
+                    let (parent_idx, feature, knot) = candidates[c];
+                    let (pos, neg) = Self::hinge_pair(&bases[parent_idx], feature, knot);
+                    let mut cols = design_cols.clone();
+                    cols.push(Self::basis_column(&pos, x));
+                    cols.push(Self::basis_column(&neg, x));
+                    Self::fit_rss(&cols, y)
+                });
+            // Scan in enumeration order with strict improvement, so ties
+            // resolve to the lowest candidate index — exactly the
+            // sequential first-wins behavior at any thread count.
+            let mut best: Option<(usize, f64)> = None;
+            for (c, score) in scores.into_iter().enumerate() {
+                let rss = score?;
+                if best.is_none_or(|(_, b)| rss < b) {
+                    best = Some((c, rss));
+                }
+            }
             match best {
-                Some((pos, neg, rss)) if rss < best_rss * (1.0 - 1e-9) => {
+                Some((c, rss)) if rss < best_rss * (1.0 - 1e-9) => {
+                    let (parent_idx, feature, knot) = candidates[c];
+                    let (pos, neg) = Self::hinge_pair(&bases[parent_idx], feature, knot);
                     design_cols.push(Self::basis_column(&pos, x));
                     design_cols.push(Self::basis_column(&neg, x));
                     bases.push(pos);
@@ -163,24 +172,35 @@ impl Mars {
             // hinge combination can replicate them (making them look
             // redundant to GCV), but they are what keeps extrapolation
             // slopes alive outside the range.
+            let removable: Vec<usize> = active
+                .iter()
+                .enumerate()
+                .filter(|(_, &idx)| {
+                    !(bases[idx].is_intercept()
+                        || (bases[idx].hinges().is_empty()
+                            && !bases[idx].linear_features().is_empty()))
+                })
+                .map(|(pos, _)| pos)
+                .collect();
+            // Score every removal trial in parallel (one QR each), then
+            // scan in order so ties resolve to the lowest position.
+            let scores: Vec<Result<f64, StatsError>> =
+                sidefp_parallel::map_indexed(removable.len(), |t| {
+                    let pos = removable[t];
+                    let cols: Vec<Vec<f64>> = active
+                        .iter()
+                        .enumerate()
+                        .filter(|(p, _)| *p != pos)
+                        .map(|(_, &i)| design_cols[i].clone())
+                        .collect();
+                    let rss = Self::fit_rss(&cols, y)?;
+                    Ok(Self::gcv(rss, n, active.len() - 1, config.penalty))
+                });
             let mut round_best: Option<(usize, f64)> = None;
-            for (pos, &idx) in active.iter().enumerate() {
-                if bases[idx].is_intercept()
-                    || (bases[idx].hinges().is_empty() && !bases[idx].linear_features().is_empty())
-                {
-                    continue;
-                }
-                let trial: Vec<usize> = active
-                    .iter()
-                    .enumerate()
-                    .filter(|(p, _)| *p != pos)
-                    .map(|(_, &i)| i)
-                    .collect();
-                let cols: Vec<Vec<f64>> = trial.iter().map(|&i| design_cols[i].clone()).collect();
-                let rss = Self::fit_rss(&cols, y)?;
-                let g = Self::gcv(rss, n, trial.len(), config.penalty);
-                if round_best.as_ref().is_none_or(|(_, bg)| g < *bg) {
-                    round_best = Some((pos, g));
+            for (t, score) in scores.into_iter().enumerate() {
+                let g = score?;
+                if round_best.is_none_or(|(_, bg)| g < bg) {
+                    round_best = Some((removable[t], g));
                 }
             }
             let Some((remove_pos, g)) = round_best else {
@@ -213,6 +233,25 @@ impl Mars {
     /// Column of basis values over all rows of `x`.
     fn basis_column(basis: &BasisFunction, x: &Matrix) -> Vec<f64> {
         x.rows_iter().map(|row| basis.eval(row)).collect()
+    }
+
+    /// The positive/negative hinge children of `parent` at a knot.
+    fn hinge_pair(
+        parent: &BasisFunction,
+        feature: usize,
+        knot: f64,
+    ) -> (BasisFunction, BasisFunction) {
+        let pos = parent.with_hinge(Hinge {
+            feature,
+            knot,
+            direction: HingeDirection::Positive,
+        });
+        let neg = parent.with_hinge(Hinge {
+            feature,
+            knot,
+            direction: HingeDirection::Negative,
+        });
+        (pos, neg)
     }
 
     /// Candidate knots: quantiles of the feature over rows where the parent
@@ -401,6 +440,25 @@ mod tests {
         // linear seed term (whose coefficient the fit drives to ~0).
         assert!(m.bases().len() <= 3, "kept {} bases", m.bases().len());
         assert!((m.predict(&[0.5]).unwrap() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_identical_at_any_thread_count() {
+        let x = grid_1d(-3.0, 3.0, 50);
+        let y: Vec<f64> = x.col(0).iter().map(|v| v.abs() + 0.3 * v).collect();
+        let reference =
+            sidefp_parallel::with_threads(1, || Mars::fit(&x, &y, &MarsConfig::default()).unwrap());
+        for threads in [2, 8] {
+            let m = sidefp_parallel::with_threads(threads, || {
+                Mars::fit(&x, &y, &MarsConfig::default()).unwrap()
+            });
+            assert_eq!(
+                m.coefficients(),
+                reference.coefficients(),
+                "threads={threads}"
+            );
+            assert_eq!(m.bases().len(), reference.bases().len());
+        }
     }
 
     #[test]

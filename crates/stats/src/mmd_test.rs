@@ -7,10 +7,10 @@
 //! measured Trojan-free devices, and that the Trojan clusters are not.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use sidefp_linalg::Matrix;
 
-use crate::{Kernel, StatsError};
+use crate::{GramMatrix, Kernel, StatsError};
 
 /// Result of a permutation MMD test.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,27 +33,12 @@ impl MmdTest {
 
 /// Biased squared-MMD V-statistic between rows `a_idx` and `b_idx` of a
 /// precomputed joint Gram matrix.
-fn mmd_sq(gram: &Matrix, a_idx: &[usize], b_idx: &[usize]) -> f64 {
+fn mmd_sq(gram: &GramMatrix, a_idx: &[usize], b_idx: &[usize]) -> f64 {
     let na = a_idx.len() as f64;
     let nb = b_idx.len() as f64;
-    let mut aa = 0.0;
-    for &i in a_idx {
-        for &j in a_idx {
-            aa += gram[(i, j)];
-        }
-    }
-    let mut bb = 0.0;
-    for &i in b_idx {
-        for &j in b_idx {
-            bb += gram[(i, j)];
-        }
-    }
-    let mut ab = 0.0;
-    for &i in a_idx {
-        for &j in b_idx {
-            ab += gram[(i, j)];
-        }
-    }
+    let aa = gram.block_sum(a_idx, a_idx);
+    let bb = gram.block_sum(b_idx, b_idx);
+    let ab = gram.block_sum(a_idx, b_idx);
     aa / (na * na) + bb / (nb * nb) - 2.0 * ab / (na * nb)
 }
 
@@ -115,7 +100,7 @@ pub fn mmd_permutation_test(
         }
         None => Kernel::rbf_median_heuristic(&pooled)?,
     };
-    let gram = kernel.gram_symmetric(&pooled);
+    let gram = GramMatrix::symmetric(kernel, &pooled);
 
     let na = a.nrows();
     let n = pooled.nrows();
@@ -123,20 +108,21 @@ pub fn mmd_permutation_test(
     let b_idx: Vec<usize> = (na..n).collect();
     let statistic = mmd_sq(&gram, &a_idx, &b_idx);
 
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut indices: Vec<usize> = (0..n).collect();
-    let mut at_least = 0usize;
-    for _ in 0..permutations {
+    // Each permutation shuffles its own identity vector with an RNG
+    // stream forked from the seed, so the null distribution is a pure
+    // function of `seed` — independent of both evaluation order and
+    // thread count.
+    let exceeded = sidefp_parallel::map_indexed(permutations, |p| {
+        let mut rng = StdRng::seed_from_u64(sidefp_parallel::fork_seed(seed, p as u64));
+        let mut indices: Vec<usize> = (0..n).collect();
         // Fisher–Yates shuffle, then split at na.
         for i in (1..n).rev() {
             let j = rng.random_range(0..=i);
             indices.swap(i, j);
         }
-        let perm_stat = mmd_sq(&gram, &indices[..na], &indices[na..]);
-        if perm_stat >= statistic {
-            at_least += 1;
-        }
-    }
+        mmd_sq(&gram, &indices[..na], &indices[na..]) >= statistic
+    });
+    let at_least = exceeded.into_iter().filter(|e| *e).count();
     // Add-one smoothing keeps the p-value away from an impossible 0.
     let p_value = (at_least + 1) as f64 / (permutations + 1) as f64;
 
@@ -198,6 +184,21 @@ mod tests {
         let t1 = mmd_permutation_test(&a, &b, None, 100, 12).unwrap();
         let t2 = mmd_permutation_test(&a, &b, None, 100, 12).unwrap();
         assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn identical_at_any_thread_count() {
+        let a = blob(0.0, 25, 20);
+        let b = blob(0.7, 25, 21);
+        let reference = sidefp_parallel::with_threads(1, || {
+            mmd_permutation_test(&a, &b, None, 80, 22).unwrap()
+        });
+        for threads in [2, 8] {
+            let got = sidefp_parallel::with_threads(threads, || {
+                mmd_permutation_test(&a, &b, None, 80, 22).unwrap()
+            });
+            assert_eq!(got, reference, "threads={threads}");
+        }
     }
 
     #[test]

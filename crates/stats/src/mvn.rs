@@ -1,4 +1,4 @@
-use rand::{Rng, RngExt};
+use rand::Rng;
 use sidefp_linalg::{Cholesky, Matrix};
 
 use crate::StatsError;

@@ -1,7 +1,7 @@
 use sidefp_linalg::Matrix;
 
 use crate::qp::{SmoConfig, SmoSolver};
-use crate::{Kernel, StatsError};
+use crate::{GramMatrix, Kernel, StatsError};
 
 /// Configuration for the ν-one-class SVM.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,12 +60,18 @@ impl OneClassSvm {
     /// # Errors
     ///
     /// - [`StatsError::InsufficientData`] for fewer than two rows.
-    /// - [`StatsError::InvalidParameter`] for `ν ∉ (0, 1]` or invalid
-    ///   kernel hyper-parameters.
+    /// - [`StatsError::InvalidParameter`] for zero feature columns,
+    ///   `ν ∉ (0, 1]` or invalid kernel hyper-parameters.
     pub fn fit(data: &Matrix, config: &OneClassSvmConfig) -> Result<Self, StatsError> {
         let n = data.nrows();
         if n < 2 {
             return Err(StatsError::InsufficientData { needed: 2, got: n });
+        }
+        if data.ncols() == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "data",
+                reason: "matrix has no feature columns".into(),
+            });
         }
         if !(config.nu > 0.0 && config.nu <= 1.0) {
             return Err(StatsError::InvalidParameter {
@@ -75,14 +81,14 @@ impl OneClassSvm {
         }
         config.kernel.validate()?;
 
-        let q = config.kernel.gram_symmetric(data);
+        let q = GramMatrix::symmetric(config.kernel, data);
         let c = 1.0 / (config.nu * n as f64);
         let smo = SmoSolver::new(SmoConfig {
             upper: c,
             tol: config.tol,
             max_iter: config.max_iter,
         });
-        let sol = smo.solve(&q)?;
+        let sol = smo.solve(q.matrix())?;
 
         // ρ = mean decision value over margin SVs (0 < α < C); fall back to
         // all SVs if none are strictly inside the box.
@@ -131,13 +137,18 @@ impl OneClassSvm {
                 got: x.len(),
             });
         }
+        Ok(self.decision_value(x))
+    }
+
+    /// Decision value without the dimension check (callers validate once).
+    fn decision_value(&self, x: &[f64]) -> f64 {
         let sum: f64 = self
             .support_vectors
             .rows_iter()
             .zip(&self.alphas)
             .map(|(sv, a)| a * self.kernel.eval(sv, x))
             .sum();
-        Ok(sum - self.rho)
+        sum - self.rho
     }
 
     /// `true` if the point falls inside (or on) the trusted boundary.
@@ -152,15 +163,22 @@ impl OneClassSvm {
             >= 0.0
     }
 
-    /// Decision values for every row of `x`.
+    /// Decision values for every row of `x`, scored in parallel.
     ///
     /// # Errors
     ///
-    /// Propagates [`OneClassSvm::decision_function`] errors.
+    /// Returns [`StatsError::DimensionMismatch`] if `x`'s column count
+    /// differs from the fitted dimension.
     pub fn decision_rows(&self, x: &Matrix) -> Result<Vec<f64>, StatsError> {
-        x.rows_iter()
-            .map(|row| self.decision_function(row))
-            .collect()
+        if x.ncols() != self.input_dim {
+            return Err(StatsError::DimensionMismatch {
+                expected: self.input_dim,
+                got: x.ncols(),
+            });
+        }
+        Ok(sidefp_parallel::map_indexed(x.nrows(), |i| {
+            self.decision_value(x.row(i))
+        }))
     }
 
     /// Number of support vectors retained.
@@ -306,6 +324,37 @@ mod tests {
         };
         assert!(OneClassSvm::fit(&data, &bad_kernel).is_err());
         assert!(OneClassSvm::fit(&Matrix::zeros(1, 2), &default_cfg()).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_column_matrix_with_typed_error() {
+        match OneClassSvm::fit(&Matrix::zeros(5, 0), &default_cfg()) {
+            Err(StatsError::InvalidParameter { name: "data", .. }) => {}
+            other => panic!("expected InvalidParameter for data, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decision_rows_rejects_wrong_width() {
+        let svm = OneClassSvm::fit(&blob(30, 11), &default_cfg()).unwrap();
+        match svm.decision_rows(&Matrix::zeros(4, 3)) {
+            Err(StatsError::DimensionMismatch {
+                expected: 2,
+                got: 3,
+            }) => {}
+            other => panic!("expected DimensionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decision_rows_identical_at_any_thread_count() {
+        let data = blob(60, 12);
+        let svm = OneClassSvm::fit(&data, &default_cfg()).unwrap();
+        let reference = sidefp_parallel::with_threads(1, || svm.decision_rows(&data).unwrap());
+        for threads in [2, 8] {
+            let got = sidefp_parallel::with_threads(threads, || svm.decision_rows(&data).unwrap());
+            assert_eq!(got, reference, "threads={threads}");
+        }
     }
 
     #[test]

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Repo lint gate: formatting + clippy with warnings denied + full tests.
+# CI and pre-commit entry point; keep it identical to what reviewers run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+if [[ "${1:-}" == "--tests" ]]; then
+    cargo test --workspace -q
+fi

@@ -1,0 +1,87 @@
+//! Cross-crate determinism: the parallel hot paths must produce
+//! bit-identical results at any worker count.
+//!
+//! Every parallel algorithm in the workspace derives its randomness from
+//! per-item RNG streams forked off a seed and combines floating-point
+//! reductions in fixed-width chunks, so a run is a pure function of the
+//! seed — these tests pin that contract at the integration level.
+
+use sidefp_core::{ExperimentConfig, PaperExperiment, ParallelismConfig};
+use sidefp_silicon::foundry::Foundry;
+use sidefp_silicon::monte_carlo::MonteCarloEngine;
+use sidefp_silicon::pcm::PcmSuite;
+use sidefp_stats::{KernelMeanMatching, KmmConfig};
+
+/// `MonteCarlo::run_streamed` yields the same sample matrix at 1 and 8
+/// threads, element for element.
+#[test]
+fn monte_carlo_matrix_identical_across_thread_counts() {
+    let engine = MonteCarloEngine::new(Foundry::nominal(), 48).unwrap();
+    let suite = PcmSuite::paper_default();
+    let run = |threads: usize| {
+        sidefp_parallel::with_threads(threads, || {
+            let (_, samples) = engine
+                .run_streamed(99, |die, rng| suite.measure(die.process(), rng))
+                .unwrap();
+            samples
+        })
+    };
+    let single = run(1);
+    let pooled = run(8);
+    assert_eq!(single.shape(), pooled.shape());
+    for (a, b) in single.as_slice().iter().zip(pooled.as_slice()) {
+        assert!((a - b).abs() <= 1e-12, "{a} vs {b}");
+    }
+}
+
+/// KMM importance weights agree to 1e-12 between 1 and 8 threads: the
+/// Gram matrix, kappa vector and QP solve are all reduction-stable.
+#[test]
+fn kmm_weights_identical_across_thread_counts() {
+    let engine = MonteCarloEngine::new(Foundry::nominal(), 40).unwrap();
+    let suite = PcmSuite::paper_default();
+    let fit = |threads: usize| {
+        sidefp_parallel::with_threads(threads, || {
+            let (_, train) = engine
+                .run_streamed(7, |die, rng| suite.measure(die.process(), rng))
+                .unwrap();
+            let (_, test) = engine
+                .run_streamed(8, |die, rng| suite.measure(die.process(), rng))
+                .unwrap();
+            KernelMeanMatching::fit(&train, &test, &KmmConfig::default())
+                .unwrap()
+                .weights()
+                .to_vec()
+        })
+    };
+    let single = fit(1);
+    let pooled = fit(8);
+    assert_eq!(single.len(), pooled.len());
+    for (a, b) in single.iter().zip(&pooled) {
+        assert!((a - b).abs() <= 1e-12, "{a} vs {b}");
+    }
+}
+
+/// The full reduced experiment produces identical Table-1 counts whether
+/// the worker pool has 1 or 8 threads.
+#[test]
+fn full_experiment_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        let config = ExperimentConfig {
+            seed: 11,
+            chips: 10,
+            mc_samples: 40,
+            kde_samples: 1200,
+            parallelism: ParallelismConfig {
+                threads,
+                deterministic: true,
+            },
+            ..Default::default()
+        };
+        PaperExperiment::new(config).unwrap().run().unwrap()
+    };
+    let single = run(1);
+    let pooled = run(8);
+    assert_eq!(single.table1, pooled.table1);
+    assert_eq!(single.golden_baseline, pooled.golden_baseline);
+}

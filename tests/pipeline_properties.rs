@@ -51,8 +51,14 @@ fn b1_rejects_everything_under_large_drift_for_any_seed() {
 #[test]
 fn determinism_is_bitwise_across_reruns() {
     for seed in [31, 32] {
-        let a = PaperExperiment::new(small(seed, 8, 40)).unwrap().run().unwrap();
-        let b = PaperExperiment::new(small(seed, 8, 40)).unwrap().run().unwrap();
+        let a = PaperExperiment::new(small(seed, 8, 40))
+            .unwrap()
+            .run()
+            .unwrap();
+        let b = PaperExperiment::new(small(seed, 8, 40))
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(a.table1, b.table1);
         assert_eq!(a.golden_baseline, b.golden_baseline);
         for (pa, pb) in a.fig4.iter().zip(&b.fig4) {
@@ -64,8 +70,14 @@ fn determinism_is_bitwise_across_reruns() {
 
 #[test]
 fn different_seeds_produce_different_populations() {
-    let a = PaperExperiment::new(small(41, 8, 40)).unwrap().run().unwrap();
-    let b = PaperExperiment::new(small(42, 8, 40)).unwrap().run().unwrap();
+    let a = PaperExperiment::new(small(41, 8, 40))
+        .unwrap()
+        .run()
+        .unwrap();
+    let b = PaperExperiment::new(small(42, 8, 40))
+        .unwrap()
+        .run()
+        .unwrap();
     assert_ne!(
         a.fig4[0].devices, b.fig4[0].devices,
         "independent fabrication runs produced identical measurements"

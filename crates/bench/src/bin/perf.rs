@@ -30,8 +30,12 @@ fn time_run(threads: usize, seed: u64) -> f64 {
     let experiment = PaperExperiment::new(config).expect("valid config");
     let start = Instant::now();
     let result = experiment.run().expect("experiment runs");
+    let elapsed = start.elapsed().as_secs_f64() * 1000.0;
     assert_eq!(result.table1.len(), 5);
-    start.elapsed().as_secs_f64() * 1000.0
+    if !result.health.is_clean() {
+        eprintln!("note: run degraded\n{}", result.health.render());
+    }
+    elapsed
 }
 
 fn main() {

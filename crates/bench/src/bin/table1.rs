@@ -50,6 +50,12 @@ fn main() -> ExitCode {
 
     println!();
     println!("{}", artifacts.result.render_table1());
+    // `render_table1` only appends the health block when something
+    // degraded; always print the one-line summary so a clean run is
+    // visibly clean.
+    if artifacts.result.health.is_clean() {
+        println!("{}", artifacts.result.health.render());
+    }
 
     // ROC analysis: the full decision functions, beyond the operating point.
     println!("ROC analysis (AUC / trusted-coverage at zero missed Trojans):");

@@ -2,6 +2,7 @@ use std::error::Error;
 use std::fmt;
 
 use sidefp_chip::ChipError;
+use sidefp_faults::FaultError;
 use sidefp_silicon::SiliconError;
 use sidefp_stats::StatsError;
 
@@ -16,12 +17,20 @@ pub enum CoreError {
         /// Description of the violated constraint.
         reason: String,
     },
+    /// The measurement campaign degraded past the point of recovery
+    /// (too few surviving devices, or a channel with no valid reading).
+    DataQuality {
+        /// What made the data unusable.
+        reason: String,
+    },
     /// Error from the statistics substrate.
     Stats(StatsError),
     /// Error from the synthetic fab.
     Silicon(SiliconError),
     /// Error from the chip model.
     Chip(ChipError),
+    /// Error from the fault-injection harness.
+    Faults(FaultError),
 }
 
 impl fmt::Display for CoreError {
@@ -30,9 +39,13 @@ impl fmt::Display for CoreError {
             CoreError::InvalidConfig { name, reason } => {
                 write!(f, "invalid config `{name}`: {reason}")
             }
+            CoreError::DataQuality { reason } => {
+                write!(f, "data quality failure: {reason}")
+            }
             CoreError::Stats(e) => write!(f, "statistics error: {e}"),
             CoreError::Silicon(e) => write!(f, "silicon error: {e}"),
             CoreError::Chip(e) => write!(f, "chip error: {e}"),
+            CoreError::Faults(e) => write!(f, "fault injection error: {e}"),
         }
     }
 }
@@ -43,8 +56,15 @@ impl Error for CoreError {
             CoreError::Stats(e) => Some(e),
             CoreError::Silicon(e) => Some(e),
             CoreError::Chip(e) => Some(e),
-            CoreError::InvalidConfig { .. } => None,
+            CoreError::Faults(e) => Some(e),
+            CoreError::InvalidConfig { .. } | CoreError::DataQuality { .. } => None,
         }
+    }
+}
+
+impl From<FaultError> for CoreError {
+    fn from(e: FaultError) -> Self {
+        CoreError::Faults(e)
     }
 }
 
@@ -92,6 +112,18 @@ mod tests {
             reason: "must be positive".into(),
         };
         assert!(e.to_string().contains("chips"));
+        assert!(Error::source(&e).is_none());
+        let e: CoreError = FaultError::InvalidRate {
+            class: sidefp_faults::FaultClass::NanReading,
+            rate: 2.0,
+        }
+        .into();
+        assert!(e.to_string().contains("fault injection"));
+        assert!(Error::source(&e).is_some());
+        let e = CoreError::DataQuality {
+            reason: "only 2 devices survived".into(),
+        };
+        assert!(e.to_string().contains("data quality"));
         assert!(Error::source(&e).is_none());
     }
 

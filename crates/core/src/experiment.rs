@@ -9,6 +9,7 @@ use sidefp_stats::Pca;
 use crate::config::ExperimentConfig;
 use crate::dataset::Dataset;
 use crate::golden_baseline;
+use crate::health::RunHealth;
 use crate::report::{ExperimentResult, Fig4Panel};
 use crate::stages::{trojan_test, PremanufacturingStage, SiliconStage, Testbench};
 use crate::CoreError;
@@ -95,6 +96,11 @@ impl PaperExperiment {
 
     /// The stage pipeline itself; assumes the parallelism scope is set.
     fn run_stages(&self) -> Result<RunArtifacts, CoreError> {
+        // Solver-health counters are process-global; reset them so this
+        // run's snapshot reports only its own rescues. The set of solver
+        // calls is a pure function of the config, so the snapshot is as
+        // deterministic as the rest of the result.
+        sidefp_stats::diagnostics::reset();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let bench = Testbench::random(
             &mut rng,
@@ -115,11 +121,17 @@ impl PaperExperiment {
 
         let fig4 = self.build_fig4(&pre, &silicon, &mut rng)?;
 
+        let health = RunHealth {
+            measurement: silicon.health.clone(),
+            solvers: sidefp_stats::diagnostics::snapshot(),
+        };
+
         Ok(RunArtifacts {
             result: ExperimentResult {
                 table1,
                 golden_baseline: golden_row,
                 fig4,
+                health,
             },
             premanufacturing: pre,
             silicon,

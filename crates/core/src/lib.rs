@@ -44,6 +44,7 @@ pub mod dataset;
 mod error;
 pub mod experiment;
 pub mod golden_baseline;
+pub mod health;
 pub mod predictor;
 pub mod report;
 pub mod spc;
@@ -54,4 +55,6 @@ pub use boundary::TrustedBoundary;
 pub use config::{ExperimentConfig, ParallelismConfig};
 pub use error::CoreError;
 pub use experiment::PaperExperiment;
+pub use health::{MeasurementHealth, QuarantineReason, QuarantinedDevice, RunHealth};
 pub use report::{ExperimentResult, Table1Row};
+pub use stages::sanitize::{sanitize_measurements, SanitizedMeasurements, SanitizerConfig};

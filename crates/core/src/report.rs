@@ -5,6 +5,8 @@ use std::fmt;
 use sidefp_linalg::Matrix;
 use sidefp_stats::ConfusionCounts;
 
+use crate::health::RunHealth;
+
 /// One row of the paper's Table 1: the detection metrics of a boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Table1Row {
@@ -56,6 +58,9 @@ pub struct ExperimentResult {
     pub golden_baseline: Table1Row,
     /// Figure 4 panels (a)–(f).
     pub fig4: Vec<Fig4Panel>,
+    /// Degradation report: what the run repaired, quarantined or rescued
+    /// (all-zero for a healthy run).
+    pub health: RunHealth,
 }
 
 impl ExperimentResult {
@@ -70,6 +75,10 @@ impl ExperimentResult {
         }
         out.push_str("---------------------------------------------------\n");
         out.push_str(&format!("{}  (reference [12])\n", self.golden_baseline));
+        if !self.health.is_clean() {
+            out.push('\n');
+            out.push_str(&self.health.render());
+        }
         out
     }
 
@@ -140,6 +149,11 @@ impl ExperimentResult {
                 ));
             }
         }
+        if !self.health.is_clean() {
+            out.push_str("\n## Run health\n\n```\n");
+            out.push_str(&self.health.render());
+            out.push_str("```\n");
+        }
         out
     }
 }
@@ -184,6 +198,7 @@ mod tests {
                 counts: counts(0, 0),
             },
             fig4: vec![],
+            health: RunHealth::default(),
         };
         let md = result.render_markdown();
         assert!(md.contains("| B5 | 0/80 | 3/40 |"));
@@ -191,6 +206,34 @@ mod tests {
         assert!(md.starts_with("## Table 1"));
         // No Figure-4 section without panels.
         assert!(!md.contains("Figure 4"));
+        // Clean runs don't grow a health section.
+        assert!(!md.contains("Run health"));
+    }
+
+    #[test]
+    fn degraded_health_is_rendered_in_both_formats() {
+        let mut health = RunHealth::default();
+        health.measurement.devices_in = 30;
+        health.measurement.devices_kept = 29;
+        health.measurement.injected_faults = 7;
+        health.solvers.smo_relaxed = 2;
+        let result = ExperimentResult {
+            table1: vec![Table1Row {
+                dataset: "B5",
+                counts: counts(0, 3),
+            }],
+            golden_baseline: Table1Row {
+                dataset: "golden",
+                counts: counts(0, 0),
+            },
+            fig4: vec![],
+            health,
+        };
+        let text = result.render_table1();
+        assert!(text.contains("injected faults        7"));
+        let md = result.render_markdown();
+        assert!(md.contains("## Run health"));
+        assert!(md.contains("smo relaxed accepts    2"));
     }
 
     #[test]
@@ -211,6 +254,7 @@ mod tests {
                 counts: counts(0, 0),
             },
             fig4: vec![],
+            health: RunHealth::default(),
         };
         let rendered = result.render_table1();
         assert!(rendered.contains("B1"));

@@ -1,10 +1,12 @@
 //! The three stages of the golden chip-free flow.
 
 mod premanufacturing;
+pub mod sanitize;
 mod silicon_stage;
 pub mod trojan_test;
 
 pub use premanufacturing::PremanufacturingStage;
+pub use sanitize::{sanitize_measurements, SanitizedMeasurements, SanitizerConfig};
 pub use silicon_stage::SiliconStage;
 
 use rand::Rng;

@@ -1,0 +1,446 @@
+//! Measurement sanitization: screen, repair, winsorize and quarantine raw
+//! tester data before it reaches the statistical pipeline.
+//!
+//! Real measurement campaigns produce NaN handshake failures, rail-clipped
+//! ADC readings, stuck PCM channels, dead devices and retest-logging
+//! duplicates. The learners downstream (MARS, KMM, OCSVM, KDE) assume
+//! finite, strictly positive PCMs and one row per physical device, so this
+//! stage turns raw matrices into that contract — and reports exactly what
+//! it changed through [`MeasurementHealth`] instead of patching silently.
+//!
+//! The sanitizer is deliberately conservative on healthy data: repairs only
+//! touch non-finite / non-positive readings, the winsorizer clamps at
+//! `mad_k` robust sigmas (8 by default — far beyond anything a clean
+//! Gaussian population produces at these sample sizes), and duplicates must
+//! match bit-for-bit. A clean campaign passes through value-identical.
+
+use sidefp_linalg::Matrix;
+
+use crate::health::{MeasurementHealth, QuarantineReason, QuarantinedDevice};
+use crate::CoreError;
+
+/// Consistency constant between a MAD and a Gaussian standard deviation.
+const MAD_SIGMA: f64 = 1.4826;
+
+/// Configuration of the measurement sanitizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SanitizerConfig {
+    /// Winsorization threshold in robust sigmas (median ± `mad_k`·1.4826·MAD).
+    pub mad_k: f64,
+    /// Quarantine a device when more than this fraction of its readings is
+    /// unrepairable garbage (non-finite fingerprints, non-positive PCMs).
+    pub max_bad_fraction: f64,
+    /// Abort (typed error, not a panic) when fewer devices survive
+    /// quarantine — no boundary can be trained on less.
+    pub min_devices: usize,
+}
+
+impl Default for SanitizerConfig {
+    fn default() -> Self {
+        SanitizerConfig {
+            mad_k: 8.0,
+            max_bad_fraction: 0.5,
+            min_devices: 6,
+        }
+    }
+}
+
+impl SanitizerConfig {
+    /// Validates the sanitizer thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a non-positive `mad_k`, a
+    /// `max_bad_fraction` outside `(0, 1]`, or `min_devices < 2`.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if !(self.mad_k > 0.0 && self.mad_k.is_finite()) {
+            return Err(CoreError::InvalidConfig {
+                name: "sanitizer.mad_k",
+                reason: format!("must be positive and finite, got {}", self.mad_k),
+            });
+        }
+        if !(self.max_bad_fraction > 0.0 && self.max_bad_fraction <= 1.0) {
+            return Err(CoreError::InvalidConfig {
+                name: "sanitizer.max_bad_fraction",
+                reason: format!("must be in (0, 1], got {}", self.max_bad_fraction),
+            });
+        }
+        if self.min_devices < 2 {
+            return Err(CoreError::InvalidConfig {
+                name: "sanitizer.min_devices",
+                reason: "the boundary learners need at least 2 devices".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Output of [`sanitize_measurements`]: repaired matrices restricted to the
+/// surviving devices, the surviving raw row indices, and the health ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SanitizedMeasurements {
+    /// Repaired fingerprints, one row per surviving device.
+    pub fingerprints: Matrix,
+    /// Repaired PCMs (finite, strictly positive), same row order.
+    pub pcms: Matrix,
+    /// Raw row indices of the surviving devices, ascending.
+    pub kept: Vec<usize>,
+    /// What was repaired and quarantined.
+    pub health: MeasurementHealth,
+}
+
+/// `true` when a fingerprint reading needs repair.
+fn bad_fingerprint(v: f64) -> bool {
+    !v.is_finite()
+}
+
+/// `true` when a PCM reading needs repair (log-space calibration requires
+/// strictly positive monitors, so a stuck-at-ground `0.0` counts as bad).
+fn bad_pcm(v: f64) -> bool {
+    !v.is_finite() || v <= 0.0
+}
+
+fn median_of(mut values: Vec<f64>) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(f64::total_cmp);
+    let n = values.len();
+    Some(if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        0.5 * (values[n / 2 - 1] + values[n / 2])
+    })
+}
+
+/// Per-column median over the *good* readings of the kept rows.
+fn repair_targets(
+    m: &Matrix,
+    kept: &[usize],
+    bad: impl Fn(f64) -> bool,
+    fallback: f64,
+) -> Vec<f64> {
+    (0..m.ncols())
+        .map(|j| {
+            let good: Vec<f64> = kept
+                .iter()
+                .map(|&i| m[(i, j)])
+                .filter(|v| !bad(*v))
+                .collect();
+            median_of(good).unwrap_or(fallback)
+        })
+        .collect()
+}
+
+/// Screens, repairs and quarantines one measurement campaign.
+///
+/// The returned matrices are value-identical to the input when the campaign
+/// is already clean. See the module docs for the exact policy.
+///
+/// # Errors
+///
+/// - [`CoreError::InvalidConfig`] if `config` fails validation or the
+///   matrices disagree on the device count.
+/// - [`CoreError::DataQuality`] if fewer than `config.min_devices` devices
+///   survive quarantine.
+pub fn sanitize_measurements(
+    fingerprints: &Matrix,
+    pcms: &Matrix,
+    config: &SanitizerConfig,
+) -> Result<SanitizedMeasurements, CoreError> {
+    config.validate()?;
+    let n = fingerprints.nrows();
+    if pcms.nrows() != n {
+        return Err(CoreError::InvalidConfig {
+            name: "pcms",
+            reason: format!(
+                "fingerprint rows ({n}) and PCM rows ({}) disagree",
+                pcms.nrows()
+            ),
+        });
+    }
+    let nm = fingerprints.ncols();
+    let np = pcms.ncols();
+    let readings_per_device = nm + np;
+
+    let mut health = MeasurementHealth {
+        devices_in: n,
+        ..Default::default()
+    };
+
+    // Pass 1 — quarantine dead devices (too much unrepairable garbage).
+    let mut alive: Vec<usize> = Vec::with_capacity(n);
+    for i in 0..n {
+        let bad = fingerprints
+            .row(i)
+            .iter()
+            .filter(|v| bad_fingerprint(**v))
+            .count()
+            + pcms.row(i).iter().filter(|v| bad_pcm(**v)).count();
+        if readings_per_device > 0
+            && bad as f64 > config.max_bad_fraction * readings_per_device as f64
+        {
+            health.quarantined.push(QuarantinedDevice {
+                index: i,
+                reason: QuarantineReason::DeadDevice,
+            });
+        } else {
+            alive.push(i);
+        }
+    }
+
+    // Pass 2 — quarantine exact duplicates among the survivors (keep the
+    // first occurrence). Bit-level comparison: continuous measurement noise
+    // makes accidental collisions impossible, so a match is a logging bug.
+    let row_bits = |i: usize| -> Vec<u64> {
+        fingerprints
+            .row(i)
+            .iter()
+            .chain(pcms.row(i).iter())
+            .map(|v| v.to_bits())
+            .collect()
+    };
+    let mut seen: Vec<(usize, Vec<u64>)> = Vec::with_capacity(alive.len());
+    let mut kept: Vec<usize> = Vec::with_capacity(alive.len());
+    for &i in &alive {
+        let bits = row_bits(i);
+        if seen.iter().any(|(_, b)| *b == bits) {
+            health.quarantined.push(QuarantinedDevice {
+                index: i,
+                reason: QuarantineReason::DuplicateDevice,
+            });
+        } else {
+            seen.push((i, bits));
+            kept.push(i);
+        }
+    }
+    health.quarantined.sort_by_key(|q| q.index);
+    health.devices_kept = kept.len();
+    if kept.len() < config.min_devices {
+        return Err(CoreError::DataQuality {
+            reason: format!(
+                "only {} of {} devices survived quarantine (minimum {})",
+                kept.len(),
+                n,
+                config.min_devices
+            ),
+        });
+    }
+
+    // Pass 3 — repair remaining bad readings to the column median of the
+    // good readings. A column with no good reading at all is unrecoverable.
+    let fp_targets = repair_targets(fingerprints, &kept, bad_fingerprint, f64::NAN);
+    let pcm_targets = repair_targets(pcms, &kept, bad_pcm, f64::NAN);
+    if let Some(j) = fp_targets.iter().position(|t| !t.is_finite()) {
+        return Err(CoreError::DataQuality {
+            reason: format!("fingerprint column {j} has no valid reading on any device"),
+        });
+    }
+    if let Some(j) = pcm_targets.iter().position(|t| !t.is_finite()) {
+        return Err(CoreError::DataQuality {
+            reason: format!("PCM column {j} has no valid (positive) reading on any device"),
+        });
+    }
+
+    let mut fp_out = fingerprints.select_rows(&kept);
+    let mut pcm_out = pcms.select_rows(&kept);
+    for i in 0..kept.len() {
+        for j in 0..nm {
+            if bad_fingerprint(fp_out[(i, j)]) {
+                fp_out[(i, j)] = fp_targets[j];
+                health.repaired_readings += 1;
+            }
+        }
+        for j in 0..np {
+            if bad_pcm(pcm_out[(i, j)]) {
+                pcm_out[(i, j)] = pcm_targets[j];
+                health.repaired_readings += 1;
+            }
+        }
+    }
+
+    // Pass 4 — winsorize finite outliers (fingerprints only: that is where
+    // saturation/spike corruption lands; PCM garbage is caught by pass 3).
+    // A zero-MAD column is constant and has nothing to clamp.
+    for j in 0..nm {
+        let col: Vec<f64> = (0..fp_out.nrows()).map(|i| fp_out[(i, j)]).collect();
+        let med = median_of(col.clone()).unwrap_or(0.0);
+        let mad = median_of(col.iter().map(|v| (v - med).abs()).collect()).unwrap_or(0.0);
+        let sigma = MAD_SIGMA * mad;
+        if sigma <= 0.0 {
+            continue;
+        }
+        let (lo, hi) = (med - config.mad_k * sigma, med + config.mad_k * sigma);
+        for i in 0..fp_out.nrows() {
+            let v = fp_out[(i, j)];
+            if v < lo || v > hi {
+                fp_out[(i, j)] = v.clamp(lo, hi);
+                health.winsorized_readings += 1;
+            }
+        }
+    }
+
+    Ok(SanitizedMeasurements {
+        fingerprints: fp_out,
+        pcms: pcm_out,
+        kept,
+        health,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean(n: usize) -> (Matrix, Matrix) {
+        let fp = Matrix::from_fn(n, 4, |i, j| 10.0 + ((i * 7 + j * 3) % 5) as f64 * 0.1);
+        let pcm = Matrix::from_fn(n, 2, |i, j| 5.0 + ((i * 3 + j) % 4) as f64 * 0.05);
+        (fp, pcm)
+    }
+
+    #[test]
+    fn clean_data_passes_through_identically() {
+        let (fp, pcm) = clean(20);
+        let out = sanitize_measurements(&fp, &pcm, &SanitizerConfig::default()).unwrap();
+        assert_eq!(out.fingerprints, fp);
+        assert_eq!(out.pcms, pcm);
+        assert_eq!(out.kept, (0..20).collect::<Vec<_>>());
+        assert!(out.health.is_clean());
+        assert_eq!(out.health.devices_in, 20);
+        assert_eq!(out.health.devices_kept, 20);
+    }
+
+    #[test]
+    fn isolated_nan_is_repaired_not_quarantined() {
+        let (mut fp, pcm) = clean(12);
+        fp[(3, 1)] = f64::NAN;
+        let out = sanitize_measurements(&fp, &pcm, &SanitizerConfig::default()).unwrap();
+        assert_eq!(out.kept.len(), 12);
+        assert_eq!(out.health.repaired_readings, 1);
+        assert!(out.fingerprints.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn stuck_pcm_channel_is_repaired_to_positive() {
+        let (fp, mut pcm) = clean(12);
+        pcm[(5, 0)] = 0.0;
+        pcm[(7, 1)] = -2.0;
+        let out = sanitize_measurements(&fp, &pcm, &SanitizerConfig::default()).unwrap();
+        assert_eq!(out.health.repaired_readings, 2);
+        assert!(out.pcms.as_slice().iter().all(|v| *v > 0.0));
+    }
+
+    #[test]
+    fn dead_device_is_quarantined() {
+        let (mut fp, mut pcm) = clean(12);
+        fp.row_mut(4).fill(f64::NAN);
+        pcm.row_mut(4).fill(f64::NAN);
+        let out = sanitize_measurements(&fp, &pcm, &SanitizerConfig::default()).unwrap();
+        assert_eq!(out.kept.len(), 11);
+        assert!(!out.kept.contains(&4));
+        assert_eq!(
+            out.health.quarantined,
+            vec![QuarantinedDevice {
+                index: 4,
+                reason: QuarantineReason::DeadDevice,
+            }]
+        );
+        // No repairs needed — the garbage left with the device.
+        assert_eq!(out.health.repaired_readings, 0);
+    }
+
+    #[test]
+    fn duplicate_rows_keep_first_occurrence() {
+        let (mut fp, mut pcm) = clean(10);
+        let fp_src = fp.row(2).to_vec();
+        fp.row_mut(6).copy_from_slice(&fp_src);
+        let pcm_src = pcm.row(2).to_vec();
+        pcm.row_mut(6).copy_from_slice(&pcm_src);
+        let out = sanitize_measurements(&fp, &pcm, &SanitizerConfig::default()).unwrap();
+        assert!(out.kept.contains(&2));
+        assert!(!out.kept.contains(&6));
+        assert_eq!(
+            out.health
+                .quarantined_for(QuarantineReason::DuplicateDevice),
+            1
+        );
+    }
+
+    #[test]
+    fn saturated_reading_is_winsorized() {
+        let (mut fp, pcm) = clean(20);
+        let spike = 10.0 + 1000.0;
+        fp[(8, 2)] = spike;
+        let out = sanitize_measurements(&fp, &pcm, &SanitizerConfig::default()).unwrap();
+        assert_eq!(out.health.winsorized_readings, 1);
+        let repaired = out.fingerprints[(8, 2)];
+        assert!(repaired < spike, "clamped {repaired}");
+        assert!(repaired > 10.0, "clamp kept the outlier above the median");
+    }
+
+    #[test]
+    fn too_few_survivors_is_a_typed_error() {
+        let (mut fp, mut pcm) = clean(7);
+        for i in 0..3 {
+            fp.row_mut(i).fill(f64::NAN);
+            pcm.row_mut(i).fill(f64::NAN);
+        }
+        match sanitize_measurements(&fp, &pcm, &SanitizerConfig::default()) {
+            Err(CoreError::DataQuality { reason }) => {
+                assert!(reason.contains("4 of 7"), "{reason}")
+            }
+            other => panic!("expected DataQuality, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unrecoverable_column_is_a_typed_error() {
+        let (fp, mut pcm) = clean(10);
+        for i in 0..10 {
+            pcm[(i, 1)] = 0.0;
+        }
+        // Every device has 1 of 6 readings bad — below the quarantine
+        // threshold — but column 1 has no valid reading to repair from.
+        match sanitize_measurements(&fp, &pcm, &SanitizerConfig::default()) {
+            Err(CoreError::DataQuality { reason }) => {
+                assert!(reason.contains("PCM column 1"), "{reason}")
+            }
+            other => panic!("expected DataQuality, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_validation_catches_each_field() {
+        let c = SanitizerConfig {
+            mad_k: 0.0,
+            ..SanitizerConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SanitizerConfig {
+            max_bad_fraction: 0.0,
+            ..SanitizerConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SanitizerConfig {
+            max_bad_fraction: 1.5,
+            ..SanitizerConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SanitizerConfig {
+            min_devices: 1,
+            ..SanitizerConfig::default()
+        };
+        assert!(c.validate().is_err());
+        assert!(SanitizerConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn row_count_mismatch_rejected() {
+        let (fp, _) = clean(10);
+        let pcm = Matrix::filled(9, 2, 1.0);
+        assert!(matches!(
+            sanitize_measurements(&fp, &pcm, &SanitizerConfig::default()),
+            Err(CoreError::InvalidConfig { name: "pcms", .. })
+        ));
+    }
+}

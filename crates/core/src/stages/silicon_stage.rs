@@ -23,6 +23,8 @@ use sidefp_stats::{DetectionLabel, KernelMeanMatching};
 use crate::boundary::TrustedBoundary;
 use crate::config::{ExperimentConfig, RegressionSpace};
 use crate::dataset::{Dataset, DuttPopulation};
+use crate::health::MeasurementHealth;
+use crate::stages::sanitize::sanitize_measurements;
 use crate::stages::{PremanufacturingStage, Testbench};
 use crate::CoreError;
 
@@ -31,6 +33,9 @@ use crate::CoreError;
 pub struct SiliconStage {
     /// The fabricated devices under Trojan test with their measurements.
     pub dutts: DuttPopulation,
+    /// What the fault injector corrupted and the sanitizer repaired or
+    /// quarantined on the way from the tester to [`SiliconStage::dutts`].
+    pub health: MeasurementHealth,
     /// Dataset S3: fingerprints predicted from the DUTTs' own PCMs.
     pub s3: Dataset,
     /// Dataset S4: fingerprints predicted from KMM-shifted simulation PCMs.
@@ -72,7 +77,7 @@ impl SiliconStage {
         pre: &PremanufacturingStage,
         rng: &mut R,
     ) -> Result<Self, CoreError> {
-        let dutts = Self::fabricate_and_measure(config, bench, rng)?;
+        let (dutts, health) = Self::fabricate_and_measure(config, bench, rng)?;
 
         // S3: predict golden fingerprints from the silicon PCMs.
         let s3_matrix = pre.predictor.predict_rows(dutts.pcms())?;
@@ -117,6 +122,7 @@ impl SiliconStage {
 
         Ok(SiliconStage {
             dutts,
+            health,
             s3: Dataset::new("S3", s3_matrix),
             s4: Dataset::new("S4", s4_matrix),
             s5: Dataset::new("S5", s5_matrix),
@@ -128,11 +134,16 @@ impl SiliconStage {
     }
 
     /// Fabricates the DUTT lot and measures all `chips × 3` devices.
+    ///
+    /// The raw tester matrices pass through the configured fault injector
+    /// (a no-op by default) and then the measurement sanitizer before the
+    /// DUTT population is assembled, so downstream stages only ever see
+    /// finite, positive-PCM, one-row-per-device data.
     fn fabricate_and_measure<R: Rng>(
         config: &ExperimentConfig,
         bench: &Testbench,
         rng: &mut R,
-    ) -> Result<DuttPopulation, CoreError> {
+    ) -> Result<(DuttPopulation, MeasurementHealth), CoreError> {
         let foundry = Foundry::with_shift(config.process_shift);
         let map = WaferMap::grid(8);
         let lot = foundry.fabricate_lot(rng, config.wafers_per_lot, &map);
@@ -223,8 +234,35 @@ impl SiliconStage {
             tags.push(tag);
             positions.push(die.position());
         }
-        DuttPopulation::with_kerf(fingerprints, pcms, kerf_pcms, labels, tags)?
-            .with_positions(positions)
+
+        // Corrupt (if a fault plan is configured), then sanitize. The
+        // injection is seeded by the plan, not the tester RNG, so the same
+        // fault plan hits the same coordinates regardless of threading.
+        let injected = if config.faults.is_none() {
+            0
+        } else {
+            config.faults.inject(&mut fingerprints, &mut pcms)?.total()
+        };
+        let sanitized = sanitize_measurements(&fingerprints, &pcms, &config.sanitizer)?;
+        let mut health = sanitized.health;
+        health.injected_faults = injected;
+
+        // Quarantine drops whole devices: every per-device side table must
+        // shrink with the measurement matrices.
+        let kept = &sanitized.kept;
+        let kerf_pcms = kerf_pcms.select_rows(kept);
+        let labels = kept.iter().map(|&i| labels[i]).collect();
+        let tags = kept.iter().map(|&i| tags[i]).collect();
+        let positions = kept.iter().map(|&i| positions[i]).collect();
+        let dutts = DuttPopulation::with_kerf(
+            sanitized.fingerprints,
+            sanitized.pcms,
+            kerf_pcms,
+            labels,
+            tags,
+        )?
+        .with_positions(positions)?;
+        Ok((dutts, health))
     }
 }
 
@@ -257,6 +295,7 @@ mod tests {
     #[test]
     fn stage_shapes_match_paper_structure() {
         let (_, silicon, config) = run_stages(1);
+        assert!(silicon.health.is_clean(), "{:?}", silicon.health);
         assert_eq!(silicon.dutts.len(), config.device_count());
         assert_eq!(silicon.s3.fingerprints().nrows(), config.device_count());
         assert_eq!(silicon.s4.fingerprints().nrows(), config.mc_samples);
@@ -301,6 +340,28 @@ mod tests {
                 "col {j}: S4 not closer to silicon than raw S1"
             );
         }
+    }
+
+    #[test]
+    fn injected_faults_are_sanitized_and_reported() {
+        let mut config = small_config();
+        config.faults =
+            sidefp_faults::FaultPlan::single(sidefp_faults::FaultClass::NanReading, 0.2, 99);
+        let mut rng = StdRng::seed_from_u64(6);
+        let bench = Testbench::random(&mut rng, 6, PcmSuite::paper_default()).unwrap();
+        let pre = PremanufacturingStage::run(&config, &bench, &mut rng).unwrap();
+        let silicon = SiliconStage::run(&config, &bench, &pre, &mut rng).unwrap();
+        assert!(silicon.health.injected_faults > 0);
+        assert!(!silicon.health.is_clean());
+        // Whatever the injector did, the population the boundaries see is
+        // finite and strictly positive where it must be.
+        assert!(silicon
+            .dutts
+            .fingerprints()
+            .as_slice()
+            .iter()
+            .all(|v| v.is_finite()));
+        assert!(silicon.dutts.pcms().as_slice().iter().all(|v| *v > 0.0));
     }
 
     #[test]

@@ -1,0 +1,386 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sidefp_linalg::Matrix;
+
+use crate::plan::{FaultClass, FaultPlan};
+
+/// Consistency constant between a MAD and a Gaussian standard deviation.
+const MAD_SIGMA: f64 = 1.4826;
+/// Saturation rail: median + this many robust sigmas of the clean column.
+const SATURATION_SIGMAS: f64 = 12.0;
+/// Spike magnitude: median ± this many robust sigmas of the clean column.
+const SPIKE_SIGMAS: f64 = 25.0;
+
+/// Which matrix a fault record touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// A fingerprint entry.
+    Fingerprint,
+    /// A PCM entry.
+    Pcm,
+    /// The whole device (both matrices).
+    Device,
+}
+
+/// One injected corruption: the class and where it landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// The fault class.
+    pub class: FaultClass,
+    /// Device row affected.
+    pub row: usize,
+    /// Column affected; `None` for row-level faults (drop / duplicate).
+    pub column: Option<usize>,
+    /// Which matrix was touched.
+    pub target: FaultTarget,
+}
+
+/// Exact record of everything a [`FaultPlan`] injected — the ground truth
+/// the sanitizer's repair and quarantine counters are asserted against.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InjectionLedger {
+    records: Vec<FaultRecord>,
+}
+
+impl InjectionLedger {
+    /// All injection records, in application order.
+    pub fn records(&self) -> &[FaultRecord] {
+        &self.records
+    }
+
+    /// Total number of injected faults.
+    pub fn total(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of faults of one class.
+    pub fn count(&self, class: FaultClass) -> usize {
+        self.records.iter().filter(|r| r.class == class).count()
+    }
+
+    /// Sorted, deduplicated device rows affected by one class.
+    pub fn rows(&self, class: FaultClass) -> Vec<usize> {
+        let mut rows: Vec<usize> = self
+            .records
+            .iter()
+            .filter(|r| r.class == class)
+            .map(|r| r.row)
+            .collect();
+        rows.sort_unstable();
+        rows.dedup();
+        rows
+    }
+
+    /// Number of corrupted *entries* (excludes row-level drop/duplicate
+    /// faults, which corrupt whole devices rather than single readings).
+    pub fn entry_count(&self) -> usize {
+        self.records.iter().filter(|r| r.column.is_some()).count()
+    }
+
+    fn record(
+        &mut self,
+        class: FaultClass,
+        row: usize,
+        column: Option<usize>,
+        target: FaultTarget,
+    ) {
+        self.records.push(FaultRecord {
+            class,
+            row,
+            column,
+            target,
+        });
+    }
+}
+
+/// Per-column robust location/scale of the clean data, captured before any
+/// corruption so magnitude faults are independent of spec order.
+struct ColumnStats {
+    medians: Vec<f64>,
+    sigmas: Vec<f64>,
+}
+
+fn column_stats(m: &Matrix) -> ColumnStats {
+    let mut medians = Vec::with_capacity(m.ncols());
+    let mut sigmas = Vec::with_capacity(m.ncols());
+    for j in 0..m.ncols() {
+        let mut col = m.col(j);
+        let med = median_in_place(&mut col);
+        let mut dev: Vec<f64> = col.iter().map(|v| (v - med).abs()).collect();
+        let mad = median_in_place(&mut dev);
+        let sigma = if mad > 0.0 {
+            MAD_SIGMA * mad
+        } else {
+            // Degenerate (constant) column: fall back to a relative scale so
+            // saturation/spike faults remain visible.
+            med.abs().max(1.0) * 0.1
+        };
+        medians.push(med);
+        sigmas.push(sigma);
+    }
+    ColumnStats { medians, sigmas }
+}
+
+fn median_in_place(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(f64::total_cmp);
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        0.5 * (values[n / 2 - 1] + values[n / 2])
+    }
+}
+
+/// Number of device rows a rate maps to.
+fn row_budget(rate: f64, n: usize) -> usize {
+    ((rate * n as f64).round() as usize).min(n)
+}
+
+/// Draws `count` distinct rows from `lo..n` by partial Fisher–Yates,
+/// returned sorted ascending.
+fn choose_rows<R: Rng>(rng: &mut R, lo: usize, n: usize, count: usize) -> Vec<usize> {
+    let mut pool: Vec<usize> = (lo..n).collect();
+    let count = count.min(pool.len());
+    for k in 0..count {
+        let j = rng.random_range(k..pool.len());
+        pool.swap(k, j);
+    }
+    pool.truncate(count);
+    pool.sort_unstable();
+    pool
+}
+
+/// Applies the (already validated) plan; called from [`FaultPlan::inject`].
+pub(crate) fn run(
+    plan: &FaultPlan,
+    fingerprints: &mut Matrix,
+    pcms: &mut Matrix,
+) -> InjectionLedger {
+    let n = fingerprints.nrows();
+    let mut ledger = InjectionLedger::default();
+    if n == 0 {
+        return ledger;
+    }
+    // Clean-data statistics, captured once up front.
+    let fp_stats = column_stats(fingerprints);
+
+    for (spec_idx, spec) in plan.specs.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(sidefp_parallel::fork_seed(plan.seed, spec_idx as u64));
+        match spec.class {
+            FaultClass::NanReading => {
+                for row in choose_rows(&mut rng, 0, n, row_budget(spec.rate, n)) {
+                    let col = rng.random_range(0..fingerprints.ncols());
+                    fingerprints[(row, col)] = f64::NAN;
+                    ledger.record(spec.class, row, Some(col), FaultTarget::Fingerprint);
+                }
+            }
+            FaultClass::InfReading => {
+                for row in choose_rows(&mut rng, 0, n, row_budget(spec.rate, n)) {
+                    let col = rng.random_range(0..fingerprints.ncols());
+                    let sign = if rng.random_bool(0.5) { 1.0 } else { -1.0 };
+                    fingerprints[(row, col)] = sign * f64::INFINITY;
+                    ledger.record(spec.class, row, Some(col), FaultTarget::Fingerprint);
+                }
+            }
+            FaultClass::StuckChannel => {
+                for row in choose_rows(&mut rng, 0, n, row_budget(spec.rate, n)) {
+                    let col = rng.random_range(0..pcms.ncols());
+                    pcms[(row, col)] = 0.0;
+                    ledger.record(spec.class, row, Some(col), FaultTarget::Pcm);
+                }
+            }
+            FaultClass::AdcSaturation => {
+                for row in choose_rows(&mut rng, 0, n, row_budget(spec.rate, n)) {
+                    let col = rng.random_range(0..fingerprints.ncols());
+                    fingerprints[(row, col)] =
+                        fp_stats.medians[col] + SATURATION_SIGMAS * fp_stats.sigmas[col];
+                    ledger.record(spec.class, row, Some(col), FaultTarget::Fingerprint);
+                }
+            }
+            FaultClass::OutlierSpike => {
+                for row in choose_rows(&mut rng, 0, n, row_budget(spec.rate, n)) {
+                    let col = rng.random_range(0..fingerprints.ncols());
+                    let sign = if rng.random_bool(0.5) { 1.0 } else { -1.0 };
+                    fingerprints[(row, col)] =
+                        fp_stats.medians[col] + sign * SPIKE_SIGMAS * fp_stats.sigmas[col];
+                    ledger.record(spec.class, row, Some(col), FaultTarget::Fingerprint);
+                }
+            }
+            FaultClass::DroppedDevice => {
+                for row in choose_rows(&mut rng, 0, n, row_budget(spec.rate, n)) {
+                    fingerprints.row_mut(row).fill(f64::NAN);
+                    pcms.row_mut(row).fill(f64::NAN);
+                    ledger.record(spec.class, row, None, FaultTarget::Device);
+                }
+            }
+            FaultClass::DuplicatedRow => {
+                // Rows 1..n so each selected row copies its predecessor;
+                // increasing order makes chains collapse onto the (never
+                // selected) chain head, keeping one quarantine per record.
+                for row in choose_rows(&mut rng, 1, n, row_budget(spec.rate, n)) {
+                    let fp_src = fingerprints.row(row - 1).to_vec();
+                    fingerprints.row_mut(row).copy_from_slice(&fp_src);
+                    let pcm_src = pcms.row(row - 1).to_vec();
+                    pcms.row_mut(row).copy_from_slice(&pcm_src);
+                    ledger.record(spec.class, row, None, FaultTarget::Device);
+                }
+            }
+        }
+    }
+    ledger
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultPlan;
+
+    fn clean(n: usize) -> (Matrix, Matrix) {
+        // Mildly varying positive data so medians/MADs are non-degenerate.
+        let fp = Matrix::from_fn(n, 4, |i, j| 10.0 + ((i * 7 + j * 3) % 5) as f64 * 0.1);
+        let pcm = Matrix::from_fn(n, 2, |i, j| 5.0 + ((i * 3 + j) % 4) as f64 * 0.05);
+        (fp, pcm)
+    }
+
+    #[test]
+    fn injection_is_seed_deterministic() {
+        let plan = FaultPlan::none()
+            .with_fault(FaultClass::NanReading, 0.2)
+            .with_fault(FaultClass::OutlierSpike, 0.1)
+            .with_fault(FaultClass::DroppedDevice, 0.1);
+        let run_once = || {
+            let (mut fp, mut pcm) = clean(30);
+            let mut plan = plan.clone();
+            plan.seed = 99;
+            let ledger = plan.inject(&mut fp, &mut pcm).unwrap();
+            (fp, pcm, ledger)
+        };
+        let (fp_a, pcm_a, led_a) = run_once();
+        let (fp_b, pcm_b, led_b) = run_once();
+        let bits = |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(led_a, led_b);
+        // Bitwise comparison: the dropped-device rows are NaN, so `==` on the
+        // matrices would be vacuously false.
+        assert_eq!(bits(&fp_a), bits(&fp_b));
+        assert_eq!(bits(&pcm_a), bits(&pcm_b));
+    }
+
+    #[test]
+    fn row_budget_rounds_the_rate() {
+        assert_eq!(row_budget(0.2, 30), 6);
+        assert_eq!(row_budget(0.05, 30), 2); // 1.5 rounds up
+        assert_eq!(row_budget(0.0, 30), 0);
+        assert_eq!(row_budget(1.0, 30), 30);
+    }
+
+    #[test]
+    fn nan_and_inf_land_in_fingerprints() {
+        let (mut fp, mut pcm) = clean(20);
+        let plan = FaultPlan::none()
+            .with_fault(FaultClass::NanReading, 0.25)
+            .with_fault(FaultClass::InfReading, 0.25);
+        let mut plan = plan;
+        plan.seed = 3;
+        let ledger = plan.inject(&mut fp, &mut pcm).unwrap();
+        let nans = fp.as_slice().iter().filter(|v| v.is_nan()).count();
+        let infs = fp.as_slice().iter().filter(|v| v.is_infinite()).count();
+        // Distinct rows per spec, but the two specs may overlap on a row;
+        // they cannot overlap on the same entry often enough to matter here.
+        assert_eq!(ledger.count(FaultClass::NanReading), 5);
+        assert_eq!(ledger.count(FaultClass::InfReading), 5);
+        assert!(nans + infs >= 9, "{nans} NaN + {infs} Inf");
+        assert!(pcm.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn stuck_channel_zeroes_pcm_entries() {
+        let (mut fp, mut pcm) = clean(20);
+        let ledger = FaultPlan::single(FaultClass::StuckChannel, 0.3, 5)
+            .inject(&mut fp, &mut pcm)
+            .unwrap();
+        let zeros = pcm.as_slice().iter().filter(|v| **v == 0.0).count();
+        assert_eq!(zeros, ledger.count(FaultClass::StuckChannel));
+        assert_eq!(zeros, 6);
+    }
+
+    #[test]
+    fn magnitude_faults_exceed_robust_threshold() {
+        let (mut fp, mut pcm) = clean(40);
+        let stats = column_stats(&fp);
+        let plan = FaultPlan::none()
+            .with_fault(FaultClass::AdcSaturation, 0.1)
+            .with_fault(FaultClass::OutlierSpike, 0.1);
+        let mut plan = plan;
+        plan.seed = 8;
+        let ledger = plan.inject(&mut fp, &mut pcm).unwrap();
+        for rec in ledger.records() {
+            let col = rec.column.unwrap();
+            let v = fp[(rec.row, col)];
+            let dev = (v - stats.medians[col]).abs();
+            assert!(
+                dev > 8.0 * stats.sigmas[col],
+                "{}: |{v} - {}| = {dev} not beyond 8 sigma {}",
+                rec.class,
+                stats.medians[col],
+                stats.sigmas[col]
+            );
+        }
+    }
+
+    #[test]
+    fn dropped_device_nans_both_matrices() {
+        let (mut fp, mut pcm) = clean(10);
+        let ledger = FaultPlan::single(FaultClass::DroppedDevice, 0.2, 11)
+            .inject(&mut fp, &mut pcm)
+            .unwrap();
+        let rows = ledger.rows(FaultClass::DroppedDevice);
+        assert_eq!(rows.len(), 2);
+        for &r in &rows {
+            assert!(fp.row(r).iter().all(|v| v.is_nan()));
+            assert!(pcm.row(r).iter().all(|v| v.is_nan()));
+        }
+        assert_eq!(ledger.entry_count(), 0);
+    }
+
+    #[test]
+    fn duplicated_row_copies_its_predecessor() {
+        let (mut fp, mut pcm) = clean(15);
+        let ledger = FaultPlan::single(FaultClass::DuplicatedRow, 0.2, 13)
+            .inject(&mut fp, &mut pcm)
+            .unwrap();
+        let rows = ledger.rows(FaultClass::DuplicatedRow);
+        assert_eq!(rows.len(), 3);
+        for &r in &rows {
+            assert!(r >= 1);
+            assert_eq!(fp.row(r), fp.row(r - 1));
+            assert_eq!(pcm.row(r), pcm.row(r - 1));
+        }
+    }
+
+    #[test]
+    fn degenerate_columns_still_get_visible_faults() {
+        // Constant columns: MAD = 0, the fallback scale must kick in.
+        let mut fp = Matrix::filled(12, 3, 4.0);
+        let mut pcm = Matrix::filled(12, 1, 1.0);
+        let ledger = FaultPlan::single(FaultClass::OutlierSpike, 0.25, 17)
+            .inject(&mut fp, &mut pcm)
+            .unwrap();
+        for rec in ledger.records() {
+            let v = fp[(rec.row, rec.column.unwrap())];
+            assert!((v - 4.0).abs() > 1.0, "spike {v} indistinguishable");
+        }
+    }
+
+    #[test]
+    fn empty_matrices_are_tolerated() {
+        let mut fp = Matrix::zeros(0, 3);
+        let mut pcm = Matrix::zeros(0, 1);
+        let ledger = FaultPlan::single(FaultClass::NanReading, 0.5, 1)
+            .inject(&mut fp, &mut pcm)
+            .unwrap();
+        assert_eq!(ledger.total(), 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Deterministic fault injection for measurement streams.
+//!
+//! Real tester floors produce dirty data: dead ADC channels report NaN or
+//! rail values, probes lose contact mid-lot, duplicate rows slip in through
+//! retest logging, and an occasional die is simply dead. This crate corrupts
+//! the synthetic measurement matrices of the detection pipeline with exactly
+//! those fault classes, so the sanitization and quarantine machinery in
+//! `sidefp-core` can be exercised — and its repair counters asserted —
+//! against a known injected ground truth.
+//!
+//! Injection is *bit-reproducible*: a [`FaultPlan`] is a pure function of
+//! its seed. Each fault spec draws from its own RNG stream forked via
+//! [`sidefp_parallel::fork_seed`], and the corruption pass itself is
+//! sequential, so results are identical at any worker-pool size — the same
+//! determinism contract the rest of the workspace honors.
+//!
+//! # Example
+//!
+//! ```
+//! use sidefp_faults::{FaultClass, FaultPlan};
+//! use sidefp_linalg::Matrix;
+//!
+//! let mut fingerprints = Matrix::filled(20, 6, 1.0);
+//! let mut pcms = Matrix::filled(20, 1, 2.0);
+//! let plan = FaultPlan::single(FaultClass::NanReading, 0.2, 7);
+//! let ledger = plan.inject(&mut fingerprints, &mut pcms).unwrap();
+//! assert_eq!(ledger.count(FaultClass::NanReading), 4); // 20% of 20 rows
+//! assert_eq!(
+//!     fingerprints.as_slice().iter().filter(|v| v.is_nan()).count(),
+//!     4
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+mod inject;
+mod plan;
+
+pub use inject::{FaultRecord, FaultTarget, InjectionLedger};
+pub use plan::{FaultClass, FaultError, FaultPlan, FaultSpec};

@@ -1,0 +1,260 @@
+use std::error::Error;
+use std::fmt;
+
+use sidefp_linalg::Matrix;
+
+use crate::inject::{self, InjectionLedger};
+
+/// A realistic measurement-stream fault class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// A fingerprint reading comes back NaN (ADC handshake failure).
+    NanReading,
+    /// A fingerprint reading comes back ±∞ (overflowed accumulator).
+    InfReading,
+    /// A PCM channel is stuck at ground: the reading is exactly `0.0`.
+    StuckChannel,
+    /// A fingerprint reading clips at the ADC's positive rail
+    /// (injected as median + 12 robust sigmas of the clean column).
+    AdcSaturation,
+    /// A gross outlier spike far outside the population
+    /// (median ± 25 robust sigmas, random sign).
+    OutlierSpike,
+    /// A dead device: every fingerprint and PCM reading of the row is NaN.
+    DroppedDevice,
+    /// A retest-logging duplicate: the row is overwritten with an exact
+    /// copy of its predecessor's fingerprint and PCM rows.
+    DuplicatedRow,
+}
+
+impl FaultClass {
+    /// All fault classes, for exhaustive fault-matrix sweeps.
+    pub const ALL: [FaultClass; 7] = [
+        FaultClass::NanReading,
+        FaultClass::InfReading,
+        FaultClass::StuckChannel,
+        FaultClass::AdcSaturation,
+        FaultClass::OutlierSpike,
+        FaultClass::DroppedDevice,
+        FaultClass::DuplicatedRow,
+    ];
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FaultClass::NanReading => "nan-reading",
+            FaultClass::InfReading => "inf-reading",
+            FaultClass::StuckChannel => "stuck-channel",
+            FaultClass::AdcSaturation => "adc-saturation",
+            FaultClass::OutlierSpike => "outlier-spike",
+            FaultClass::DroppedDevice => "dropped-device",
+            FaultClass::DuplicatedRow => "duplicated-row",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One fault class applied at a given corruption rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// What kind of corruption to inject.
+    pub class: FaultClass,
+    /// Fraction of device rows affected, in `[0, 1]`.
+    pub rate: f64,
+}
+
+/// Error type for fault-plan validation and injection.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FaultError {
+    /// A spec's corruption rate is outside `[0, 1]` or non-finite.
+    InvalidRate {
+        /// The offending fault class.
+        class: FaultClass,
+        /// The rejected rate.
+        rate: f64,
+    },
+    /// The fingerprint and PCM matrices disagree on the device count.
+    RowMismatch {
+        /// Fingerprint rows.
+        fingerprints: usize,
+        /// PCM rows.
+        pcms: usize,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::InvalidRate { class, rate } => {
+                write!(f, "fault `{class}`: rate must be in [0, 1], got {rate}")
+            }
+            FaultError::RowMismatch { fingerprints, pcms } => write!(
+                f,
+                "fingerprint rows ({fingerprints}) and PCM rows ({pcms}) disagree"
+            ),
+        }
+    }
+}
+
+impl Error for FaultError {}
+
+/// A composable, seed-deterministic corruption plan for one measurement
+/// campaign.
+///
+/// Specs are applied in order, each on its own RNG stream forked from the
+/// plan seed, so adding a spec never perturbs the corruption pattern of the
+/// specs before it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed of the plan; injection is a pure function of it.
+    pub seed: u64,
+    /// Fault specs, applied in order.
+    pub specs: Vec<FaultSpec>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: injection is a no-op.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            specs: Vec::new(),
+        }
+    }
+
+    /// A plan with a single fault class.
+    pub fn single(class: FaultClass, rate: f64, seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            specs: vec![FaultSpec { class, rate }],
+        }
+    }
+
+    /// Adds a fault spec (builder style).
+    #[must_use]
+    pub fn with_fault(mut self, class: FaultClass, rate: f64) -> Self {
+        self.specs.push(FaultSpec { class, rate });
+        self
+    }
+
+    /// `true` if the plan injects nothing.
+    pub fn is_none(&self) -> bool {
+        self.specs.iter().all(|s| s.rate == 0.0)
+    }
+
+    /// Validates every spec's rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidRate`] for the first rate outside
+    /// `[0, 1]` (or non-finite).
+    pub fn validate(&self) -> Result<(), FaultError> {
+        for spec in &self.specs {
+            if !(spec.rate.is_finite() && (0.0..=1.0).contains(&spec.rate)) {
+                return Err(FaultError::InvalidRate {
+                    class: spec.class,
+                    rate: spec.rate,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Corrupts the paired fingerprint / PCM matrices in place and returns
+    /// the exact ledger of what was injected.
+    ///
+    /// The matrices must have the same row count (one row per device).
+    /// Magnitude-based faults (saturation, spikes) are scaled from the
+    /// *clean* per-column median/MAD captured before any corruption, so
+    /// composed specs stay independent of application order.
+    ///
+    /// # Errors
+    ///
+    /// - [`FaultError::InvalidRate`] if the plan fails [`FaultPlan::validate`].
+    /// - [`FaultError::RowMismatch`] if the matrices disagree on rows.
+    pub fn inject(
+        &self,
+        fingerprints: &mut Matrix,
+        pcms: &mut Matrix,
+    ) -> Result<InjectionLedger, FaultError> {
+        self.validate()?;
+        if fingerprints.nrows() != pcms.nrows() {
+            return Err(FaultError::RowMismatch {
+                fingerprints: fingerprints.nrows(),
+                pcms: pcms.nrows(),
+            });
+        }
+        Ok(inject::run(self, fingerprints, pcms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_a_noop() {
+        let mut fp = Matrix::filled(5, 2, 1.0);
+        let mut pcm = Matrix::filled(5, 1, 2.0);
+        let before = fp.clone();
+        let ledger = FaultPlan::none().inject(&mut fp, &mut pcm).unwrap();
+        assert_eq!(ledger.total(), 0);
+        assert!(FaultPlan::none().is_none());
+        assert_eq!(fp, before);
+    }
+
+    #[test]
+    fn validate_rejects_bad_rates() {
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let plan = FaultPlan::single(FaultClass::NanReading, bad, 1);
+            assert!(matches!(
+                plan.validate(),
+                Err(FaultError::InvalidRate { .. })
+            ));
+            let mut fp = Matrix::filled(4, 2, 1.0);
+            let mut pcm = Matrix::filled(4, 1, 1.0);
+            assert!(plan.inject(&mut fp, &mut pcm).is_err());
+        }
+    }
+
+    #[test]
+    fn row_mismatch_rejected() {
+        let plan = FaultPlan::single(FaultClass::NanReading, 0.5, 1);
+        let mut fp = Matrix::filled(4, 2, 1.0);
+        let mut pcm = Matrix::filled(3, 1, 1.0);
+        assert!(matches!(
+            plan.inject(&mut fp, &mut pcm),
+            Err(FaultError::RowMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_composes_specs() {
+        let plan = FaultPlan::none()
+            .with_fault(FaultClass::NanReading, 0.1)
+            .with_fault(FaultClass::DroppedDevice, 0.05);
+        assert_eq!(plan.specs.len(), 2);
+        assert!(!plan.is_none());
+        assert!(FaultPlan::none()
+            .with_fault(FaultClass::NanReading, 0.0)
+            .is_none());
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(FaultClass::StuckChannel.to_string(), "stuck-channel");
+        assert_eq!(FaultClass::ALL.len(), 7);
+        let e = FaultError::InvalidRate {
+            class: FaultClass::OutlierSpike,
+            rate: 2.0,
+        };
+        assert!(e.to_string().contains("outlier-spike"));
+    }
+}

@@ -119,11 +119,9 @@ impl SymmetricEigen {
         // Extract and sort by descending eigenvalue.
         let mut order: Vec<usize> = (0..n).collect();
         let evals: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
-        order.sort_by(|&i, &j| {
-            evals[j]
-                .partial_cmp(&evals[i])
-                .expect("eigenvalues are finite")
-        });
+        // total_cmp keeps the sort panic-free and deterministic even if
+        // corrupted input sneaks a NaN through the sweep.
+        order.sort_by(|&i, &j| evals[j].total_cmp(&evals[i]));
         let eigenvalues: Vec<f64> = order.iter().map(|&i| evals[i]).collect();
         let eigenvectors = v.select_cols(&order);
 

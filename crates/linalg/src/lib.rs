@@ -39,6 +39,7 @@ mod error;
 mod lu;
 mod matrix;
 mod qr;
+pub mod recover;
 pub mod vecops;
 
 pub use cholesky::Cholesky;
@@ -47,3 +48,4 @@ pub use error::LinalgError;
 pub use lu::Lu;
 pub use matrix::Matrix;
 pub use qr::Qr;
+pub use recover::{cholesky_ridged, lu_ridged, Escalation, Recovered};

@@ -73,7 +73,7 @@ impl Qr {
             for i in (k + 1)..m {
                 vtv += packed[(i, k)] * packed[(i, k)];
             }
-            let beta = if vtv == 0.0 { 0.0 } else { 2.0 / vtv };
+            let mut beta = if vtv == 0.0 { 0.0 } else { 2.0 / vtv };
             // Apply the reflection to the trailing columns.
             for j in (k + 1)..n {
                 let mut dot = v0 * packed[(k, j)];
@@ -92,16 +92,15 @@ impl Qr {
             // Store the sub-diagonal part of v scaled so that v0 is recoverable:
             // we keep v as-is below the diagonal and remember v0 in betas via a
             // parallel array.
-            betas.push(beta);
             // Stash v0 by normalizing: store v_i / v0 below the diagonal.
             if v0 != 0.0 {
                 for i in (k + 1)..m {
                     packed[(i, k)] /= v0;
                 }
                 // Fold v0² into beta so the implicit v has v0 = 1.
-                let b = betas.last_mut().expect("just pushed");
-                *b *= v0 * v0;
+                beta *= v0 * v0;
             }
+            betas.push(beta);
         }
 
         Ok(Qr {

@@ -1,0 +1,152 @@
+//! Process-wide solver-health counters.
+//!
+//! The degradation-aware pipeline never papers over a numerical rescue
+//! silently: every ridge-escalated factorization, relaxed-tolerance solver
+//! acceptance and degenerate-bandwidth floor increments a counter here, and
+//! the experiment surfaces the totals through its `RunHealth` report.
+//!
+//! Counters are plain atomics: increments are commutative and the parallel
+//! hot paths perform a *deterministic* set of solver calls for a given seed,
+//! so a snapshot is bit-identical at any worker-pool size. The counters are
+//! process-global — concurrent experiments in one process share them, which
+//! is fine for the CLI binaries (one experiment per process) and for the
+//! integration tests (each test binary is its own process and serializes
+//! the runs it asserts health counters on).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CHOLESKY_RETRIES: AtomicUsize = AtomicUsize::new(0);
+static LU_RETRIES: AtomicUsize = AtomicUsize::new(0);
+static SMO_RELAXED: AtomicUsize = AtomicUsize::new(0);
+static SMO_NONCONVERGED: AtomicUsize = AtomicUsize::new(0);
+static QP_RELAXED: AtomicUsize = AtomicUsize::new(0);
+static QP_NONCONVERGED: AtomicUsize = AtomicUsize::new(0);
+static KDE_PILOT_FLOORS: AtomicUsize = AtomicUsize::new(0);
+
+/// Snapshot of the solver-health counters — the "fallbacks taken" half of
+/// the pipeline's `RunHealth` report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverHealth {
+    /// Cholesky factorizations that needed ridge-jitter escalation.
+    pub cholesky_retries: usize,
+    /// LU factorizations that needed ridge-jitter escalation.
+    pub lu_retries: usize,
+    /// SMO runs accepted under the relaxed (100×) KKT tolerance.
+    pub smo_relaxed: usize,
+    /// SMO runs that missed even the relaxed tolerance (best-effort used).
+    pub smo_nonconverged: usize,
+    /// Projected-gradient QP runs accepted under the relaxed tolerance.
+    pub qp_relaxed: usize,
+    /// Projected-gradient QP runs that missed even the relaxed tolerance.
+    pub qp_nonconverged: usize,
+    /// KDE pilot densities floored to keep local bandwidths defined.
+    pub kde_pilot_floors: usize,
+}
+
+impl SolverHealth {
+    /// `true` if no solver needed any rescue.
+    pub fn is_clean(&self) -> bool {
+        *self == SolverHealth::default()
+    }
+
+    /// Total number of rescue events.
+    pub fn total(&self) -> usize {
+        self.cholesky_retries
+            + self.lu_retries
+            + self.smo_relaxed
+            + self.smo_nonconverged
+            + self.qp_relaxed
+            + self.qp_nonconverged
+            + self.kde_pilot_floors
+    }
+}
+
+/// Resets all counters to zero (call at the start of an experiment).
+pub fn reset() {
+    for c in [
+        &CHOLESKY_RETRIES,
+        &LU_RETRIES,
+        &SMO_RELAXED,
+        &SMO_NONCONVERGED,
+        &QP_RELAXED,
+        &QP_NONCONVERGED,
+        &KDE_PILOT_FLOORS,
+    ] {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Reads the current counter values.
+pub fn snapshot() -> SolverHealth {
+    SolverHealth {
+        cholesky_retries: CHOLESKY_RETRIES.load(Ordering::Relaxed),
+        lu_retries: LU_RETRIES.load(Ordering::Relaxed),
+        smo_relaxed: SMO_RELAXED.load(Ordering::Relaxed),
+        smo_nonconverged: SMO_NONCONVERGED.load(Ordering::Relaxed),
+        qp_relaxed: QP_RELAXED.load(Ordering::Relaxed),
+        qp_nonconverged: QP_NONCONVERGED.load(Ordering::Relaxed),
+        kde_pilot_floors: KDE_PILOT_FLOORS.load(Ordering::Relaxed),
+    }
+}
+
+/// Records `n` ridge-escalation retries of a Cholesky factorization.
+pub fn record_cholesky_retries(n: usize) {
+    CHOLESKY_RETRIES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Records `n` ridge-escalation retries of an LU factorization.
+pub fn record_lu_retries(n: usize) {
+    LU_RETRIES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Records an SMO solution accepted under the relaxed tolerance.
+pub fn record_smo_relaxed() {
+    SMO_RELAXED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records an SMO solution that missed even the relaxed tolerance.
+pub fn record_smo_nonconverged() {
+    SMO_NONCONVERGED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records a projected-gradient QP accepted under the relaxed tolerance.
+pub fn record_qp_relaxed() {
+    QP_RELAXED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records a projected-gradient QP that missed even the relaxed tolerance.
+pub fn record_qp_nonconverged() {
+    QP_NONCONVERGED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records `n` pilot densities floored during a KDE fit.
+pub fn record_kde_pilot_floors(n: usize) {
+    KDE_PILOT_FLOORS.fetch_add(n, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_recorded_events() {
+        // Other unit tests in this binary may touch the counters; assert on
+        // deltas rather than absolutes.
+        let before = snapshot();
+        record_cholesky_retries(2);
+        record_smo_relaxed();
+        record_kde_pilot_floors(3);
+        let after = snapshot();
+        assert!(after.cholesky_retries >= before.cholesky_retries + 2);
+        assert!(after.smo_relaxed > before.smo_relaxed);
+        assert!(after.kde_pilot_floors >= before.kde_pilot_floors + 3);
+        assert!(after.total() >= before.total() + 6);
+        assert!(!after.is_clean());
+    }
+
+    #[test]
+    fn default_snapshot_is_clean() {
+        assert!(SolverHealth::default().is_clean());
+        assert_eq!(SolverHealth::default().total(), 0);
+    }
+}

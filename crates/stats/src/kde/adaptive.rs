@@ -2,7 +2,7 @@ use rand::{Rng, SeedableRng};
 use sidefp_linalg::Matrix;
 
 use crate::kde::Epanechnikov;
-use crate::{descriptive, StandardScaler, StatsError};
+use crate::{check_finite_matrix, descriptive, diagnostics, StandardScaler, StatsError};
 
 /// Configuration for [`AdaptiveKde`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,8 +55,10 @@ impl AdaptiveKde {
     /// # Errors
     ///
     /// - [`StatsError::InsufficientData`] for fewer than two rows.
-    /// - [`StatsError::InvalidParameter`] for `α ∉ [0, 1]` or non-positive
-    ///   bandwidth.
+    /// - [`StatsError::InvalidParameter`] for `α ∉ [0, 1]`, non-positive
+    ///   bandwidth or non-finite observations.
+    /// - [`StatsError::DegenerateData`] when every pilot density vanishes
+    ///   (all local bandwidths would be undefined).
     pub fn fit(data: &Matrix, config: &KdeConfig) -> Result<Self, StatsError> {
         if data.nrows() < 2 {
             return Err(StatsError::InsufficientData {
@@ -70,6 +72,7 @@ impl AdaptiveKde {
                 reason: format!("must be in [0, 1], got {}", config.alpha),
             });
         }
+        check_finite_matrix("data", data)?;
         let scaler = StandardScaler::fit(data)?;
         let z = scaler.transform(data)?;
         let d = data.ncols();
@@ -110,6 +113,12 @@ impl AdaptiveKde {
             ));
         }
         let floor = max_pilot * 1e-9;
+        let degenerate = pilot.iter().filter(|p| **p < floor).count();
+        if degenerate > 0 {
+            // Previously a silent repair; surface it through RunHealth so a
+            // too-small bandwidth is visible in the experiment report.
+            diagnostics::record_kde_pilot_floors(degenerate);
+        }
         let floored: Vec<f64> = pilot.iter().map(|p| p.max(floor)).collect();
 
         // Geometric mean g (Eq. 9) and local factors λ_i (Eq. 8).
@@ -380,6 +389,33 @@ mod tests {
         };
         assert!(AdaptiveKde::fit(&data, &bad_h).is_err());
         assert!(AdaptiveKde::fit(&Matrix::zeros(1, 2), &KdeConfig::default()).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_observations() {
+        let mut data = gaussian_blob(20, 14);
+        data[(5, 1)] = f64::NAN;
+        match AdaptiveKde::fit(&data, &KdeConfig::default()) {
+            Err(StatsError::InvalidParameter { name: "data", .. }) => {}
+            other => panic!("expected InvalidParameter for data, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tiny_bandwidth_keeps_lambdas_defined() {
+        // Minuscule bandwidth on a wide-spread set: every observation's
+        // pilot is carried by its own kernel term, the λ_i stay positive and
+        // finite, and any pilots below the floor are reported through the
+        // diagnostics counter rather than silently repaired.
+        let data =
+            Matrix::from_rows(&[&[0.0], &[0.0001], &[0.0002], &[0.00015], &[1.0e6]]).unwrap();
+        let cfg = KdeConfig {
+            bandwidth: Some(1e-6),
+            alpha: 0.5,
+        };
+        let kde = AdaptiveKde::fit(&data, &cfg).unwrap();
+        assert!(kde.lambdas().iter().all(|l| l.is_finite() && *l > 0.0));
+        let _ = diagnostics::snapshot(); // counter readable without poisoning
     }
 
     #[test]

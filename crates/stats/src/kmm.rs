@@ -1,8 +1,15 @@
 use rand::Rng;
 use sidefp_linalg::Matrix;
 
-use crate::qp::{solve_box_band, BoxBandConfig};
-use crate::{descriptive, GramMatrix, Kernel, MultivariateNormal, StatsError};
+use crate::qp::{solve_box_band_detailed, BoxBandConfig};
+use crate::{
+    check_finite_matrix, descriptive, diagnostics, GramMatrix, Kernel, MultivariateNormal,
+    StatsError,
+};
+
+/// Relaxation factor for accepting a best-effort QP iterate: a final step
+/// within 100× the configured tolerance still yields usable weights.
+const QP_RELAXED_FACTOR: f64 = 100.0;
 
 /// Configuration for [`KernelMeanMatching`].
 #[derive(Debug, Clone, PartialEq)]
@@ -75,7 +82,7 @@ impl KernelMeanMatching {
     /// - [`StatsError::InsufficientData`] if either set has fewer than two
     ///   rows.
     /// - [`StatsError::InvalidParameter`] if the matrices have no feature
-    ///   columns.
+    ///   columns or contain non-finite entries.
     /// - [`StatsError::DimensionMismatch`] if the column counts differ.
     /// - Parameter and solver errors from the underlying QP.
     pub fn fit(train: &Matrix, test: &Matrix, config: &KmmConfig) -> Result<Self, StatsError> {
@@ -105,6 +112,8 @@ impl KernelMeanMatching {
                 got: test.ncols(),
             });
         }
+        check_finite_matrix("train", train)?;
+        check_finite_matrix("test", test)?;
 
         let kernel = match config.kernel {
             Some(k) => {
@@ -135,7 +144,17 @@ impl KernelMeanMatching {
             max_iter: config.max_iter,
             tol: 1e-7,
         };
-        let weights = solve_box_band(train_gram.matrix(), &kappa, &qp_cfg)?;
+        let sol = solve_box_band_detailed(train_gram.matrix(), &kappa, &qp_cfg)?;
+        if !sol.converged {
+            // Best-effort weights: record how rough the final step still was
+            // so RunHealth surfaces the fallback instead of hiding it.
+            if sol.final_delta <= QP_RELAXED_FACTOR * qp_cfg.tol {
+                diagnostics::record_qp_relaxed();
+            } else {
+                diagnostics::record_qp_nonconverged();
+            }
+        }
+        let weights = sol.beta;
 
         Ok(KernelMeanMatching {
             weights,
@@ -440,6 +459,40 @@ mod tests {
             }) => {}
             other => panic!("expected DimensionMismatch, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn rejects_non_finite_inputs_with_typed_error() {
+        let (tr, te) = shifted_sets(9);
+        let mut bad_tr = tr.clone();
+        bad_tr[(3, 0)] = f64::NAN;
+        match KernelMeanMatching::fit(&bad_tr, &te, &KmmConfig::default()) {
+            Err(StatsError::InvalidParameter { name: "train", .. }) => {}
+            other => panic!("expected InvalidParameter for train, got {other:?}"),
+        }
+        let mut bad_te = te.clone();
+        bad_te[(0, 0)] = f64::INFINITY;
+        match KernelMeanMatching::fit(&tr, &bad_te, &KmmConfig::default()) {
+            Err(StatsError::InvalidParameter { name: "test", .. }) => {}
+            other => panic!("expected InvalidParameter for test, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_qp_budget_records_fallback_not_error() {
+        let (tr, te) = shifted_sets(10);
+        let before = diagnostics::snapshot();
+        let cfg = KmmConfig {
+            max_iter: 1,
+            ..Default::default()
+        };
+        let kmm = KernelMeanMatching::fit(&tr, &te, &cfg).unwrap();
+        assert_eq!(kmm.weights().len(), tr.nrows());
+        let after = diagnostics::snapshot();
+        assert!(
+            after.qp_relaxed + after.qp_nonconverged > before.qp_relaxed + before.qp_nonconverged,
+            "one-iteration QP budget must be recorded as a fallback"
+        );
     }
 
     #[test]

@@ -40,8 +40,8 @@
 //!     kernel: Kernel::Rbf { gamma: 1.0 },
 //!     ..Default::default()
 //! })?;
-//! assert!(svm.is_inlier(&[0.0, 0.0]));
-//! assert!(!svm.is_inlier(&[5.0, 5.0]));
+//! assert!(svm.is_inlier(&[0.0, 0.0])?);
+//! assert!(!svm.is_inlier(&[5.0, 5.0])?);
 //! # Ok(())
 //! # }
 //! ```
@@ -50,6 +50,7 @@
 
 pub mod bootstrap;
 pub mod descriptive;
+pub mod diagnostics;
 mod error;
 mod gram;
 pub mod kde;
@@ -68,6 +69,7 @@ pub mod ridge;
 pub mod roc;
 mod scaler;
 
+pub use diagnostics::SolverHealth;
 pub use error::StatsError;
 pub use gram::GramMatrix;
 pub use kernel::Kernel;
@@ -81,3 +83,33 @@ pub use scaler::StandardScaler;
 
 // Re-export the linalg error so `?` conversions read naturally downstream.
 pub use sidefp_linalg::LinalgError;
+
+/// Rejects matrices containing NaN/∞ entries with a typed error naming the
+/// first offending coordinate (crate-wide finite-input screen).
+pub(crate) fn check_finite_matrix(
+    name: &'static str,
+    m: &sidefp_linalg::Matrix,
+) -> Result<(), StatsError> {
+    if let Some(pos) = m.as_slice().iter().position(|v| !v.is_finite()) {
+        let (row, col) = (pos / m.ncols().max(1), pos % m.ncols().max(1));
+        return Err(StatsError::InvalidParameter {
+            name,
+            reason: format!(
+                "non-finite entry {} at ({row}, {col}); sanitize measurements first",
+                m.as_slice()[pos]
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Slice counterpart of [`check_finite_matrix`].
+pub(crate) fn check_finite_slice(name: &'static str, x: &[f64]) -> Result<(), StatsError> {
+    if let Some(pos) = x.iter().position(|v| !v.is_finite()) {
+        return Err(StatsError::InvalidParameter {
+            name,
+            reason: format!("non-finite entry {} at index {pos}", x[pos]),
+        });
+    }
+    Ok(())
+}

@@ -59,7 +59,9 @@ impl MultivariateNormal {
     ///
     /// - [`StatsError::DimensionMismatch`] if `mean.len() != covariance.nrows()`.
     /// - [`StatsError::Linalg`] if the covariance is not symmetric positive
-    ///   definite.
+    ///   definite. Rounding-level indefiniteness (a sample covariance that
+    ///   lost definiteness to floating-point noise) is rescued by a bounded
+    ///   ridge escalation, recorded in the solver-health diagnostics.
     pub fn new(mean: Vec<f64>, covariance: &Matrix) -> Result<Self, StatsError> {
         if mean.len() != covariance.nrows() {
             return Err(StatsError::DimensionMismatch {
@@ -67,8 +69,15 @@ impl MultivariateNormal {
                 got: mean.len(),
             });
         }
-        let chol = covariance.cholesky()?;
-        Ok(MultivariateNormal { mean, chol })
+        let rec =
+            sidefp_linalg::cholesky_ridged(covariance, &sidefp_linalg::Escalation::default())?;
+        if rec.retries > 0 {
+            crate::diagnostics::record_cholesky_retries(rec.retries);
+        }
+        Ok(MultivariateNormal {
+            mean,
+            chol: rec.value,
+        })
     }
 
     /// Convenience constructor for independent coordinates with the given

@@ -1,7 +1,12 @@
 use sidefp_linalg::Matrix;
 
+use crate::diagnostics;
 use crate::qp::{SmoConfig, SmoSolver};
-use crate::{GramMatrix, Kernel, StatsError};
+use crate::{check_finite_matrix, check_finite_slice, GramMatrix, Kernel, StatsError};
+
+/// Relaxation factor for accepting a best-effort SMO solution: a KKT gap
+/// within 100× the configured tolerance is still a usable boundary.
+const SMO_RELAXED_FACTOR: f64 = 100.0;
 
 /// Configuration for the ν-one-class SVM.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,7 +66,8 @@ impl OneClassSvm {
     ///
     /// - [`StatsError::InsufficientData`] for fewer than two rows.
     /// - [`StatsError::InvalidParameter`] for zero feature columns,
-    ///   `ν ∉ (0, 1]` or invalid kernel hyper-parameters.
+    ///   non-finite training entries, `ν ∉ (0, 1]` or invalid kernel
+    ///   hyper-parameters.
     pub fn fit(data: &Matrix, config: &OneClassSvmConfig) -> Result<Self, StatsError> {
         let n = data.nrows();
         if n < 2 {
@@ -73,6 +79,7 @@ impl OneClassSvm {
                 reason: "matrix has no feature columns".into(),
             });
         }
+        check_finite_matrix("data", data)?;
         if !(config.nu > 0.0 && config.nu <= 1.0) {
             return Err(StatsError::InvalidParameter {
                 name: "nu",
@@ -89,6 +96,15 @@ impl OneClassSvm {
             max_iter: config.max_iter,
         });
         let sol = smo.solve(q.matrix())?;
+        if !sol.converged {
+            // Best-effort boundary: record how far from optimal it stopped
+            // so RunHealth surfaces the fallback instead of hiding it.
+            if sol.kkt_gap <= SMO_RELAXED_FACTOR * config.tol {
+                diagnostics::record_smo_relaxed();
+            } else {
+                diagnostics::record_smo_nonconverged();
+            }
+        }
 
         // ρ = mean decision value over margin SVs (0 < α < C); fall back to
         // all SVs if none are strictly inside the box.
@@ -129,7 +145,9 @@ impl OneClassSvm {
     ///
     /// # Errors
     ///
-    /// Returns [`StatsError::DimensionMismatch`] on length mismatch.
+    /// - [`StatsError::DimensionMismatch`] on length mismatch.
+    /// - [`StatsError::InvalidParameter`] for non-finite query entries
+    ///   (a NaN would otherwise poison the kernel sum silently).
     pub fn decision_function(&self, x: &[f64]) -> Result<f64, StatsError> {
         if x.len() != self.input_dim {
             return Err(StatsError::DimensionMismatch {
@@ -137,6 +155,7 @@ impl OneClassSvm {
                 got: x.len(),
             });
         }
+        check_finite_slice("x", x)?;
         Ok(self.decision_value(x))
     }
 
@@ -153,22 +172,21 @@ impl OneClassSvm {
 
     /// `true` if the point falls inside (or on) the trusted boundary.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `x` does not match the fitted dimension; use
-    /// [`OneClassSvm::decision_function`] for a fallible variant.
-    pub fn is_inlier(&self, x: &[f64]) -> bool {
-        self.decision_function(x)
-            .expect("dimension mismatch in is_inlier")
-            >= 0.0
+    /// Same as [`OneClassSvm::decision_function`]: dimension mismatch or
+    /// non-finite query entries.
+    pub fn is_inlier(&self, x: &[f64]) -> Result<bool, StatsError> {
+        Ok(self.decision_function(x)? >= 0.0)
     }
 
     /// Decision values for every row of `x`, scored in parallel.
     ///
     /// # Errors
     ///
-    /// Returns [`StatsError::DimensionMismatch`] if `x`'s column count
-    /// differs from the fitted dimension.
+    /// - [`StatsError::DimensionMismatch`] if `x`'s column count differs
+    ///   from the fitted dimension.
+    /// - [`StatsError::InvalidParameter`] for non-finite query entries.
     pub fn decision_rows(&self, x: &Matrix) -> Result<Vec<f64>, StatsError> {
         if x.ncols() != self.input_dim {
             return Err(StatsError::DimensionMismatch {
@@ -176,6 +194,7 @@ impl OneClassSvm {
                 got: x.ncols(),
             });
         }
+        check_finite_matrix("x", x)?;
         Ok(sidefp_parallel::map_indexed(x.nrows(), |i| {
             self.decision_value(x.row(i))
         }))
@@ -226,8 +245,8 @@ mod tests {
     #[test]
     fn center_in_far_point_out() {
         let svm = OneClassSvm::fit(&blob(100, 1), &default_cfg()).unwrap();
-        assert!(svm.is_inlier(&[0.0, 0.0]));
-        assert!(!svm.is_inlier(&[10.0, 10.0]));
+        assert!(svm.is_inlier(&[0.0, 0.0]).unwrap());
+        assert!(!svm.is_inlier(&[10.0, 10.0]).unwrap());
         assert!(svm.decision_function(&[0.0, 0.0]).unwrap() > 0.0);
         assert!(svm.decision_function(&[10.0, 10.0]).unwrap() < 0.0);
     }
@@ -361,7 +380,34 @@ mod tests {
     fn decision_dimension_checked() {
         let svm = OneClassSvm::fit(&blob(30, 8), &default_cfg()).unwrap();
         assert!(svm.decision_function(&[1.0]).is_err());
+        assert!(svm.is_inlier(&[1.0]).is_err());
         assert_eq!(svm.input_dim(), 2);
+    }
+
+    #[test]
+    fn non_finite_training_data_rejected() {
+        let mut data = blob(30, 13);
+        data[(4, 1)] = f64::NAN;
+        match OneClassSvm::fit(&data, &default_cfg()) {
+            Err(StatsError::InvalidParameter { name: "data", .. }) => {}
+            other => panic!("expected InvalidParameter for data, got {other:?}"),
+        }
+        let mut data = blob(30, 13);
+        data[(0, 0)] = f64::INFINITY;
+        assert!(OneClassSvm::fit(&data, &default_cfg()).is_err());
+    }
+
+    #[test]
+    fn non_finite_queries_rejected() {
+        let svm = OneClassSvm::fit(&blob(30, 14), &default_cfg()).unwrap();
+        match svm.decision_function(&[f64::NAN, 0.0]) {
+            Err(StatsError::InvalidParameter { name: "x", .. }) => {}
+            other => panic!("expected InvalidParameter for x, got {other:?}"),
+        }
+        assert!(svm.is_inlier(&[0.0, f64::NEG_INFINITY]).is_err());
+        let mut batch = Matrix::zeros(3, 2);
+        batch[(2, 0)] = f64::NAN;
+        assert!(svm.decision_rows(&batch).is_err());
     }
 
     #[test]

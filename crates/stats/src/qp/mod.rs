@@ -16,5 +16,7 @@
 mod projected_gradient;
 mod smo;
 
-pub use projected_gradient::{solve_box_band, BoxBandConfig};
+pub use projected_gradient::{
+    solve_box_band, solve_box_band_detailed, solve_box_band_strict, BoxBandConfig, BoxBandSolution,
+};
 pub use smo::{SmoConfig, SmoSolution, SmoSolver};

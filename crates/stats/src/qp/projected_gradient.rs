@@ -97,6 +97,56 @@ pub fn solve_box_band(
     kappa: &[f64],
     config: &BoxBandConfig,
 ) -> Result<Vec<f64>, StatsError> {
+    Ok(solve_box_band_detailed(k, kappa, config)?.beta)
+}
+
+/// Like [`solve_box_band`], but fails with a typed error instead of
+/// returning a best-effort iterate when the iteration budget runs out.
+///
+/// # Errors
+///
+/// All of [`solve_box_band`]'s errors, plus [`StatsError::NotConverged`]
+/// when the iterate change is still above tolerance at `max_iter`.
+pub fn solve_box_band_strict(
+    k: &Matrix,
+    kappa: &[f64],
+    config: &BoxBandConfig,
+) -> Result<Vec<f64>, StatsError> {
+    let sol = solve_box_band_detailed(k, kappa, config)?;
+    if !sol.converged {
+        return Err(StatsError::NotConverged {
+            algorithm: "box-band-qp",
+            iterations: sol.iterations,
+        });
+    }
+    Ok(sol.beta)
+}
+
+/// Outcome of a box-band QP solve, with convergence detail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxBandSolution {
+    /// The (always box-feasible) iterate at exit.
+    pub beta: Vec<f64>,
+    /// Gradient iterations performed.
+    pub iterations: usize,
+    /// Whether the iterate change fell below `tol` within the budget.
+    pub converged: bool,
+    /// Infinity-norm iterate change at exit (callers compare it against a
+    /// relaxed tolerance to decide whether a best-effort iterate is usable).
+    pub final_delta: f64,
+}
+
+/// [`solve_box_band`] with convergence diagnostics attached.
+///
+/// # Errors
+///
+/// Same as [`solve_box_band`]; exhausting the iteration budget is *not* an
+/// error — it is reported through `converged` / `final_delta`.
+pub fn solve_box_band_detailed(
+    k: &Matrix,
+    kappa: &[f64],
+    config: &BoxBandConfig,
+) -> Result<BoxBandSolution, StatsError> {
     if !k.is_square() {
         return Err(StatsError::Linalg(sidefp_linalg::LinalgError::NotSquare {
             shape: k.shape(),
@@ -144,6 +194,9 @@ pub fn solve_box_band(
     let mut beta = vec![1.0_f64.min(config.upper); n];
     project_box_band(&mut beta, config.upper, config.band);
 
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut final_delta = f64::INFINITY;
     for _ in 0..config.max_iter {
         // grad = K β − κ
         let grad = {
@@ -162,11 +215,24 @@ pub fn solve_box_band(
             .map(|(a, b)| (a - b).abs())
             .fold(0.0_f64, f64::max);
         beta = next;
+        iterations += 1;
+        final_delta = delta;
         if delta < config.tol {
+            converged = true;
             break;
         }
     }
-    Ok(beta)
+    if config.max_iter == 0 {
+        // Degenerate budget: the feasible start is the solution by fiat.
+        converged = true;
+        final_delta = 0.0;
+    }
+    Ok(BoxBandSolution {
+        beta,
+        iterations,
+        converged,
+        final_delta,
+    })
 }
 
 #[cfg(test)]
@@ -258,6 +324,42 @@ mod tests {
         assert!(solve_box_band(&k, &[1.0, 1.0], &BoxBandConfig::default()).is_err());
         let k = Matrix::identity(2);
         assert!(solve_box_band(&k, &[1.0], &BoxBandConfig::default()).is_err());
+    }
+
+    #[test]
+    fn detailed_solve_reports_convergence() {
+        let k = Matrix::identity(3);
+        let kappa = vec![1.0, 1.0, 1.0];
+        let sol = solve_box_band_detailed(&k, &kappa, &BoxBandConfig::default()).unwrap();
+        assert!(sol.converged);
+        assert!(sol.final_delta < BoxBandConfig::default().tol);
+        assert!(sol.iterations >= 1);
+        // The plain wrapper returns the same iterate.
+        let beta = solve_box_band(&k, &kappa, &BoxBandConfig::default()).unwrap();
+        assert_eq!(beta, sol.beta);
+    }
+
+    #[test]
+    fn strict_solve_errors_when_budget_exhausted() {
+        let k = Matrix::from_rows(&[&[1.0, 0.3], &[0.3, 1.0]]).unwrap();
+        let kappa = vec![3.0, 0.2];
+        let cfg = BoxBandConfig {
+            tol: 1e-14,
+            max_iter: 1,
+            ..Default::default()
+        };
+        let sol = solve_box_band_detailed(&k, &kappa, &cfg).unwrap();
+        assert!(!sol.converged);
+        assert!(sol.final_delta > cfg.tol);
+        assert!(matches!(
+            solve_box_band_strict(&k, &kappa, &cfg),
+            Err(StatsError::NotConverged {
+                algorithm: "box-band-qp",
+                ..
+            })
+        ));
+        // Best-effort path still hands back a feasible iterate.
+        assert!(solve_box_band(&k, &kappa, &cfg).is_ok());
     }
 
     #[test]

@@ -34,6 +34,10 @@ pub struct SmoSolution {
     pub iterations: usize,
     /// Whether the KKT conditions were met within tolerance.
     pub converged: bool,
+    /// KKT violation gap `g_max − g_min` at exit (below the configured
+    /// tolerance when `converged`; callers use it to decide whether a
+    /// best-effort solution is acceptable under a relaxed tolerance).
+    pub kkt_gap: f64,
 }
 
 /// Sequential minimal optimization for `min ½αᵀQα` subject to `Σα = 1`,
@@ -120,6 +124,7 @@ impl SmoSolver {
 
         let mut iterations = 0;
         let mut converged = false;
+        let mut kkt_gap = 0.0;
         while iterations < self.config.max_iter {
             // Maximal violating pair:
             //   i (can increase): α_i < C with minimal gradient,
@@ -138,7 +143,13 @@ impl SmoSolver {
                     j_best = t;
                 }
             }
-            if i_best == usize::MAX || j_best == usize::MAX || g_max - g_min < self.config.tol {
+            if i_best == usize::MAX || j_best == usize::MAX {
+                kkt_gap = 0.0;
+                converged = true;
+                break;
+            }
+            kkt_gap = g_max - g_min;
+            if kkt_gap < self.config.tol {
                 converged = true;
                 break;
             }
@@ -172,12 +183,52 @@ impl SmoSolver {
             iterations += 1;
         }
 
+        if !converged {
+            // Budget exhausted: report the gap of the *final* iterate, not of
+            // the one the last update started from.
+            let mut g_min = f64::INFINITY;
+            let mut g_max = f64::NEG_INFINITY;
+            for t in 0..n {
+                if alpha[t] < c - 1e-15 {
+                    g_min = g_min.min(grad[t]);
+                }
+                if alpha[t] > 1e-15 {
+                    g_max = g_max.max(grad[t]);
+                }
+            }
+            kkt_gap = if g_min.is_finite() && g_max.is_finite() {
+                (g_max - g_min).max(0.0)
+            } else {
+                0.0
+            };
+        }
+
         Ok(SmoSolution {
             alpha,
             gradient: grad,
             iterations,
             converged,
+            kkt_gap,
         })
+    }
+
+    /// Like [`SmoSolver::solve`], but fails with a typed error instead of
+    /// returning a best-effort solution when the iteration budget runs out.
+    ///
+    /// # Errors
+    ///
+    /// All of [`SmoSolver::solve`]'s errors, plus
+    /// [`StatsError::NotConverged`] when the KKT gap is still above
+    /// tolerance at `max_iter`.
+    pub fn solve_strict(&self, q: &Matrix) -> Result<SmoSolution, StatsError> {
+        let sol = self.solve(q)?;
+        if !sol.converged {
+            return Err(StatsError::NotConverged {
+                algorithm: "smo",
+                iterations: sol.iterations,
+            });
+        }
+        Ok(sol)
     }
 }
 
@@ -281,6 +332,37 @@ mod tests {
         let sol = SmoSolver::new(cfg).solve(&q).unwrap();
         assert!((sol.alpha[0] - 0.5).abs() < 1e-9);
         assert!((sol.alpha[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn converged_solution_reports_small_gap() {
+        let q = Matrix::from_rows(&[&[1.0, 0.9, 0.1], &[0.9, 1.0, 0.2], &[0.1, 0.2, 1.0]]).unwrap();
+        let cfg = SmoConfig::default();
+        let sol = SmoSolver::new(cfg).solve(&q).unwrap();
+        assert!(sol.converged);
+        assert!(sol.kkt_gap < cfg.tol * 10.0, "gap {}", sol.kkt_gap);
+    }
+
+    #[test]
+    fn strict_solve_errors_when_budget_exhausted() {
+        // An absurd tolerance with zero iterations cannot converge.
+        let q =
+            Matrix::from_rows(&[&[1.0, 0.99, 0.0], &[0.99, 1.0, 0.0], &[0.0, 0.0, 1.0]]).unwrap();
+        let cfg = SmoConfig {
+            tol: 1e-15,
+            max_iter: 1,
+            ..Default::default()
+        };
+        let best_effort = SmoSolver::new(cfg).solve(&q).unwrap();
+        assert!(!best_effort.converged);
+        assert!(best_effort.kkt_gap > 0.0);
+        assert!(matches!(
+            SmoSolver::new(cfg).solve_strict(&q),
+            Err(StatsError::NotConverged {
+                algorithm: "smo",
+                ..
+            })
+        ));
     }
 
     #[test]

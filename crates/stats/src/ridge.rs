@@ -123,7 +123,14 @@ impl PolynomialRidge {
             gram[(i, i)] += config.lambda.max(1e-12);
         }
         let rhs = phi.vecmat(y)?;
-        let coefficients = gram.cholesky()?.solve(&rhs)?;
+        // High-degree monomial Grams go numerically indefinite easily; a
+        // bounded ridge escalation (recorded in the solver-health
+        // diagnostics) rescues those instead of failing the whole fit.
+        let rec = sidefp_linalg::cholesky_ridged(&gram, &sidefp_linalg::Escalation::default())?;
+        if rec.retries > 0 {
+            crate::diagnostics::record_cholesky_retries(rec.retries);
+        }
+        let coefficients = rec.value.solve(&rhs)?;
 
         Ok(PolynomialRidge {
             coefficients,

@@ -236,4 +236,76 @@ proptest! {
         let r = descriptive::pearson_correlation(&spread, &y).unwrap();
         prop_assert!((r - 1.0).abs() < 1e-9, "r = {r}");
     }
+
+    // --- solver-resilience fuzzing: starved budgets and ill-conditioned
+    // --- inputs must degrade (relaxed accept / typed error), never panic.
+
+    #[test]
+    fn starved_smo_never_panics_and_reports_its_gap(
+        m in data_matrix(10, 2),
+        max_iter in 0_usize..20,
+        gamma in 0.05_f64..2.0,
+    ) {
+        let q = Kernel::Rbf { gamma }.gram_symmetric(&m);
+        let sol = SmoSolver::new(SmoConfig {
+            upper: 0.25,
+            max_iter,
+            tol: 1e-12,
+        })
+        .solve(&q)
+        .unwrap();
+        prop_assert!(sol.kkt_gap.is_finite() && sol.kkt_gap >= 0.0);
+        let mass: f64 = sol.alpha.iter().sum();
+        // Even a non-converged exit must leave the iterate feasible.
+        prop_assert!((mass - 1.0).abs() < 1e-9, "mass {mass}");
+        for a in &sol.alpha {
+            prop_assert!(*a >= -1e-12 && *a <= 0.25 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn starved_box_band_qp_never_panics_and_stays_feasible(
+        m in data_matrix(12, 2),
+        max_iter in 0_usize..30,
+        gamma in 0.05_f64..2.0,
+    ) {
+        let k = Kernel::Rbf { gamma }.gram_symmetric(&m);
+        let kappa = vec![1.0; 12];
+        let sol = sidefp_stats::qp::solve_box_band_detailed(
+            &k,
+            &kappa,
+            &sidefp_stats::qp::BoxBandConfig {
+                upper: 10.0,
+                max_iter,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        prop_assert!(sol.final_delta.is_finite() || sol.converged);
+        for b in &sol.beta {
+            prop_assert!(*b >= -1e-9 && *b <= 10.0 + 1e-9, "beta {b}");
+        }
+    }
+
+    #[test]
+    fn ridged_cholesky_on_random_symmetric_matrices_never_panics(
+        vals in proptest::collection::vec(-3.0_f64..3.0, 16),
+    ) {
+        // Symmetrize an arbitrary 4×4: often indefinite, sometimes nearly
+        // singular. The rescue must return Ok or a typed error — no panic.
+        let raw = Matrix::from_vec(4, 4, vals).unwrap();
+        let sym = Matrix::from_fn(4, 4, |i, j| 0.5 * (raw[(i, j)] + raw[(j, i)]));
+        match sidefp_linalg::cholesky_ridged(&sym, &sidefp_linalg::Escalation::default()) {
+            Ok(rec) => {
+                let x = rec.value.solve(&[1.0; 4]).unwrap();
+                prop_assert!(x.iter().all(|v| v.is_finite()));
+            }
+            Err(e) => {
+                // Strong indefiniteness is allowed to fail, but only with
+                // the factorization's own typed error.
+                let msg = e.to_string();
+                prop_assert!(!msg.is_empty());
+            }
+        }
+    }
 }

@@ -6,6 +6,35 @@ cd "$(dirname "$0")/.."
 
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Degradation-hardened solver modules must stay unwrap-free outside their
+# test blocks: a reintroduced unwrap() reopens the panic paths the fault
+# harness exists to close.
+hardened=(
+    crates/stats/src/kmm.rs
+    crates/stats/src/ocsvm.rs
+    crates/stats/src/qp/smo.rs
+    crates/linalg/src/lu.rs
+    crates/linalg/src/qr.rs
+    crates/linalg/src/eigen.rs
+)
+if ! awk '
+    FNR == 1 { in_tests = 0 }
+    /#\[cfg\(test\)\]/ { in_tests = 1 }
+    !in_tests && (/\.unwrap\(\)/ || /\.expect\(/) {
+        found = 1
+        print FILENAME ":" FNR ": " $0
+    }
+    END { exit found }
+' "${hardened[@]}"; then
+    echo "error: unwrap()/expect() in a hardened hot-path module (use typed errors)" >&2
+    exit 1
+fi
+
 if [[ "${1:-}" == "--tests" ]]; then
     cargo test --workspace -q
+else
+    # Fault-matrix smoke: the degradation pipeline must absorb every fault
+    # class without panicking even in the quick gate.
+    cargo test -q -p sidefp-core --test fault_matrix
 fi

@@ -1,0 +1,133 @@
+//! Property fuzzing of the degradation pipeline: no fault plan and no
+//! hand-placed garbage may ever panic the sanitizer. It either returns a
+//! repaired population satisfying the downstream contract (finite
+//! fingerprints, strictly positive PCMs, one row per device) or fails with
+//! a typed [`CoreError::DataQuality`].
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sidefp_core::stages::sanitize::{
+    sanitize_measurements, SanitizedMeasurements, SanitizerConfig,
+};
+use sidefp_core::CoreError;
+use sidefp_faults::{FaultClass, FaultPlan};
+use sidefp_linalg::Matrix;
+
+const N: usize = 20;
+const NM: usize = 4;
+const NP: usize = 2;
+
+/// A clean measurement campaign: positive, continuous, non-degenerate.
+fn clean_pair(seed: u64) -> (Matrix, Matrix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fp = Matrix::from_fn(N, NM, |_, _| 10.0 + rng.random::<f64>());
+    let pcm = Matrix::from_fn(N, NP, |_, _| 5.0 + rng.random::<f64>());
+    (fp, pcm)
+}
+
+/// The invariants every successful sanitization must satisfy.
+fn check_contract(out: &SanitizedMeasurements) -> Result<(), TestCaseError> {
+    prop_assert!(out.fingerprints.as_slice().iter().all(|v| v.is_finite()));
+    prop_assert!(out
+        .pcms
+        .as_slice()
+        .iter()
+        .all(|v| *v > 0.0 && v.is_finite()));
+    prop_assert_eq!(out.health.devices_in, N);
+    prop_assert_eq!(out.health.devices_kept, out.kept.len());
+    prop_assert_eq!(out.fingerprints.nrows(), out.kept.len());
+    prop_assert_eq!(out.pcms.nrows(), out.kept.len());
+    prop_assert!(out.kept.windows(2).all(|w| w[0] < w[1]), "kept not sorted");
+    prop_assert_eq!(out.health.quarantined.len() + out.kept.len(), N);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary compositions of all seven fault classes at up to 50%
+    /// corruption each: inject + sanitize never panics.
+    #[test]
+    fn random_fault_plans_never_panic(
+        seed in 0_u64..100_000,
+        rates in proptest::collection::vec(0.0_f64..0.5, 7),
+    ) {
+        let (mut fp, mut pcm) = clean_pair(seed);
+        let mut plan = FaultPlan::none();
+        for (class, rate) in FaultClass::ALL.iter().zip(&rates) {
+            plan = plan.with_fault(*class, *rate);
+        }
+        plan.seed = seed;
+        let ledger = plan.inject(&mut fp, &mut pcm).expect("valid plan");
+        match sanitize_measurements(&fp, &pcm, &SanitizerConfig::default()) {
+            Ok(out) => {
+                check_contract(&out)?;
+                // Row-level faults are the only ones that may cost devices.
+                let row_faults = ledger.total() - ledger.entry_count();
+                prop_assert!(
+                    out.health.quarantined.len() <= row_faults + 1,
+                    "{} quarantined for {row_faults} row-level faults",
+                    out.health.quarantined.len()
+                );
+            }
+            Err(CoreError::DataQuality { .. }) => {} // graceful typed refusal
+            Err(e) => prop_assert!(false, "unexpected error class: {e}"),
+        }
+    }
+
+    /// Hand-placed garbage (NaN, ±Inf, zeros, negatives, huge magnitudes)
+    /// at arbitrary coordinates: same contract, no panic.
+    #[test]
+    fn arbitrary_garbage_never_panics(
+        seed in 0_u64..100_000,
+        hits in proptest::collection::vec((0_usize..N, 0_usize..(NM + NP), 0_u8..6), 0..60),
+    ) {
+        let (mut fp, mut pcm) = clean_pair(seed);
+        for (row, col, kind) in hits {
+            let v = match kind {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => 0.0,
+                4 => -7.5,
+                _ => 1e18,
+            };
+            if col < NM {
+                fp[(row, col)] = v;
+            } else {
+                pcm[(row, col - NM)] = v;
+            }
+        }
+        match sanitize_measurements(&fp, &pcm, &SanitizerConfig::default()) {
+            Ok(out) => check_contract(&out)?,
+            Err(CoreError::DataQuality { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error class: {e}"),
+        }
+    }
+
+    /// Sanitizing a sanitized population is a fixpoint for repairs and
+    /// quarantines: all the garbage was dealt with in the first pass.
+    #[test]
+    fn sanitization_reaches_a_repair_fixpoint(
+        seed in 0_u64..100_000,
+        rates in proptest::collection::vec(0.0_f64..0.3, 7),
+    ) {
+        let (mut fp, mut pcm) = clean_pair(seed);
+        let mut plan = FaultPlan::none();
+        for (class, rate) in FaultClass::ALL.iter().zip(&rates) {
+            plan = plan.with_fault(*class, *rate);
+        }
+        plan.seed = seed ^ 0x5a;
+        plan.inject(&mut fp, &mut pcm).expect("valid plan");
+        let Ok(first) = sanitize_measurements(&fp, &pcm, &SanitizerConfig::default()) else {
+            return Ok(()); // typed refusal — nothing to re-sanitize
+        };
+        let second =
+            sanitize_measurements(&first.fingerprints, &first.pcms, &SanitizerConfig::default())
+                .expect("re-sanitizing a clean population cannot fail");
+        prop_assert_eq!(second.health.repaired_readings, 0);
+        prop_assert_eq!(second.health.devices_kept, first.health.devices_kept);
+        prop_assert!(second.health.quarantined.is_empty());
+    }
+}

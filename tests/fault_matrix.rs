@@ -1,0 +1,194 @@
+//! Fault-matrix acceptance test: every fault class, at a light (5%) and a
+//! heavy (20%) corruption rate, must flow through the full experiment
+//! without a panic — boundaries still train, the Trojan test still runs —
+//! and the run-health report must account for every injected fault.
+//!
+//! The expected counters are derived from the injector's contract: a rate
+//! `r` on `n` devices corrupts `round(r·n)` distinct device rows, one
+//! reading each (entry-level classes) or the whole device (row-level
+//! classes).
+
+use std::sync::Mutex;
+
+use sidefp_core::health::QuarantineReason;
+use sidefp_core::{ExperimentConfig, PaperExperiment};
+use sidefp_faults::{FaultClass, FaultPlan};
+
+/// Solver-health counters are process-global and reset per run; serialize
+/// the tests in this binary so concurrent runs cannot cross-contaminate.
+static RUN_LOCK: Mutex<()> = Mutex::new(());
+
+const CHIPS: usize = 10;
+const DEVICES: usize = CHIPS * 3;
+const FAULT_SEED: u64 = 7;
+
+fn config_with(plan: FaultPlan) -> ExperimentConfig {
+    ExperimentConfig {
+        chips: CHIPS,
+        mc_samples: 40,
+        kde_samples: 1000,
+        faults: plan,
+        ..Default::default()
+    }
+}
+
+/// Device rows the injector touches at this rate (its documented budget).
+fn budget(rate: f64) -> usize {
+    (rate * DEVICES as f64).round() as usize
+}
+
+fn run_with_fault(class: FaultClass, rate: f64) -> sidefp_core::ExperimentResult {
+    let plan = FaultPlan::single(class, rate, FAULT_SEED);
+    let result = PaperExperiment::new(config_with(plan))
+        .unwrap_or_else(|e| panic!("{class} @ {rate}: config rejected: {e}"))
+        .run()
+        .unwrap_or_else(|e| panic!("{class} @ {rate}: run failed: {e}"));
+    // Whatever was injected, the pipeline must still produce the full
+    // five-boundary table on the surviving devices.
+    assert_eq!(result.table1.len(), 5, "{class} @ {rate}");
+    let m = &result.health.measurement;
+    assert_eq!(m.devices_in, DEVICES, "{class} @ {rate}");
+    assert_eq!(m.injected_faults, budget(rate), "{class} @ {rate}");
+    for row in &result.table1 {
+        assert_eq!(
+            row.counts.infested_total() + row.counts.free_total(),
+            m.devices_kept,
+            "{class} @ {rate}: {} evaluated a stale device count",
+            row.dataset
+        );
+    }
+    result
+}
+
+#[test]
+fn clean_run_reports_clean_measurement_health() {
+    let _guard = RUN_LOCK.lock().unwrap();
+    let result = PaperExperiment::new(config_with(FaultPlan::none()))
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(
+        result.health.measurement.is_clean(),
+        "{:?}",
+        result.health.measurement
+    );
+    assert_eq!(result.health.measurement.devices_kept, DEVICES);
+}
+
+/// Entry-level unrepairable readings (NaN / ±Inf fingerprints, stuck PCM
+/// channels): each injected fault is one repaired reading, no quarantine.
+#[test]
+fn repairable_classes_repair_exactly_the_injected_entries() {
+    let _guard = RUN_LOCK.lock().unwrap();
+    for class in [
+        FaultClass::NanReading,
+        FaultClass::InfReading,
+        FaultClass::StuckChannel,
+    ] {
+        for rate in [0.05, 0.2] {
+            let result = run_with_fault(class, rate);
+            let m = &result.health.measurement;
+            assert_eq!(m.repaired_readings, budget(rate), "{class} @ {rate}");
+            assert_eq!(m.devices_kept, DEVICES, "{class} @ {rate}");
+            assert!(m.quarantined.is_empty(), "{class} @ {rate}");
+        }
+    }
+}
+
+/// Finite-magnitude corruption (ADC rail clipping, tester spikes): caught
+/// by the winsorizer, not the repair pass.
+#[test]
+fn magnitude_classes_are_winsorized() {
+    let _guard = RUN_LOCK.lock().unwrap();
+    for class in [FaultClass::AdcSaturation, FaultClass::OutlierSpike] {
+        for rate in [0.05, 0.2] {
+            let result = run_with_fault(class, rate);
+            let m = &result.health.measurement;
+            assert_eq!(m.winsorized_readings, budget(rate), "{class} @ {rate}");
+            assert_eq!(m.repaired_readings, 0, "{class} @ {rate}");
+            assert_eq!(m.devices_kept, DEVICES, "{class} @ {rate}");
+            assert!(m.quarantined.is_empty(), "{class} @ {rate}");
+        }
+    }
+}
+
+/// A dropped device NaNs its entire row pair → quarantined as dead, never
+/// partially repaired.
+#[test]
+fn dropped_devices_are_quarantined_as_dead() {
+    let _guard = RUN_LOCK.lock().unwrap();
+    for rate in [0.05, 0.2] {
+        let result = run_with_fault(FaultClass::DroppedDevice, rate);
+        let m = &result.health.measurement;
+        assert_eq!(
+            m.quarantined_for(QuarantineReason::DeadDevice),
+            budget(rate),
+            "@ {rate}"
+        );
+        assert_eq!(m.devices_kept, DEVICES - budget(rate), "@ {rate}");
+        assert_eq!(m.repaired_readings, 0, "@ {rate}");
+    }
+}
+
+/// A duplicated row is a bit-exact copy of its predecessor → quarantined
+/// as a duplicate, keeping the first occurrence.
+#[test]
+fn duplicated_rows_are_quarantined_as_duplicates() {
+    let _guard = RUN_LOCK.lock().unwrap();
+    for rate in [0.05, 0.2] {
+        let result = run_with_fault(FaultClass::DuplicatedRow, rate);
+        let m = &result.health.measurement;
+        assert_eq!(
+            m.quarantined_for(QuarantineReason::DuplicateDevice),
+            budget(rate),
+            "@ {rate}"
+        );
+        assert_eq!(m.devices_kept, DEVICES - budget(rate), "@ {rate}");
+        assert_eq!(m.winsorized_readings, 0, "@ {rate}");
+    }
+}
+
+/// A composed heavy plan (every class at once) still completes, and the
+/// report accounts for the full injection total.
+#[test]
+fn composed_plan_completes_with_full_accounting() {
+    let _guard = RUN_LOCK.lock().unwrap();
+    let mut plan = FaultPlan::none();
+    for class in FaultClass::ALL {
+        plan = plan.with_fault(class, 0.1);
+    }
+    plan.seed = FAULT_SEED;
+    let result = PaperExperiment::new(config_with(plan))
+        .unwrap()
+        .run()
+        .unwrap();
+    let m = &result.health.measurement;
+    assert_eq!(m.injected_faults, 7 * budget(0.1));
+    assert!(!result.health.is_clean());
+    assert!(m.devices_kept >= DEVICES - 2 * budget(0.1));
+    assert_eq!(result.table1.len(), 5);
+    // The degradation must be visible in the rendered report.
+    assert!(result.render_table1().contains("run health"));
+}
+
+/// Same fault seed, different worker counts: the corrupted run must stay
+/// bit-identical, health report included.
+#[test]
+fn faulty_runs_are_bit_identical_across_thread_counts() {
+    let _guard = RUN_LOCK.lock().unwrap();
+    let run_at = |threads: usize| {
+        let mut plan = FaultPlan::none()
+            .with_fault(FaultClass::NanReading, 0.1)
+            .with_fault(FaultClass::DroppedDevice, 0.1)
+            .with_fault(FaultClass::OutlierSpike, 0.1);
+        plan.seed = FAULT_SEED;
+        let mut config = config_with(plan);
+        config.parallelism.threads = threads;
+        PaperExperiment::new(config).unwrap().run().unwrap()
+    };
+    let a = run_at(1);
+    let b = run_at(8);
+    assert_eq!(a.table1, b.table1);
+    assert_eq!(a.golden_baseline, b.golden_baseline);
+    assert_eq!(a.health, b.health);
+}

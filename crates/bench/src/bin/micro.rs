@@ -1,0 +1,75 @@
+//! Micro-timings of the kernel-method building blocks; a quick way to see
+//! where an OCSVM fit or a KMM round spends its time without attaching a
+//! profiler.
+//!
+//! Run with `--release`.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sidefp_linalg::Matrix;
+use sidefp_stats::{GramMatrix, Kernel, OneClassSvm, OneClassSvmConfig};
+
+fn time_ms(f: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64() * 1000.0
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let n = 1500;
+    let d = 6;
+    let data = Matrix::from_fn(n, d, |_, _| rng.random_range(-1.5..1.5));
+    let kernel = Kernel::Rbf { gamma: 0.5 };
+
+    let gram_ms = time_ms(|| {
+        let g = GramMatrix::symmetric(kernel, &data);
+        std::hint::black_box(&g);
+    });
+    println!("gram {n}x{n} (d={d})      {gram_ms:8.2} ms");
+
+    let median_ms = time_ms(|| {
+        let k = Kernel::rbf_median_heuristic(&data);
+        std::hint::black_box(&k);
+    });
+    println!("median heuristic {n}    {median_ms:8.2} ms");
+
+    let fit_ms = time_ms(|| {
+        let svm = OneClassSvm::fit(
+            &data,
+            &OneClassSvmConfig {
+                nu: 0.05,
+                kernel,
+                ..Default::default()
+            },
+        )
+        .expect("svm fits");
+        std::hint::black_box(&svm);
+    });
+    println!("ocsvm fit {n} (incl gram) {fit_ms:8.2} ms");
+
+    let q = GramMatrix::symmetric(kernel, &data);
+    let smo = sidefp_stats::qp::SmoSolver::new(sidefp_stats::qp::SmoConfig {
+        upper: 1.0 / (0.05 * n as f64),
+        tol: 1e-6,
+        max_iter: 200_000,
+    });
+    let mut iterations = 0;
+    let mut distinct = std::collections::BTreeSet::new();
+    let smo_ms = time_ms(|| {
+        let sol = smo.solve(q.matrix()).expect("smo solves");
+        iterations = sol.iterations;
+        for (i, a) in sol.alpha.iter().enumerate() {
+            if *a > 1e-9 {
+                distinct.insert(i);
+            }
+        }
+        std::hint::black_box(&sol);
+    });
+    println!(
+        "smo solve {n}            {smo_ms:8.2} ms  ({iterations} iterations, {} SVs)",
+        distinct.len()
+    );
+}

@@ -58,6 +58,7 @@ impl TrustedBoundary {
         config: &BoundaryConfig,
         seed: u64,
     ) -> Result<Self, CoreError> {
+        let fit_start = std::time::Instant::now();
         let scaler = StandardScaler::fit(trusted)?;
         let z = scaler.transform(trusted)?;
 
@@ -87,6 +88,10 @@ impl TrustedBoundary {
                 ..Default::default()
             },
         )?;
+        crate::timing::record(
+            &format!("boundary.{name}"),
+            fit_start.elapsed().as_secs_f64() * 1000.0,
+        );
         Ok(TrustedBoundary { name, scaler, svm })
     }
 

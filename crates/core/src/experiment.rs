@@ -112,12 +112,14 @@ impl PaperExperiment {
         let pre = PremanufacturingStage::run(&self.config, &bench, &mut rng)?;
         let silicon = SiliconStage::run(&self.config, &bench, &pre, &mut rng)?;
 
+        let evaluate_timer = crate::timing::scoped("evaluate");
         let table1 = trojan_test::evaluate_boundaries(
             &[&pre.b1, &pre.b2, &silicon.b3, &silicon.b4, &silicon.b5],
             &silicon.dutts,
         )?;
         let (_, golden_row) =
             golden_baseline::run(&silicon.dutts, &self.config.boundary, self.config.seed)?;
+        drop(evaluate_timer);
 
         let fig4 = self.build_fig4(&pre, &silicon, &mut rng)?;
 

@@ -49,6 +49,7 @@ pub mod predictor;
 pub mod report;
 pub mod spc;
 pub mod stages;
+pub mod timing;
 pub mod tuning;
 
 pub use boundary::TrustedBoundary;

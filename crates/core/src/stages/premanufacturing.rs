@@ -19,6 +19,7 @@ use crate::config::ExperimentConfig;
 use crate::dataset::Dataset;
 use crate::predictor::FingerprintPredictor;
 use crate::stages::Testbench;
+use crate::timing;
 use crate::CoreError;
 
 /// Products of the pre-manufacturing stage.
@@ -62,6 +63,7 @@ impl PremanufacturingStage {
         // Parallel fan-out: each Monte Carlo sample runs on its own RNG
         // stream forked from a seed drawn here, so the stage stays a pure
         // function of the caller's rng state at any thread count.
+        let mc_timer = timing::scoped("mc");
         let (_dies, pcms, fingerprints) = engine.run_paired_streamed(
             rng.next_u64(),
             |die, rng| suite.measure(die.process(), rng),
@@ -70,22 +72,27 @@ impl PremanufacturingStage {
                 meter.fingerprint(&device, &plan, rng)
             },
         )?;
+        drop(mc_timer);
 
         // Regression bank g_j : m_p → m_j.
+        let regression_timer = timing::scoped("regression");
         let predictor = FingerprintPredictor::fit_in_space(
             &pcms,
             &fingerprints,
             &config.regressor,
             config.regression_space,
         )?;
+        drop(regression_timer);
 
         // B1 straight from the simulated fingerprints.
         let b1 = TrustedBoundary::fit("B1", &fingerprints, &config.boundary, config.seed ^ 0xb1)?;
 
         // S2: adaptive-KDE tail enhancement (sampled on per-row parallel
         // RNG streams), then B2.
+        let kde_timer = timing::scoped("kde.s2");
         let kde = AdaptiveKde::fit(&fingerprints, &config.kde)?;
         let s2_matrix = kde.sample_matrix_streamed(rng.next_u64(), config.kde_samples);
+        drop(kde_timer);
         let b2 = TrustedBoundary::fit(
             "B2",
             &s2_matrix,

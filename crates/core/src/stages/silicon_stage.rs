@@ -26,6 +26,7 @@ use crate::dataset::{Dataset, DuttPopulation};
 use crate::health::MeasurementHealth;
 use crate::stages::sanitize::sanitize_measurements;
 use crate::stages::{PremanufacturingStage, Testbench};
+use crate::timing;
 use crate::CoreError;
 
 /// Products of the silicon measurement stage.
@@ -77,7 +78,9 @@ impl SiliconStage {
         pre: &PremanufacturingStage,
         rng: &mut R,
     ) -> Result<Self, CoreError> {
+        let measure_timer = timing::scoped("measure");
         let (dutts, health) = Self::fabricate_and_measure(config, bench, rng)?;
+        drop(measure_timer);
 
         // S3: predict golden fingerprints from the silicon PCMs.
         let s3_matrix = pre.predictor.predict_rows(dutts.pcms())?;
@@ -93,6 +96,7 @@ impl SiliconStage {
             RegressionSpace::Linear => (pre.pcms.clone(), dutts.pcms().clone()),
             RegressionSpace::Log => (log_matrix(&pre.pcms)?, log_matrix(dutts.pcms())?),
         };
+        let kmm_timer = timing::scoped("kmm");
         let shifted = KernelMeanMatching::mean_shift_population(
             &sim_pcms,
             &si_pcms,
@@ -100,6 +104,7 @@ impl SiliconStage {
             config.kmm_iterations,
         )?;
         let kmm = KernelMeanMatching::fit(&shifted, &si_pcms, &config.kmm)?;
+        drop(kmm_timer);
         let shifted_pcms = match config.regression_space {
             RegressionSpace::Linear => shifted,
             RegressionSpace::Log => Matrix::from_fn(shifted.nrows(), shifted.ncols(), |i, j| {
@@ -111,8 +116,10 @@ impl SiliconStage {
 
         // S5: KDE tail enhancement of S4, sampled on per-row parallel
         // RNG streams.
+        let kde_timer = timing::scoped("kde.s5");
         let kde = AdaptiveKde::fit(&s4_matrix, &config.kde)?;
         let s5_matrix = kde.sample_matrix_streamed(rng.next_u64(), config.kde_samples);
+        drop(kde_timer);
         let b5 = TrustedBoundary::fit(
             "B5",
             &s5_matrix,

@@ -1,0 +1,93 @@
+//! Process-wide per-stage wall-clock accounting.
+//!
+//! The perf harness needs to know *where* a pipeline run spends its time
+//! (Monte Carlo, regression fit, KMM, each OCSVM boundary fit, KDE), not
+//! just the end-to-end wall clock. Stages record into a process-global
+//! table keyed by stage name; the harness resets the table before a run
+//! and snapshots it afterwards.
+//!
+//! Recording is a single mutex-guarded map insert per stage — a dozen
+//! events per experiment run, so the overhead is unmeasurable next to the
+//! stages themselves. Like [`sidefp_stats::diagnostics`], the table is
+//! process-global: one experiment per process is the supported pattern
+//! for the binaries that read it.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+static STAGES: Mutex<BTreeMap<String, f64>> = Mutex::new(BTreeMap::new());
+
+/// Clears all recorded stage timings (call before a timed run).
+pub fn reset() {
+    if let Ok(mut stages) = STAGES.lock() {
+        stages.clear();
+    }
+}
+
+/// Adds `ms` to the accumulated wall-clock for `name`.
+///
+/// Stages that run more than once per experiment (e.g. KDE enhancement in
+/// both the pre-manufacturing and silicon stages use distinct names, but
+/// repeated KMM refinement rounds share one) accumulate.
+pub fn record(name: &str, ms: f64) {
+    if let Ok(mut stages) = STAGES.lock() {
+        *stages.entry(name.to_owned()).or_insert(0.0) += ms;
+    }
+}
+
+/// Returns the recorded stage timings, sorted by stage name.
+pub fn snapshot() -> Vec<(String, f64)> {
+    STAGES
+        .lock()
+        .map(|stages| stages.iter().map(|(k, v)| (k.clone(), *v)).collect())
+        .unwrap_or_default()
+}
+
+/// RAII guard that records the elapsed time for a stage on drop.
+///
+/// ```
+/// let _t = sidefp_core::timing::scoped("mc");
+/// // ... stage body ...
+/// ```
+pub struct StageTimer {
+    name: &'static str,
+    start: Instant,
+}
+
+/// Starts timing a stage; the elapsed time is recorded when the returned
+/// guard is dropped.
+pub fn scoped(name: &'static str) -> StageTimer {
+    StageTimer {
+        name,
+        start: Instant::now(),
+    }
+}
+
+impl Drop for StageTimer {
+    fn drop(&mut self) {
+        record(self.name, self.start.elapsed().as_secs_f64() * 1000.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_and_reset_clears() {
+        reset();
+        record("timing_test_stage", 1.5);
+        record("timing_test_stage", 2.5);
+        let snap = snapshot();
+        let entry = snap
+            .iter()
+            .find(|(name, _)| name == "timing_test_stage")
+            .expect("stage recorded");
+        assert!((entry.1 - 4.0).abs() < 1e-12);
+        reset();
+        assert!(snapshot()
+            .iter()
+            .all(|(name, _)| name != "timing_test_stage"));
+    }
+}

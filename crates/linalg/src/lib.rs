@@ -41,6 +41,7 @@ mod matrix;
 mod qr;
 pub mod recover;
 pub mod vecops;
+mod workspace;
 
 pub use cholesky::Cholesky;
 pub use eigen::SymmetricEigen;
@@ -49,3 +50,4 @@ pub use lu::Lu;
 pub use matrix::Matrix;
 pub use qr::Qr;
 pub use recover::{cholesky_ridged, lu_ridged, Escalation, Recovered};
+pub use workspace::Workspace;

@@ -230,6 +230,35 @@ impl Matrix {
             .collect())
     }
 
+    /// Matrix-vector product `A * x` written into `out` — the
+    /// allocation-free form of [`Matrix::matvec`], with the identical
+    /// left-to-right accumulation per row (bit-identical results).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != ncols()`
+    /// or `out.len() != nrows()`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) -> Result<(), LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matvec",
+                lhs: (self.rows, self.cols),
+                rhs: (x.len(), 1),
+            });
+        }
+        if out.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matvec_into",
+                lhs: (self.rows, self.cols),
+                rhs: (out.len(), 1),
+            });
+        }
+        for (o, row) in out.iter_mut().zip(self.rows_iter()) {
+            *o = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        Ok(())
+    }
+
     /// Vector-matrix product `xᵀ * A`.
     ///
     /// # Errors

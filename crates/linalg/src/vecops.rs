@@ -2,6 +2,16 @@
 //!
 //! These operate on plain `&[f64]` slices so that callers are not forced to
 //! wrap everything in a [`crate::Matrix`].
+//!
+//! The reductions (`dot`, `sq_norm`, `squared_distance`) run 4-wide
+//! unrolled accumulators: four independent partial sums over the
+//! `chunks_exact(4)` body, a sequential tail, combined as
+//! `(acc0 + acc1) + (acc2 + acc3) + tail`. The accumulation order is a
+//! fixed function of the slice length — never of thread count or timing —
+//! so results stay bit-identical across runs and worker-pool sizes, which
+//! is what the determinism contract requires. (The order does differ from
+//! a plain left-to-right fold by O(ε) rounding; callers that compare
+//! against naively-summed references use tolerances, not exact equality.)
 
 /// Dot product of two slices.
 ///
@@ -16,12 +26,29 @@
 /// ```
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let split = a.len() & !3;
+    let mut acc = [0.0f64; 4];
+    for (ca, cb) in a[..split].chunks_exact(4).zip(b[..split].chunks_exact(4)) {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
+    }
+    let mut tail = 0.0;
+    for (x, y) in a[split..].iter().zip(&b[split..]) {
+        tail += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Squared Euclidean norm of a slice (`⟨a, a⟩`).
+pub fn sq_norm(a: &[f64]) -> f64 {
+    dot(a, a)
 }
 
 /// Euclidean norm of a slice.
 pub fn norm(a: &[f64]) -> f64 {
-    dot(a, a).sqrt()
+    sq_norm(a).sqrt()
 }
 
 /// Squared Euclidean distance between two slices.
@@ -31,12 +58,78 @@ pub fn norm(a: &[f64]) -> f64 {
 /// Panics if the slices have different lengths.
 pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "squared_distance: length mismatch");
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    let split = a.len() & !3;
+    let mut acc = [0.0f64; 4];
+    for (ca, cb) in a[..split].chunks_exact(4).zip(b[..split].chunks_exact(4)) {
+        let d0 = ca[0] - cb[0];
+        let d1 = ca[1] - cb[1];
+        let d2 = ca[2] - cb[2];
+        let d3 = ca[3] - cb[3];
+        acc[0] += d0 * d0;
+        acc[1] += d1 * d1;
+        acc[2] += d2 * d2;
+        acc[3] += d3 * d3;
+    }
+    let mut tail = 0.0;
+    for (x, y) in a[split..].iter().zip(&b[split..]) {
+        let d = x - y;
+        tail += d * d;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
 /// Euclidean distance between two slices.
 pub fn distance(a: &[f64], b: &[f64]) -> f64 {
     squared_distance(a, b).sqrt()
+}
+
+/// In-place `a += s * b`, 4-wide unrolled (the BLAS axpy).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy_mut(a: &mut [f64], s: f64, b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "axpy_mut: length mismatch");
+    let split = a.len() & !3;
+    for (ca, cb) in a[..split]
+        .chunks_exact_mut(4)
+        .zip(b[..split].chunks_exact(4))
+    {
+        ca[0] += s * cb[0];
+        ca[1] += s * cb[1];
+        ca[2] += s * cb[2];
+        ca[3] += s * cb[3];
+    }
+    for (x, y) in a[split..].iter_mut().zip(&b[split..]) {
+        *x += s * y;
+    }
+}
+
+/// In-place `out[t] += s * (a[t] − b[t])`, 4-wide unrolled — the fused
+/// two-row gradient update of the SMO solver. Element-wise with no
+/// cross-element reduction, so the result is bit-identical to the naive
+/// loop.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add_scaled_diff(out: &mut [f64], s: f64, a: &[f64], b: &[f64]) {
+    assert_eq!(out.len(), a.len(), "add_scaled_diff: length mismatch");
+    assert_eq!(out.len(), b.len(), "add_scaled_diff: length mismatch");
+    let split = out.len() & !3;
+    for ((co, ca), cb) in out[..split]
+        .chunks_exact_mut(4)
+        .zip(a[..split].chunks_exact(4))
+        .zip(b[..split].chunks_exact(4))
+    {
+        co[0] += s * (ca[0] - cb[0]);
+        co[1] += s * (ca[1] - cb[1]);
+        co[2] += s * (ca[2] - cb[2]);
+        co[3] += s * (ca[3] - cb[3]);
+    }
+    for ((o, x), y) in out[split..].iter_mut().zip(&a[split..]).zip(&b[split..]) {
+        *o += s * (x - y);
+    }
 }
 
 /// Element-wise `a + s * b`, returning a new vector (axpy).
@@ -45,8 +138,9 @@ pub fn distance(a: &[f64], b: &[f64]) -> f64 {
 ///
 /// Panics if the slices have different lengths.
 pub fn axpy(a: &[f64], s: f64, b: &[f64]) -> Vec<f64> {
-    assert_eq!(a.len(), b.len(), "axpy: length mismatch");
-    a.iter().zip(b).map(|(x, y)| x + s * y).collect()
+    let mut out = a.to_vec();
+    axpy_mut(&mut out, s, b);
+    out
 }
 
 /// Element-wise difference `a − b`.
@@ -82,6 +176,7 @@ mod tests {
     fn dot_and_norm() {
         assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
         assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(sq_norm(&[3.0, 4.0]), 25.0);
     }
 
     #[test]
@@ -92,9 +187,44 @@ mod tests {
     }
 
     #[test]
+    fn unrolled_reductions_match_naive_on_long_inputs() {
+        // Lengths straddling the 4-wide unroll boundary, including tails.
+        for n in [1usize, 3, 4, 5, 7, 8, 9, 15, 16, 17, 64, 101] {
+            let a: Vec<f64> = (0..n).map(|i| 0.3 + i as f64 * 0.7).collect();
+            let b: Vec<f64> = (0..n).map(|i| 1.1 - i as f64 * 0.2).collect();
+            let naive_dot: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            let naive_sq: f64 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+            let rel = |got: f64, want: f64| (got - want).abs() / want.abs().max(1.0);
+            assert!(rel(dot(&a, &b), naive_dot) < 1e-12, "dot len {n}");
+            assert!(
+                rel(squared_distance(&a, &b), naive_sq) < 1e-12,
+                "sqd len {n}"
+            );
+        }
+    }
+
+    #[test]
     fn axpy_and_sub() {
         assert_eq!(axpy(&[1.0, 1.0], 2.0, &[1.0, 2.0]), vec![3.0, 5.0]);
         assert_eq!(sub(&[5.0, 3.0], &[1.0, 1.0]), vec![4.0, 2.0]);
+        let mut a = vec![1.0; 7];
+        axpy_mut(&mut a, 0.5, &[2.0; 7]);
+        assert_eq!(a, vec![2.0; 7]);
+    }
+
+    #[test]
+    fn add_scaled_diff_matches_naive() {
+        for n in [1usize, 4, 7, 13] {
+            let a: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+            let b: Vec<f64> = (0..n).map(|i| 2.0 - i as f64 * 0.3).collect();
+            let mut got = vec![1.0; n];
+            let mut want = vec![1.0; n];
+            add_scaled_diff(&mut got, 0.7, &a, &b);
+            for t in 0..n {
+                want[t] += 0.7 * (a[t] - b[t]);
+            }
+            assert_eq!(got, want, "len {n}");
+        }
     }
 
     #[test]

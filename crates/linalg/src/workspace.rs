@@ -1,0 +1,116 @@
+//! Reusable scratch-buffer pool for allocation-free hot loops.
+//!
+//! The batch scoring paths (KDE density rows, OCSVM decision rows, SMO
+//! working-set updates, MARS knot search) each need a handful of scratch
+//! vectors per call. Allocating them inside the loop puts `malloc` on the
+//! per-row path; a [`Workspace`] lets a caller allocate once and lend the
+//! buffers out for the duration of each call.
+//!
+//! The pool hands out *owned* `Vec<f64>`s (`take`) and accepts them back
+//! (`give`): ownership transfer sidesteps the multiple-`&mut`-borrow
+//! problem a slice-lending pool would hit, while still guaranteeing that a
+//! steady-state take/give cycle performs zero heap allocations once every
+//! buffer in flight has reached its high-water length.
+//!
+//! ```
+//! use sidefp_linalg::Workspace;
+//!
+//! let mut ws = Workspace::new();
+//! let mut buf = ws.take(128);       // allocates the first time
+//! buf[0] = 1.0;
+//! ws.give(buf);
+//! let buf = ws.take(128);           // reuses the same storage: no alloc
+//! assert_eq!(buf.len(), 128);
+//! ws.give(buf);
+//! ```
+
+/// A small pool of reusable `f64` scratch vectors.
+///
+/// `take(len)` returns a zeroed vector of exactly `len` elements, reusing
+/// the largest pooled buffer when one exists; `give` returns a buffer to
+/// the pool. The pool is deliberately tiny (a plain LIFO stack): the hot
+/// paths keep at most a handful of buffers in flight.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pool: Vec<Vec<f64>>,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers are allocated lazily on first use.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Borrows a zeroed scratch vector of exactly `len` elements.
+    ///
+    /// Reuses pooled storage when any returned buffer's capacity suffices;
+    /// steady-state loops that `take`/`give` the same sizes therefore stop
+    /// allocating after the first iteration.
+    pub fn take(&mut self, len: usize) -> Vec<f64> {
+        // Prefer the pooled buffer with the largest capacity so repeated
+        // mixed-size take patterns converge on a fixed set of buffers.
+        let best = (0..self.pool.len()).max_by_key(|&i| self.pool[i].capacity());
+        let mut buf = match best {
+            Some(i) if self.pool[i].capacity() >= len => self.pool.swap_remove(i),
+            _ => Vec::with_capacity(len),
+        };
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn give(&mut self, buf: Vec<f64>) {
+        self.pool.push(buf);
+    }
+
+    /// Number of buffers currently resting in the pool.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_returns_zeroed_exact_length() {
+        let mut ws = Workspace::new();
+        let mut buf = ws.take(8);
+        assert_eq!(buf.len(), 8);
+        assert!(buf.iter().all(|&v| v == 0.0));
+        buf.fill(3.0);
+        ws.give(buf);
+        let again = ws.take(8);
+        assert!(again.iter().all(|&v| v == 0.0), "reused buffer not zeroed");
+    }
+
+    #[test]
+    fn steady_state_reuses_storage() {
+        let mut ws = Workspace::new();
+        let buf = ws.take(64);
+        let ptr = buf.as_ptr();
+        ws.give(buf);
+        // Same size: must come back from the pool, not a fresh allocation.
+        let buf = ws.take(64);
+        assert_eq!(buf.as_ptr(), ptr);
+        ws.give(buf);
+        // Smaller size reuses the same storage too.
+        let buf = ws.take(16);
+        assert_eq!(buf.as_ptr(), ptr);
+        ws.give(buf);
+        assert_eq!(ws.pooled(), 1);
+    }
+
+    #[test]
+    fn multiple_buffers_in_flight() {
+        let mut ws = Workspace::new();
+        let a = ws.take(4);
+        let b = ws.take(4);
+        assert_ne!(a.as_ptr(), b.as_ptr());
+        ws.give(a);
+        ws.give(b);
+        assert_eq!(ws.pooled(), 2);
+    }
+}

@@ -158,6 +158,37 @@ where
         .sum()
 }
 
+/// Sequential strict-chunked sum: the allocation-free counterpart of
+/// [`reduce_sum`] in strict mode. Partial sums are formed over the same
+/// fixed [`STRICT_SUM_CHUNK`]-wide layout and combined in chunk order, so
+/// the result is bit-identical to a strict-mode [`reduce_sum`] at any
+/// thread count — but nothing is spawned and nothing is allocated, which
+/// makes it the right reduction inside steady-state scoring loops.
+pub fn reduce_sum_seq<F>(len: usize, term: F) -> f64
+where
+    F: Fn(usize) -> f64,
+{
+    if len == 0 {
+        return 0.0;
+    }
+    // Same chunk layout as `split_even(len, len.div_ceil(STRICT_SUM_CHUNK))`.
+    let parts = len.div_ceil(STRICT_SUM_CHUNK).clamp(1, len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut total = 0.0;
+    let mut start = 0;
+    for p in 0..parts {
+        let size = base + usize::from(p < extra);
+        let mut chunk = 0.0;
+        for i in start..start + size {
+            chunk += term(i);
+        }
+        total += chunk;
+        start += size;
+    }
+    total
+}
+
 /// Splits `0..len` into at most `parts` contiguous, near-equal,
 /// non-empty ranges covering `0..len` in order.
 pub fn split_even(len: usize, parts: usize) -> Vec<Range<usize>> {
@@ -318,6 +349,25 @@ mod tests {
                     let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
                     assert!(hi - lo <= 1, "unbalanced split {sizes:?}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sum_seq_bit_identical_to_strict_reduce_sum() {
+        // The allocation-free sequential sum must reproduce the strict-mode
+        // chunked reduction exactly, including across chunk boundaries and
+        // at any worker count.
+        let term = |i: usize| ((i as f64) * 0.731 + 0.21).sin() / (i as f64 + 1.0);
+        for len in [0usize, 1, 511, 512, 513, 1024, 1500, 4097] {
+            let seq = reduce_sum_seq(len, term);
+            for threads in [1, 2, 4] {
+                let strict = with_threads(threads, || reduce_sum(len, term));
+                assert_eq!(
+                    strict.to_bits(),
+                    seq.to_bits(),
+                    "len={len} threads={threads}"
+                );
             }
         }
     }

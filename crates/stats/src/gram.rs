@@ -2,19 +2,30 @@
 //!
 //! KMM, the one-class SVM and the MMD permutation test all start from the
 //! same object: a pairwise kernel matrix over data rows. [`GramMatrix`]
-//! computes it once — in parallel, exploiting symmetry — and exposes the
-//! summation helpers those consumers need, so none of them carries its own
-//! pairwise-kernel loop.
+//! computes it once and exposes the summation helpers those consumers
+//! need, so none of them carries its own pairwise-kernel loop.
 //!
-//! Parallel layout: the upper triangle is filled by contiguous row chunks
-//! whose boundaries equalize the *triangle* work `Σ (n − i)`, not the row
-//! count — early rows are much heavier than late ones. Each worker writes
-//! only its own rows of the backing buffer (disjoint `split_at_mut`
-//! slices, no locks); the lower triangle is mirrored afterwards with plain
-//! copies. Every element is an independent kernel evaluation, so the
-//! result is bit-identical at any thread count.
+//! Construction runs in GEMM form: the inner-product matrix `X·Yᵀ` comes
+//! from the blocked [`Matrix::matmul`], squared distances follow from the
+//! identity `‖x − y‖² = ‖x‖² + ‖y‖² − 2⟨x, y⟩`, and the kernel's scalar
+//! map (`exp`, `powi`) is applied element-wise afterwards. This replaces a
+//! per-pair `d`-loop with one pass of cache-blocked GEMM plus a linear
+//! sweep — the dominant cost for the RBF kernel becomes the `exp` itself.
+//! Squared distances are clamped at zero: the identity can go negative by
+//! a rounding epsilon where the direct difference cannot, and the diagonal
+//! uses the product matrix's own diagonal for its norms so `‖x − x‖²`
+//! cancels to exactly zero (RBF Gram diagonals are exactly 1).
+//!
+//! Parallel layout: the element-wise kernel map covers the upper triangle
+//! in contiguous row chunks whose boundaries equalize the *triangle* work
+//! `Σ (n − i)`, not the row count — early rows are much heavier than late
+//! ones. Each worker writes only its own rows of the backing buffer
+//! (disjoint `split_at_mut` slices, no locks); the lower triangle is
+//! mirrored afterwards with plain copies. Every element is an independent
+//! function of the deterministic GEMM output, so the result is
+//! bit-identical at any thread count.
 
-use sidefp_linalg::Matrix;
+use sidefp_linalg::{vecops, Matrix};
 
 use crate::{Kernel, StatsError};
 
@@ -43,37 +54,67 @@ pub struct GramMatrix {
 }
 
 impl GramMatrix {
-    /// Computes the symmetric Gram matrix of `data`'s rows in parallel.
+    /// Computes the symmetric Gram matrix of `data`'s rows in GEMM form.
     pub fn symmetric(kernel: Kernel, data: &Matrix) -> GramMatrix {
         let n = data.nrows();
-        let ncols = n;
-        let mut values = Matrix::zeros(n, n);
-        if n > 0 {
-            let row_blocks = triangle_blocks(n, sidefp_parallel::current_threads());
-            let cuts: Vec<usize> = row_blocks.iter().skip(1).map(|r| r.start * ncols).collect();
-            sidefp_parallel::for_each_split_mut(values.as_mut_slice(), &cuts, |block, slice| {
-                let rows = row_blocks[block].clone();
-                for (local, i) in rows.clone().enumerate() {
-                    let xi = data.row(i);
-                    let out = &mut slice[local * ncols..(local + 1) * ncols];
-                    for (j, v) in out.iter_mut().enumerate().skip(i) {
-                        *v = kernel.eval(xi, data.row(j));
-                    }
-                }
-            });
-            // Mirror the strict upper triangle; cheap copies, no kernel
-            // evaluations.
-            for i in 1..n {
-                for j in 0..i {
-                    values[(i, j)] = values[(j, i)];
-                }
+        if n == 0 {
+            return GramMatrix {
+                kernel,
+                values: Matrix::zeros(0, 0),
+            };
+        }
+        let mut values = self_products(data);
+        match kernel {
+            Kernel::Rbf { gamma } => {
+                let norms = diagonal(&values);
+                map_upper_triangle(&mut values, |i, j, p| {
+                    (-gamma * (norms[i] + norms[j] - 2.0 * p).max(0.0)).exp()
+                });
+            }
+            // The linear Gram *is* the product matrix.
+            Kernel::Linear => {}
+            Kernel::Polynomial { degree, coef0 } => {
+                map_upper_triangle(&mut values, |_, _, p| (p + coef0).powi(degree as i32));
             }
         }
+        mirror_lower_triangle(&mut values);
         GramMatrix { kernel, values }
     }
 
-    /// Computes the rectangular cross-Gram `K[i][j] = k(a_i, b_j)` in
-    /// parallel row chunks.
+    /// Builds an RBF Gram matrix from an already-computed matrix of
+    /// pairwise squared distances (see [`pairwise_squared_distances`]).
+    ///
+    /// `exp(-γ·d²)` is applied element-wise, so the result is
+    /// value-identical to [`GramMatrix::symmetric`] on the data that
+    /// produced `d2` — both run the same GEMM-form distance expression.
+    /// This lets the MMD test derive the median-heuristic bandwidth and
+    /// the Gram from one distance pass instead of two.
+    ///
+    /// # Errors
+    ///
+    /// - [`StatsError::InvalidParameter`] for kernels that are not a pure
+    ///   function of distance (linear, polynomial).
+    /// - [`StatsError::DimensionMismatch`] if `d2` is not square.
+    pub fn from_squared_distances(kernel: Kernel, d2: Matrix) -> Result<GramMatrix, StatsError> {
+        let Kernel::Rbf { gamma } = kernel else {
+            return Err(StatsError::InvalidParameter {
+                name: "kernel",
+                reason: format!("{kernel:?} is not a function of pairwise distance"),
+            });
+        };
+        if d2.nrows() != d2.ncols() {
+            return Err(StatsError::DimensionMismatch {
+                expected: d2.nrows(),
+                got: d2.ncols(),
+            });
+        }
+        let mut values = d2;
+        map_rows(&mut values, |_, _, v| (-gamma * v).exp());
+        Ok(GramMatrix { kernel, values })
+    }
+
+    /// Computes the rectangular cross-Gram `K[i][j] = k(a_i, b_j)` in GEMM
+    /// form with parallel row chunks.
     ///
     /// # Errors
     ///
@@ -87,22 +128,23 @@ impl GramMatrix {
             });
         }
         let (na, nb) = (a.nrows(), b.nrows());
-        let mut values = Matrix::zeros(na, nb);
         if na == 0 || nb == 0 {
-            return Ok(values);
+            return Ok(Matrix::zeros(na, nb));
         }
-        let row_blocks = sidefp_parallel::split_even(na, sidefp_parallel::current_threads());
-        let cuts: Vec<usize> = row_blocks.iter().skip(1).map(|r| r.start * nb).collect();
-        sidefp_parallel::for_each_split_mut(values.as_mut_slice(), &cuts, |block, slice| {
-            let rows = row_blocks[block].clone();
-            for (local, i) in rows.clone().enumerate() {
-                let xi = a.row(i);
-                let out = &mut slice[local * nb..(local + 1) * nb];
-                for (o, j) in out.iter_mut().zip(0..nb) {
-                    *o = kernel.eval(xi, b.row(j));
-                }
+        let mut values = products(a, b);
+        match kernel {
+            Kernel::Rbf { gamma } => {
+                let a_norms = sidefp_parallel::map_indexed(na, |i| vecops::sq_norm(a.row(i)));
+                let b_norms = sidefp_parallel::map_indexed(nb, |j| vecops::sq_norm(b.row(j)));
+                map_rows(&mut values, |i, j, p| {
+                    (-gamma * (a_norms[i] + b_norms[j] - 2.0 * p).max(0.0)).exp()
+                });
             }
-        });
+            Kernel::Linear => {}
+            Kernel::Polynomial { degree, coef0 } => {
+                map_rows(&mut values, |_, _, p| (p + coef0).powi(degree as i32));
+            }
+        }
         Ok(values)
     }
 
@@ -165,6 +207,93 @@ impl GramMatrix {
     }
 }
 
+/// The full symmetric matrix of pairwise squared distances between
+/// `data`'s rows, computed via `‖x‖² + ‖y‖² − 2·X·Xᵀ` on the blocked
+/// GEMM (clamped at zero; the diagonal is exactly zero).
+pub fn pairwise_squared_distances(data: &Matrix) -> Matrix {
+    let n = data.nrows();
+    if n == 0 {
+        return Matrix::zeros(0, 0);
+    }
+    let mut d2 = self_products(data);
+    let norms = diagonal(&d2);
+    map_upper_triangle(&mut d2, |i, j, p| (norms[i] + norms[j] - 2.0 * p).max(0.0));
+    mirror_lower_triangle(&mut d2);
+    d2
+}
+
+/// `X·Xᵀ` through the blocked GEMM.
+fn self_products(data: &Matrix) -> Matrix {
+    products(data, data)
+}
+
+/// `A·Bᵀ` through the blocked GEMM.
+///
+/// Column counts are the callers' responsibility; they always agree here,
+/// so the dimension-mismatch arm is unreachable and degrades to an empty
+/// product rather than panicking.
+fn products(a: &Matrix, b: &Matrix) -> Matrix {
+    a.matmul(&b.transpose())
+        .unwrap_or_else(|_| Matrix::zeros(a.nrows(), b.nrows()))
+}
+
+/// The main diagonal of a square matrix.
+fn diagonal(m: &Matrix) -> Vec<f64> {
+    (0..m.nrows()).map(|i| m[(i, i)]).collect()
+}
+
+/// Applies `f(i, j, value)` to every upper-triangle entry (`j ≥ i`) in
+/// parallel, writing the result back in place.
+fn map_upper_triangle<F>(values: &mut Matrix, f: F)
+where
+    F: Fn(usize, usize, f64) -> f64 + Sync,
+{
+    let n = values.nrows();
+    let ncols = n;
+    let row_blocks = triangle_blocks(n, sidefp_parallel::current_threads());
+    let cuts: Vec<usize> = row_blocks.iter().skip(1).map(|r| r.start * ncols).collect();
+    sidefp_parallel::for_each_split_mut(values.as_mut_slice(), &cuts, |block, slice| {
+        let rows = row_blocks[block].clone();
+        for (local, i) in rows.clone().enumerate() {
+            let out = &mut slice[local * ncols..(local + 1) * ncols];
+            for (j, v) in out.iter_mut().enumerate().skip(i) {
+                *v = f(i, j, *v);
+            }
+        }
+    });
+}
+
+/// Applies `f(i, j, value)` to every entry of a rectangular matrix in
+/// parallel row chunks, writing the result back in place.
+fn map_rows<F>(values: &mut Matrix, f: F)
+where
+    F: Fn(usize, usize, f64) -> f64 + Sync,
+{
+    let (nrows, ncols) = values.shape();
+    let row_blocks = sidefp_parallel::split_even(nrows, sidefp_parallel::current_threads());
+    let cuts: Vec<usize> = row_blocks.iter().skip(1).map(|r| r.start * ncols).collect();
+    sidefp_parallel::for_each_split_mut(values.as_mut_slice(), &cuts, |block, slice| {
+        let rows = row_blocks[block].clone();
+        for (local, i) in rows.clone().enumerate() {
+            let out = &mut slice[local * ncols..(local + 1) * ncols];
+            for (j, v) in out.iter_mut().enumerate() {
+                *v = f(i, j, *v);
+            }
+        }
+    });
+}
+
+/// Copies the strict upper triangle onto the lower one; cheap copies, no
+/// kernel evaluations.
+fn mirror_lower_triangle(values: &mut Matrix) {
+    let n = values.nrows();
+    for i in 1..n {
+        for j in 0..i {
+            values[(i, j)] = values[(j, i)];
+        }
+    }
+}
+
 /// Splits `0..n` rows into at most `parts` contiguous blocks whose
 /// upper-triangle workloads `Σ (n − i)` are near-equal: the parallel
 /// symmetric fill is balanced even though early rows touch many more
@@ -200,9 +329,12 @@ fn triangle_blocks(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
         }
     }
     if start < n {
-        // Tail rows fold into the last block.
-        let last = blocks.pop().expect("at least one block exists");
-        blocks.push(last.start..n);
+        // Tail rows fold into the last block (the loop above always pushes
+        // at least one block before leaving a tail).
+        match blocks.pop() {
+            Some(last) => blocks.push(last.start..n),
+            None => blocks.push(0..n),
+        }
     }
     blocks
 }
@@ -216,6 +348,11 @@ mod tests {
         Matrix::from_fn(n, d, |i, j| ((i * 13 + j * 5) % 17) as f64 * 0.17 - 1.0)
     }
 
+    /// |got − want| relative to max(|want|, 1).
+    fn rel_err(got: f64, want: f64) -> f64 {
+        (got - want).abs() / want.abs().max(1.0)
+    }
+
     #[test]
     fn symmetric_matches_direct_evaluation() {
         let data = sample(23, 4);
@@ -223,13 +360,34 @@ mod tests {
         let gram = GramMatrix::symmetric(kernel, &data);
         for i in 0..23 {
             for j in 0..23 {
+                // GEMM-form distances differ from the per-pair loop by
+                // O(ε) rounding; the contract is ≤1e-9 relative error.
                 let expected = kernel.eval(data.row(i), data.row(j));
-                assert_eq!(gram.matrix()[(i, j)], expected, "({i}, {j})");
+                let got = gram.matrix()[(i, j)];
+                assert!(
+                    rel_err(got, expected) < 1e-9,
+                    "({i}, {j}): {got} vs {expected}"
+                );
             }
+        }
+        // The diagonal cancels exactly: RBF self-similarity is exactly 1.
+        for i in 0..23 {
+            assert_eq!(gram.matrix()[(i, i)], 1.0, "diagonal {i}");
         }
         assert_eq!(gram.kernel(), kernel);
         assert_eq!(gram.len(), 23);
         assert!(!gram.is_empty());
+    }
+
+    #[test]
+    fn symmetric_is_exactly_symmetric() {
+        let data = sample(19, 5);
+        let gram = GramMatrix::symmetric(Kernel::Rbf { gamma: 1.1 }, &data);
+        for i in 0..19 {
+            for j in 0..19 {
+                assert_eq!(gram.matrix()[(i, j)], gram.matrix()[(j, i)]);
+            }
+        }
     }
 
     #[test]
@@ -256,7 +414,31 @@ mod tests {
         assert_eq!(cross.shape(), (7, 11));
         for i in 0..7 {
             for j in 0..11 {
-                assert_eq!(cross[(i, j)], kernel.eval(a.row(i), b.row(j)));
+                assert!(rel_err(cross[(i, j)], kernel.eval(a.row(i), b.row(j))) < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_rbf_and_polynomial_match_direct_evaluation() {
+        let a = sample(6, 4);
+        let b = sample(9, 4);
+        for kernel in [
+            Kernel::Rbf { gamma: 0.9 },
+            Kernel::Polynomial {
+                degree: 3,
+                coef0: 1.5,
+            },
+        ] {
+            let cross = GramMatrix::cross(kernel, &a, &b).unwrap();
+            for i in 0..6 {
+                for j in 0..9 {
+                    let expected = kernel.eval(a.row(i), b.row(j));
+                    assert!(
+                        rel_err(cross[(i, j)], expected) < 1e-9,
+                        "{kernel:?} ({i}, {j})"
+                    );
+                }
             }
         }
     }
@@ -267,6 +449,55 @@ mod tests {
         let b = sample(4, 2);
         assert!(matches!(
             GramMatrix::cross(Kernel::Linear, &a, &b),
+            Err(StatsError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn pairwise_squared_distances_match_naive_loop() {
+        let data = sample(17, 6);
+        let d2 = pairwise_squared_distances(&data);
+        for i in 0..17 {
+            for j in 0..17 {
+                let naive: f64 = data
+                    .row(i)
+                    .iter()
+                    .zip(data.row(j))
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum();
+                assert!(
+                    rel_err(d2[(i, j)], naive) < 1e-9,
+                    "({i}, {j}): {} vs {naive}",
+                    d2[(i, j)]
+                );
+                assert!(d2[(i, j)] >= 0.0);
+            }
+        }
+        for i in 0..17 {
+            assert_eq!(d2[(i, i)], 0.0, "diagonal {i}");
+        }
+    }
+
+    #[test]
+    fn from_squared_distances_bit_identical_to_symmetric() {
+        let data = sample(21, 4);
+        let kernel = Kernel::Rbf { gamma: 0.9 };
+        let direct = GramMatrix::symmetric(kernel, &data);
+        let d2 = pairwise_squared_distances(&data);
+        let shared = GramMatrix::from_squared_distances(kernel, d2).unwrap();
+        assert_eq!(shared.matrix().as_slice(), direct.matrix().as_slice());
+        assert_eq!(shared.kernel(), kernel);
+    }
+
+    #[test]
+    fn from_squared_distances_rejects_bad_inputs() {
+        let d2 = pairwise_squared_distances(&sample(5, 2));
+        assert!(matches!(
+            GramMatrix::from_squared_distances(Kernel::Linear, d2),
+            Err(StatsError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            GramMatrix::from_squared_distances(Kernel::Rbf { gamma: 1.0 }, Matrix::zeros(3, 4)),
             Err(StatsError::DimensionMismatch { .. })
         ));
     }
@@ -350,5 +581,9 @@ mod tests {
         assert!(gram.is_empty());
         assert_eq!(gram.total_sum(), 0.0);
         assert_eq!(gram.clone().into_matrix().shape(), (0, 0));
+        assert_eq!(
+            pairwise_squared_distances(&Matrix::zeros(0, 0)).shape(),
+            (0, 0)
+        );
     }
 }

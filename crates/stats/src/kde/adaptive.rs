@@ -1,8 +1,26 @@
 use rand::{Rng, SeedableRng};
-use sidefp_linalg::Matrix;
+use sidefp_linalg::{Matrix, Workspace};
 
 use crate::kde::Epanechnikov;
 use crate::{check_finite_matrix, descriptive, diagnostics, StandardScaler, StatsError};
+
+/// Squared distance `‖(x − row)/h‖²` capped at the Epanechnikov support
+/// boundary: once the partial sum reaches 1 the kernel is exactly zero no
+/// matter what the remaining coordinates contribute, so the loop exits
+/// early. Value-identical to the full sum for every caller that feeds the
+/// result to [`Epanechnikov::density_from_sq_radius`].
+#[inline]
+fn sq_radius_capped(row: &[f64], x: &[f64], inv_h: f64) -> f64 {
+    let mut t2 = 0.0;
+    for (a, b) in row.iter().zip(x) {
+        let u = (b - a) * inv_h;
+        t2 += u * u;
+        if t2 >= 1.0 {
+            return t2;
+        }
+    }
+    t2
+}
 
 /// Configuration for [`AdaptiveKde`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,6 +63,9 @@ pub struct AdaptiveKde {
     kernel: Epanechnikov,
     bandwidth: f64,
     lambdas: Vec<f64>,
+    /// Precomputed `(h·λ_i)^d`, the per-observation density denominators
+    /// (saves one `powf` per kernel term in the scoring hot loop).
+    hl_pow_d: Vec<f64>,
     /// Product of the per-column standard deviations (density Jacobian).
     jacobian: f64,
 }
@@ -129,6 +150,10 @@ impl AdaptiveKde {
             .collect();
 
         let jacobian = scaler.stds().iter().product();
+        let hl_pow_d = lambdas
+            .iter()
+            .map(|l| (bandwidth * l).powf(d as f64))
+            .collect();
 
         Ok(AdaptiveKde {
             scaler,
@@ -136,6 +161,7 @@ impl AdaptiveKde {
             kernel,
             bandwidth,
             lambdas,
+            hl_pow_d,
             jacobian,
         })
     }
@@ -147,18 +173,18 @@ impl AdaptiveKde {
         let d = z.ncols() as f64;
         let inv_h = 1.0 / h;
         let sum = sidefp_parallel::reduce_sum(z.nrows(), |i| {
-            let t2: f64 = z
-                .row(i)
-                .iter()
-                .zip(x)
-                .map(|(a, b)| {
-                    let u = (b - a) * inv_h;
-                    u * u
-                })
-                .sum();
-            kernel.density_from_sq_radius(t2)
+            kernel.density_from_sq_radius(sq_radius_capped(z.row(i), x, inv_h))
         });
         sum / (m * h.powf(d))
+    }
+
+    /// One adaptive kernel term `K_e((x − z_i)/(h·λ_i)) / (h·λ_i)^d`, the
+    /// shared summand of every adaptive scoring path.
+    #[inline]
+    fn adaptive_term(&self, i: usize, zx: &[f64]) -> f64 {
+        let hl = self.bandwidth * self.lambdas[i];
+        let t2 = sq_radius_capped(self.z.row(i), zx, 1.0 / hl);
+        self.kernel.density_from_sq_radius(t2) / self.hl_pow_d[i]
     }
 
     /// Dimension of the fitted data.
@@ -194,22 +220,7 @@ impl AdaptiveKde {
     pub fn density(&self, x: &[f64]) -> Result<f64, StatsError> {
         let zx = self.scaler.transform_sample(x)?;
         let m = self.len() as f64;
-        let d = self.dim() as f64;
-        let sum = sidefp_parallel::reduce_sum(self.len(), |i| {
-            let hl = self.bandwidth * self.lambdas[i];
-            let inv = 1.0 / hl;
-            let t2: f64 = self
-                .z
-                .row(i)
-                .iter()
-                .zip(&zx)
-                .map(|(a, b)| {
-                    let u = (b - a) * inv;
-                    u * u
-                })
-                .sum();
-            self.kernel.density_from_sq_radius(t2) / hl.powf(d)
-        });
+        let sum = sidefp_parallel::reduce_sum(self.len(), |i| self.adaptive_term(i, &zx));
         Ok(sum / m / self.jacobian)
     }
 
@@ -232,6 +243,46 @@ impl AdaptiveKde {
                 .expect("row width checked against fitted dimension")
         });
         Ok(rows)
+    }
+
+    /// Allocation-free form of [`AdaptiveKde::density_rows`]: scores every
+    /// row of `x` into `out`, borrowing scratch from `ws`. After the
+    /// workspace pool has warmed up (one call), the steady state performs
+    /// zero heap allocations. Values are bit-identical to
+    /// [`AdaptiveKde::density_rows`] under the strict determinism policy
+    /// (the default — see [`sidefp_parallel::set_deterministic`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if `x`'s column count
+    /// differs from the fitted dimension or `out.len() != x.nrows()`.
+    pub fn density_rows_into(
+        &self,
+        x: &Matrix,
+        ws: &mut Workspace,
+        out: &mut [f64],
+    ) -> Result<(), StatsError> {
+        if x.ncols() != self.dim() {
+            return Err(StatsError::DimensionMismatch {
+                expected: self.dim(),
+                got: x.ncols(),
+            });
+        }
+        if out.len() != x.nrows() {
+            return Err(StatsError::DimensionMismatch {
+                expected: x.nrows(),
+                got: out.len(),
+            });
+        }
+        let m = self.len() as f64;
+        let mut zx = ws.take(self.dim());
+        for (i, o) in out.iter_mut().enumerate() {
+            self.scaler.transform_sample_into(x.row(i), &mut zx)?;
+            let sum = sidefp_parallel::reduce_sum_seq(self.len(), |j| self.adaptive_term(j, &zx));
+            *o = sum / m / self.jacobian;
+        }
+        ws.give(zx);
+        Ok(())
     }
 
     /// Draws one synthetic sample in original units: picks an observation
@@ -423,6 +474,30 @@ mod tests {
         let kde = AdaptiveKde::fit(&gaussian_blob(30, 10), &KdeConfig::default()).unwrap();
         assert!(kde.density(&[1.0]).is_err());
         assert!(kde.density_rows(&Matrix::zeros(2, 1)).is_err());
+    }
+
+    #[test]
+    fn density_rows_into_value_identical_to_density_rows() {
+        // The workspace path must reproduce the allocating path bit for
+        // bit on seeded inputs (strict determinism policy, the default).
+        let data = gaussian_blob(150, 21);
+        let kde = AdaptiveKde::fit(&data, &KdeConfig::default()).unwrap();
+        let queries = gaussian_blob(64, 22);
+        let batch = kde.density_rows(&queries).unwrap();
+        let mut ws = sidefp_linalg::Workspace::new();
+        let mut out = vec![0.0; queries.nrows()];
+        // Twice: the second call runs on the warmed (reused) scratch.
+        for _ in 0..2 {
+            kde.density_rows_into(&queries, &mut ws, &mut out).unwrap();
+            assert_eq!(out, batch);
+        }
+        // Error paths: wrong query width, wrong output length.
+        assert!(kde
+            .density_rows_into(&Matrix::zeros(2, 1), &mut ws, &mut out)
+            .is_err());
+        assert!(kde
+            .density_rows_into(&queries, &mut ws, &mut [0.0; 3])
+            .is_err());
     }
 
     #[test]

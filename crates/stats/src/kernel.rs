@@ -106,27 +106,48 @@ impl Kernel {
     /// - [`StatsError::InsufficientData`] for fewer than two rows.
     /// - [`StatsError::DegenerateData`] if all points coincide.
     pub fn rbf_median_heuristic(data: &Matrix) -> Result<Kernel, StatsError> {
-        let n = data.nrows();
+        // One GEMM-form pass produces every pairwise squared distance.
+        Self::rbf_median_heuristic_from_sq_distances(&crate::gram::pairwise_squared_distances(data))
+    }
+
+    /// [`Kernel::rbf_median_heuristic`] on an already-computed matrix of
+    /// pairwise squared distances (see
+    /// [`crate::gram::pairwise_squared_distances`]). Callers that also
+    /// need a Gram matrix over the same rows can compute the distances
+    /// once and feed both this and
+    /// [`crate::GramMatrix::from_squared_distances`].
+    ///
+    /// # Errors
+    ///
+    /// - [`StatsError::InsufficientData`] for fewer than two rows.
+    /// - [`StatsError::DegenerateData`] if all points coincide.
+    pub fn rbf_median_heuristic_from_sq_distances(d2: &Matrix) -> Result<Kernel, StatsError> {
+        let n = d2.nrows();
         if n < 2 {
             return Err(StatsError::InsufficientData { needed: 2, got: n });
         }
-        // Collect the strict upper triangle of pairwise distances in
-        // parallel, one row at a time; concatenation in row order keeps
-        // the multiset (and the median) independent of the thread count.
-        let per_row: Vec<Vec<f64>> = sidefp_parallel::map_indexed(n, |i| {
-            let xi = data.row(i);
-            ((i + 1)..n)
-                .map(|j| vecops::distance(xi, data.row(j)))
-                .filter(|d| *d > 0.0)
-                .collect()
-        });
-        let dists: Vec<f64> = per_row.into_iter().flatten().collect();
-        if dists.is_empty() {
+        // Only the strict upper triangle feeds the order statistic. The
+        // median of distances is recovered from the *squared* distances:
+        // sorting squares preserves the order, so we select the middle
+        // order statistics first and take square roots after — the same
+        // interpolation [`crate::descriptive::median`] applies, without
+        // an O(n²) pass of square roots.
+        let mut sq: Vec<f64> = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            let row = d2.row(i);
+            sq.extend(row[(i + 1)..].iter().copied().filter(|v| *v > 0.0));
+        }
+        if sq.is_empty() {
             return Err(StatsError::DegenerateData(
                 "all points coincide; median heuristic undefined".into(),
             ));
         }
-        let med = crate::descriptive::median(&dists)?;
+        sq.sort_by(f64::total_cmp);
+        let pos = 0.5 * (sq.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        let med = sq[lo].sqrt() * (1.0 - frac) + sq[hi].sqrt() * frac;
         Ok(Kernel::Rbf {
             gamma: 1.0 / (2.0 * med * med),
         })

@@ -1,0 +1,260 @@
+//! On-demand kernel rows with a small LRU cache.
+//!
+//! A dense `n × n` Gram matrix is the fastest backing store for the SMO
+//! solver when it fits in memory, but its footprint grows quadratically:
+//! at 50k training rows it would need 20 GB. [`KernelRowCache`] is the
+//! memory-bounded alternative: it computes kernel rows lazily, keeps the
+//! most recently used ones in a fixed set of slots, and recomputes on
+//! miss. SMO's working-set iterations revisit a small neighbourhood of
+//! support vectors, so the hit rate is high once the active set settles.
+//!
+//! Steady state allocates nothing: each slot's buffer is allocated once
+//! on first fill and reused for every later row that lands in it.
+
+use sidefp_linalg::Matrix;
+
+use crate::qp::WorkingSetQ;
+use crate::{Kernel, StatsError};
+
+/// Sentinel for "no owner": an empty slot, or no protected row.
+const NONE: usize = usize::MAX;
+
+/// A fixed-capacity LRU cache of kernel-matrix rows
+/// `Q[i][j] = k(x_i, x_j)` over the rows of one dataset.
+///
+/// Implements [`WorkingSetQ`], so [`crate::qp::SmoSolver::solve_with`]
+/// can run directly off it.
+///
+/// # Example
+///
+/// ```
+/// use sidefp_linalg::Matrix;
+/// use sidefp_stats::{Kernel, KernelRowCache};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let data = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]])?;
+/// let mut cache = KernelRowCache::new(Kernel::Rbf { gamma: 1.0 }, &data, 2);
+/// let row = cache.row(1);
+/// assert_eq!(row.len(), 3);
+/// assert_eq!(row[1], 1.0); // RBF self-similarity
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct KernelRowCache<'a> {
+    kernel: Kernel,
+    data: &'a Matrix,
+    diag: Vec<f64>,
+    slots: Vec<Vec<f64>>,
+    owner: Vec<usize>,
+    stamp: Vec<u64>,
+    clock: u64,
+    misses: usize,
+}
+
+impl<'a> KernelRowCache<'a> {
+    /// Creates a cache over `data`'s rows holding at most `capacity` rows
+    /// (clamped to at least 2, so a working-set *pair* always fits, and at
+    /// most the number of data rows).
+    pub fn new(kernel: Kernel, data: &'a Matrix, capacity: usize) -> Self {
+        let n = data.nrows();
+        let capacity = capacity.max(2).min(n.max(2));
+        let diag = (0..n)
+            .map(|i| kernel.eval(data.row(i), data.row(i)))
+            .collect();
+        KernelRowCache {
+            kernel,
+            data,
+            diag,
+            slots: vec![Vec::new(); capacity],
+            owner: vec![NONE; capacity],
+            stamp: vec![0; capacity],
+            clock: 0,
+            misses: 0,
+        }
+    }
+
+    /// The kernel row for data row `i`, computing and caching it if absent.
+    pub fn row(&mut self, i: usize) -> &[f64] {
+        let slot = self.ensure(i, NONE);
+        &self.slots[slot]
+    }
+
+    /// Number of rows computed because they were not cached.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Slot currently holding row `i`, if any.
+    fn find(&self, i: usize) -> Option<usize> {
+        // Linear scan: capacities are small (tens of slots), and a scan
+        // over a short owner array beats a heap-allocated map.
+        self.owner.iter().position(|&o| o == i)
+    }
+
+    /// Ensures row `i` is cached and returns its slot, never evicting the
+    /// row owned by `protect`.
+    fn ensure(&mut self, i: usize, protect: usize) -> usize {
+        self.clock += 1;
+        if let Some(slot) = self.find(i) {
+            self.stamp[slot] = self.clock;
+            return slot;
+        }
+        // Miss: evict the least-recently-used unprotected slot (empty
+        // slots have stamp 0, so they are chosen first).
+        self.misses += 1;
+        let mut victim = NONE;
+        for s in 0..self.owner.len() {
+            if self.owner[s] == protect && protect != NONE {
+                continue;
+            }
+            if victim == NONE || self.stamp[s] < self.stamp[victim] {
+                victim = s;
+            }
+        }
+        let n = self.data.nrows();
+        let xi = self.data.row(i);
+        let row = &mut self.slots[victim];
+        row.clear();
+        row.reserve(n);
+        for j in 0..n {
+            row.push(self.kernel.eval(xi, self.data.row(j)));
+        }
+        self.owner[victim] = i;
+        self.stamp[victim] = self.clock;
+        victim
+    }
+}
+
+impl WorkingSetQ for KernelRowCache<'_> {
+    fn len(&self) -> usize {
+        self.data.nrows()
+    }
+
+    fn diag(&mut self, i: usize) -> f64 {
+        self.diag[i]
+    }
+
+    fn pair(&mut self, i: usize, j: usize) -> (&[f64], &[f64]) {
+        let si = self.ensure(i, NONE);
+        // Loading j must not evict i — its slot is protected.
+        let sj = self.ensure(j, i);
+        (&self.slots[si], &self.slots[sj])
+    }
+
+    fn matvec(&mut self, alpha: &[f64]) -> Result<Vec<f64>, StatsError> {
+        let n = self.data.nrows();
+        if alpha.len() != n {
+            return Err(StatsError::DimensionMismatch {
+                expected: n,
+                got: alpha.len(),
+            });
+        }
+        // Evaluate rows on the fly instead of through the LRU slots: a
+        // full mat-vec would otherwise flush the working set.
+        let kernel = self.kernel;
+        let data = self.data;
+        Ok(sidefp_parallel::map_indexed(n, |i| {
+            let xi = data.row(i);
+            (0..n)
+                .map(|j| kernel.eval(xi, data.row(j)) * alpha[j])
+                .sum()
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qp::{SmoConfig, SmoSolver};
+    use crate::GramMatrix;
+
+    fn sample(n: usize, d: usize) -> Matrix {
+        Matrix::from_fn(n, d, |i, j| ((i * 7 + j * 3) % 11) as f64 * 0.23 - 1.0)
+    }
+
+    #[test]
+    fn rows_match_direct_kernel_evaluation() {
+        let data = sample(9, 3);
+        let kernel = Kernel::Rbf { gamma: 0.6 };
+        let mut cache = KernelRowCache::new(kernel, &data, 3);
+        for i in [0, 5, 8, 2, 5, 0] {
+            let row = cache.row(i).to_vec();
+            for (j, v) in row.iter().enumerate() {
+                assert_eq!(*v, kernel.eval(data.row(i), data.row(j)), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn lru_keeps_hot_rows() {
+        let data = sample(8, 2);
+        let mut cache = KernelRowCache::new(Kernel::Linear, &data, 2);
+        cache.row(0);
+        cache.row(1);
+        assert_eq!(cache.misses(), 2);
+        // Hits: no recompute.
+        cache.row(0);
+        cache.row(1);
+        assert_eq!(cache.misses(), 2);
+        // A third row evicts the least recently used (row 0).
+        cache.row(2);
+        assert_eq!(cache.misses(), 3);
+        cache.row(1);
+        assert_eq!(cache.misses(), 3, "row 1 should have survived");
+        cache.row(0);
+        assert_eq!(cache.misses(), 4, "row 0 was the LRU victim");
+    }
+
+    #[test]
+    fn pair_never_evicts_its_own_first_row() {
+        let data = sample(6, 2);
+        let mut cache = KernelRowCache::new(Kernel::Linear, &data, 2);
+        // Fill both slots, then request a pair of two uncached rows: the
+        // second load must not evict the first of the pair.
+        cache.row(0);
+        cache.row(1);
+        let (qi, qj) = cache.pair(2, 3);
+        assert_eq!(qi[2], Kernel::Linear.eval(data.row(2), data.row(2)));
+        assert_eq!(qj[3], Kernel::Linear.eval(data.row(3), data.row(3)));
+    }
+
+    #[test]
+    fn smo_on_cache_matches_smo_on_dense_gram() {
+        let data = sample(24, 3);
+        let kernel = Kernel::Rbf { gamma: 0.8 };
+        let config = SmoConfig {
+            upper: 1.0 / (0.2 * 24.0),
+            tol: 1e-6,
+            max_iter: 50_000,
+        };
+        let solver = SmoSolver::new(config);
+        let gram = GramMatrix::symmetric(kernel, &data);
+        let dense = solver.solve(gram.matrix()).unwrap();
+        let mut cache = KernelRowCache::new(kernel, &data, 4);
+        let cached = solver.solve_with(&mut cache).unwrap();
+        assert!(cached.converged);
+        // The two Q materializations differ by O(ε) rounding (GEMM-form vs
+        // per-pair), so the trajectories may differ within tolerance.
+        for (a, b) in cached.alpha.iter().zip(&dense.alpha) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        let mass: f64 = cached.alpha.iter().sum();
+        assert!((mass - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn matvec_matches_dense_gram() {
+        let data = sample(12, 2);
+        let kernel = Kernel::Rbf { gamma: 0.4 };
+        let mut cache = KernelRowCache::new(kernel, &data, 3);
+        let alpha: Vec<f64> = (0..12).map(|i| 1.0 / (i + 1) as f64).collect();
+        let got = cache.matvec(&alpha).unwrap();
+        let gram = GramMatrix::symmetric(kernel, &data);
+        let want = gram.matrix().matvec(&alpha).unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9);
+        }
+        assert!(cache.matvec(&[1.0]).is_err());
+    }
+}

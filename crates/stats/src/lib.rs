@@ -55,6 +55,7 @@ mod error;
 mod gram;
 pub mod kde;
 mod kernel;
+mod kernel_cache;
 mod kmm;
 pub mod knn;
 pub mod mars;
@@ -71,8 +72,9 @@ mod scaler;
 
 pub use diagnostics::SolverHealth;
 pub use error::StatsError;
-pub use gram::GramMatrix;
+pub use gram::{pairwise_squared_distances, GramMatrix};
 pub use kernel::Kernel;
+pub use kernel_cache::KernelRowCache;
 pub use kmm::{KernelMeanMatching, KmmConfig};
 pub use metrics::{ConfusionCounts, DetectionLabel};
 pub use mvn::MultivariateNormal;

@@ -3,6 +3,12 @@ use sidefp_linalg::Matrix;
 use crate::mars::{BasisFunction, Hinge, HingeDirection};
 use crate::{Regressor, StatsError};
 
+/// Borrow every design column as a slice (trial fits extend this cheap
+/// view instead of cloning the columns themselves).
+fn borrow_cols(cols: &[Vec<f64>]) -> Vec<&[f64]> {
+    cols.iter().map(Vec::as_slice).collect()
+}
+
 /// Configuration for [`Mars`] fitting.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MarsConfig {
@@ -96,7 +102,7 @@ impl Mars {
             design_cols.push(Self::basis_column(&linear, x));
             bases.push(linear);
         }
-        let mut best_rss = Self::fit_rss(&design_cols, y)?;
+        let mut best_rss = Self::fit_rss(&borrow_cols(&design_cols), y)?;
 
         // The design matrix must stay overdetermined: cap the term count at
         // both the configured budget and (n − 1) columns.
@@ -127,9 +133,14 @@ impl Mars {
                 sidefp_parallel::map_indexed(candidates.len(), |c| {
                     let (parent_idx, feature, knot) = candidates[c];
                     let (pos, neg) = Self::hinge_pair(&bases[parent_idx], feature, knot);
-                    let mut cols = design_cols.clone();
-                    cols.push(Self::basis_column(&pos, x));
-                    cols.push(Self::basis_column(&neg, x));
+                    // Borrow the shared columns and append only the two
+                    // trial hinge columns — no per-candidate clone of the
+                    // whole design matrix.
+                    let pos_col = Self::basis_column(&pos, x);
+                    let neg_col = Self::basis_column(&neg, x);
+                    let mut cols = borrow_cols(&design_cols);
+                    cols.push(&pos_col);
+                    cols.push(&neg_col);
                     Self::fit_rss(&cols, y)
                 });
             // Scan in enumeration order with strict improvement, so ties
@@ -159,7 +170,7 @@ impl Mars {
         // ---- Backward pruning by GCV ----
         let mut active: Vec<usize> = (0..bases.len()).collect();
         let (mut best_active, mut best_gcv) = {
-            let cols: Vec<Vec<f64>> = active.iter().map(|&i| design_cols[i].clone()).collect();
+            let cols: Vec<&[f64]> = active.iter().map(|&i| design_cols[i].as_slice()).collect();
             let rss = Self::fit_rss(&cols, y)?;
             (
                 active.clone(),
@@ -187,11 +198,11 @@ impl Mars {
             let scores: Vec<Result<f64, StatsError>> =
                 sidefp_parallel::map_indexed(removable.len(), |t| {
                     let pos = removable[t];
-                    let cols: Vec<Vec<f64>> = active
+                    let cols: Vec<&[f64]> = active
                         .iter()
                         .enumerate()
                         .filter(|(p, _)| *p != pos)
-                        .map(|(_, &i)| design_cols[i].clone())
+                        .map(|(_, &i)| design_cols[i].as_slice())
                         .collect();
                     let rss = Self::fit_rss(&cols, y)?;
                     Ok(Self::gcv(rss, n, active.len() - 1, config.penalty))
@@ -216,9 +227,9 @@ impl Mars {
         // ---- Final fit on the pruned basis set ----
         let final_bases: Vec<BasisFunction> =
             best_active.iter().map(|&i| bases[i].clone()).collect();
-        let cols: Vec<Vec<f64>> = best_active
+        let cols: Vec<&[f64]> = best_active
             .iter()
-            .map(|&i| design_cols[i].clone())
+            .map(|&i| design_cols[i].as_slice())
             .collect();
         let coefficients = Self::least_squares(&cols, y)?;
 
@@ -288,14 +299,14 @@ impl Mars {
     }
 
     /// Least-squares coefficients for the given design columns.
-    fn least_squares(cols: &[Vec<f64>], y: &[f64]) -> Result<Vec<f64>, StatsError> {
+    fn least_squares(cols: &[&[f64]], y: &[f64]) -> Result<Vec<f64>, StatsError> {
         let n = y.len();
         let design = Matrix::from_fn(n, cols.len(), |i, j| cols[j][i]);
         Ok(design.qr()?.solve_least_squares(y)?)
     }
 
     /// Residual sum of squares of the least-squares fit on `cols`.
-    fn fit_rss(cols: &[Vec<f64>], y: &[f64]) -> Result<f64, StatsError> {
+    fn fit_rss(cols: &[&[f64]], y: &[f64]) -> Result<f64, StatsError> {
         let n = y.len();
         let design = Matrix::from_fn(n, cols.len(), |i, j| cols[j][i]);
         Ok(design.qr()?.residual_sum_of_squares(y)?)

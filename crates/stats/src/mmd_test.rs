@@ -93,14 +93,20 @@ pub fn mmd_permutation_test(
     }
 
     let pooled = a.vstack(b)?;
-    let kernel = match kernel {
+    let gram = match kernel {
         Some(k) => {
             k.validate()?;
-            k
+            GramMatrix::symmetric(k, &pooled)
         }
-        None => Kernel::rbf_median_heuristic(&pooled)?,
+        None => {
+            // One GEMM-form distance pass serves both the median-heuristic
+            // bandwidth and the RBF Gram — previously each ran its own
+            // O(n²·d) pairwise sweep over the pooled sample.
+            let d2 = crate::gram::pairwise_squared_distances(&pooled);
+            let k = Kernel::rbf_median_heuristic_from_sq_distances(&d2)?;
+            GramMatrix::from_squared_distances(k, d2)?
+        }
     };
-    let gram = GramMatrix::symmetric(kernel, &pooled);
 
     let na = a.nrows();
     let n = pooled.nrows();

@@ -2,11 +2,22 @@ use sidefp_linalg::Matrix;
 
 use crate::diagnostics;
 use crate::qp::{SmoConfig, SmoSolver};
-use crate::{check_finite_matrix, check_finite_slice, GramMatrix, Kernel, StatsError};
+use crate::{
+    check_finite_matrix, check_finite_slice, GramMatrix, Kernel, KernelRowCache, StatsError,
+};
 
 /// Relaxation factor for accepting a best-effort SMO solution: a KKT gap
 /// within 100× the configured tolerance is still a usable boundary.
 const SMO_RELAXED_FACTOR: f64 = 100.0;
+
+/// Above this many training rows the dense Gram matrix (8·n² bytes) is
+/// swapped for a [`KernelRowCache`]: at 4096 rows the dense matrix already
+/// costs 134 MB, and the cache bounds memory at `capacity · n` instead.
+const DENSE_GRAM_LIMIT: usize = 4096;
+
+/// Rows held by the kernel-row cache on the large-`n` path — sized to keep
+/// the SMO working set (a few hot support-vector rows) resident.
+const KERNEL_CACHE_ROWS: usize = 64;
 
 /// Configuration for the ν-one-class SVM.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -88,14 +99,21 @@ impl OneClassSvm {
         }
         config.kernel.validate()?;
 
-        let q = GramMatrix::symmetric(config.kernel, data);
         let c = 1.0 / (config.nu * n as f64);
         let smo = SmoSolver::new(SmoConfig {
             upper: c,
             tol: config.tol,
             max_iter: config.max_iter,
         });
-        let sol = smo.solve(q.matrix())?;
+        // Dense Gram up to DENSE_GRAM_LIMIT rows (fastest: every Q row is a
+        // slice away), memory-bounded kernel-row cache beyond it.
+        let sol = if n <= DENSE_GRAM_LIMIT {
+            let q = GramMatrix::symmetric(config.kernel, data);
+            smo.solve(q.matrix())?
+        } else {
+            let mut cache = KernelRowCache::new(config.kernel, data, KERNEL_CACHE_ROWS);
+            smo.solve_with(&mut cache)?
+        };
         if !sol.converged {
             // Best-effort boundary: record how far from optimal it stopped
             // so RunHealth surfaces the fallback instead of hiding it.
@@ -198,6 +216,37 @@ impl OneClassSvm {
         Ok(sidefp_parallel::map_indexed(x.nrows(), |i| {
             self.decision_value(x.row(i))
         }))
+    }
+
+    /// Allocation-free form of [`OneClassSvm::decision_rows`]: writes the
+    /// decision value of every row of `x` into `out`. The kernel sum over
+    /// support vectors is already allocation-free, so the steady state
+    /// performs zero heap allocations; values are identical to
+    /// [`OneClassSvm::decision_rows`].
+    ///
+    /// # Errors
+    ///
+    /// - [`StatsError::DimensionMismatch`] if `x`'s column count differs
+    ///   from the fitted dimension or `out.len() != x.nrows()`.
+    /// - [`StatsError::InvalidParameter`] for non-finite query entries.
+    pub fn decision_rows_into(&self, x: &Matrix, out: &mut [f64]) -> Result<(), StatsError> {
+        if x.ncols() != self.input_dim {
+            return Err(StatsError::DimensionMismatch {
+                expected: self.input_dim,
+                got: x.ncols(),
+            });
+        }
+        if out.len() != x.nrows() {
+            return Err(StatsError::DimensionMismatch {
+                expected: x.nrows(),
+                got: out.len(),
+            });
+        }
+        check_finite_matrix("x", x)?;
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.decision_value(x.row(i));
+        }
+        Ok(())
     }
 
     /// Number of support vectors retained.
@@ -408,6 +457,26 @@ mod tests {
         let mut batch = Matrix::zeros(3, 2);
         batch[(2, 0)] = f64::NAN;
         assert!(svm.decision_rows(&batch).is_err());
+    }
+
+    #[test]
+    fn decision_rows_into_value_identical_to_decision_rows() {
+        let data = blob(80, 15);
+        let svm = OneClassSvm::fit(&data, &default_cfg()).unwrap();
+        let queries = blob(40, 16);
+        let batch = svm.decision_rows(&queries).unwrap();
+        let mut out = vec![0.0; queries.nrows()];
+        for _ in 0..2 {
+            svm.decision_rows_into(&queries, &mut out).unwrap();
+            assert_eq!(out, batch);
+        }
+        assert!(svm
+            .decision_rows_into(&Matrix::zeros(2, 3), &mut out)
+            .is_err());
+        assert!(svm.decision_rows_into(&queries, &mut [0.0; 2]).is_err());
+        let mut bad = queries.clone();
+        bad[(0, 0)] = f64::NAN;
+        assert!(svm.decision_rows_into(&bad, &mut out).is_err());
     }
 
     #[test]

@@ -19,4 +19,4 @@ mod smo;
 pub use projected_gradient::{
     solve_box_band, solve_box_band_detailed, solve_box_band_strict, BoxBandConfig, BoxBandSolution,
 };
-pub use smo::{SmoConfig, SmoSolution, SmoSolver};
+pub use smo::{SmoConfig, SmoSolution, SmoSolver, WorkingSetQ};

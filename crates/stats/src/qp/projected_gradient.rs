@@ -197,16 +197,19 @@ pub fn solve_box_band_detailed(
     let mut iterations = 0;
     let mut converged = false;
     let mut final_delta = f64::INFINITY;
+    // Steady-state buffers, reused across iterations (the gradient loop
+    // allocates nothing after this point).
+    let mut grad = vec![0.0; n];
+    let mut next = vec![0.0; n];
     for _ in 0..config.max_iter {
         // grad = K β − κ
-        let grad = {
-            let mut g = k.matvec(&beta)?;
-            for (gi, ki) in g.iter_mut().zip(kappa) {
-                *gi -= ki;
-            }
-            g
-        };
-        let mut next: Vec<f64> = beta.iter().zip(&grad).map(|(b, g)| b - step * g).collect();
+        k.matvec_into(&beta, &mut grad)?;
+        for (gi, ki) in grad.iter_mut().zip(kappa) {
+            *gi -= ki;
+        }
+        for ((nx, b), g) in next.iter_mut().zip(&beta).zip(&grad) {
+            *nx = b - step * g;
+        }
         project_box_band(&mut next, config.upper, config.band);
 
         let delta = next
@@ -214,7 +217,7 @@ pub fn solve_box_band_detailed(
             .zip(&beta)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0_f64, f64::max);
-        beta = next;
+        std::mem::swap(&mut beta, &mut next);
         iterations += 1;
         final_delta = delta;
         if delta < config.tol {

@@ -2,6 +2,87 @@ use sidefp_linalg::Matrix;
 
 use crate::StatsError;
 
+/// Maximal-violating-pair scan: `(i_best, g_min, j_best, g_max)` where `i`
+/// ranges over coordinates free to increase (`α_i < C`) and `j` over those
+/// free to decrease (`α_j > 0`). `usize::MAX` marks an empty candidate set.
+fn select_pair(alpha: &[f64], grad: &[f64], c: f64) -> (usize, f64, usize, f64) {
+    let mut i_best = usize::MAX;
+    let mut g_min = f64::INFINITY;
+    let mut j_best = usize::MAX;
+    let mut g_max = f64::NEG_INFINITY;
+    for (t, (&a, &g)) in alpha.iter().zip(grad.iter()).enumerate() {
+        // Branchless eligibility (compiles to a select): ineligible
+        // coordinates become ±∞ so the single rarely-taken comparison
+        // below is the only branch the predictor has to learn.
+        let up = if a < c - 1e-15 { g } else { f64::INFINITY };
+        let down = if a > 1e-15 { g } else { f64::NEG_INFINITY };
+        if up < g_min {
+            g_min = up;
+            i_best = t;
+        }
+        if down > g_max {
+            g_max = down;
+            j_best = t;
+        }
+    }
+    (i_best, g_min, j_best, g_max)
+}
+
+/// A source of rows of the SMO matrix `Q`.
+///
+/// The solver only ever needs `Q` through three views: the working-set
+/// pair of rows for the analytic update, the diagonal for the curvature
+/// denominator, and one full mat-vec for the feasible start's gradient.
+/// Abstracting those lets the same solver run off a dense precomputed
+/// [`Matrix`] (fastest when `n²` fits comfortably in memory) or off an
+/// on-demand kernel-row cache such as
+/// [`KernelRowCache`](crate::KernelRowCache) (bounded memory for large
+/// populations).
+///
+/// Methods take `&mut self` so row sources may cache computed rows.
+pub trait WorkingSetQ {
+    /// Number of rows/columns of the square matrix.
+    fn len(&self) -> usize;
+
+    /// `true` for an empty (0×0) matrix.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The diagonal entry `Q[i][i]`.
+    fn diag(&mut self, i: usize) -> f64;
+
+    /// Rows `i` and `j` as slices, `i ≠ j`.
+    fn pair(&mut self, i: usize, j: usize) -> (&[f64], &[f64]);
+
+    /// The product `Q·α` (used once, for the feasible start's gradient).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if `alpha.len()` differs
+    /// from [`WorkingSetQ::len`].
+    fn matvec(&mut self, alpha: &[f64]) -> Result<Vec<f64>, StatsError>;
+}
+
+/// Dense precomputed `Q`: rows are slices into the matrix storage.
+impl WorkingSetQ for &Matrix {
+    fn len(&self) -> usize {
+        self.nrows()
+    }
+
+    fn diag(&mut self, i: usize) -> f64 {
+        self[(i, i)]
+    }
+
+    fn pair(&mut self, i: usize, j: usize) -> (&[f64], &[f64]) {
+        (self.row(i), self.row(j))
+    }
+
+    fn matvec(&mut self, alpha: &[f64]) -> Result<Vec<f64>, StatsError> {
+        Ok(Matrix::matvec(self, alpha)?)
+    }
+}
+
 /// Configuration for the SMO solver.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SmoConfig {
@@ -91,7 +172,17 @@ impl SmoSolver {
                 shape: q.shape(),
             }));
         }
-        let n = q.nrows();
+        self.solve_with(&mut { q })
+    }
+
+    /// Solves the QP against any [`WorkingSetQ`] row source — a dense
+    /// matrix or an on-demand kernel-row cache.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SmoSolver::solve`].
+    pub fn solve_with<Q: WorkingSetQ>(&self, q: &mut Q) -> Result<SmoSolution, StatsError> {
+        let n = q.len();
         let c = self.config.upper;
         if c <= 0.0 {
             return Err(StatsError::InvalidParameter {
@@ -122,27 +213,15 @@ impl SmoSolver {
         // gradient = Qα.
         let mut grad = q.matvec(&alpha)?;
 
+        // Maximal violating pair on the starting iterate:
+        //   i (can increase): α_i < C with minimal gradient,
+        //   j (can decrease): α_j > 0 with maximal gradient.
+        let (mut i_best, mut g_min, mut j_best, mut g_max) = select_pair(&alpha, &grad, c);
+
         let mut iterations = 0;
         let mut converged = false;
         let mut kkt_gap = 0.0;
         while iterations < self.config.max_iter {
-            // Maximal violating pair:
-            //   i (can increase): α_i < C with minimal gradient,
-            //   j (can decrease): α_j > 0 with maximal gradient.
-            let mut i_best = usize::MAX;
-            let mut g_min = f64::INFINITY;
-            let mut j_best = usize::MAX;
-            let mut g_max = f64::NEG_INFINITY;
-            for t in 0..n {
-                if alpha[t] < c - 1e-15 && grad[t] < g_min {
-                    g_min = grad[t];
-                    i_best = t;
-                }
-                if alpha[t] > 1e-15 && grad[t] > g_max {
-                    g_max = grad[t];
-                    j_best = t;
-                }
-            }
             if i_best == usize::MAX || j_best == usize::MAX {
                 kkt_gap = 0.0;
                 converged = true;
@@ -158,7 +237,10 @@ impl SmoSolver {
             // Analytic update along e_i − e_j: minimize
             //   ½(α + δ(e_i − e_j))ᵀ Q (α + δ(e_i − e_j))
             // → δ* = (g_j − g_i) / (Q_ii + Q_jj − 2Q_ij).
-            let denom = q[(i, i)] + q[(j, j)] - 2.0 * q[(i, j)];
+            let dii = q.diag(i);
+            let djj = q.diag(j);
+            let (qi, qj) = q.pair(i, j);
+            let denom = dii + djj - 2.0 * qi[j];
             let mut delta = if denom > 1e-12 {
                 (grad[j] - grad[i]) / denom
             } else {
@@ -176,9 +258,35 @@ impl SmoSolver {
 
             alpha[i] += delta;
             alpha[j] -= delta;
-            // Incremental gradient update: grad += δ(Q e_i − Q e_j).
-            for t in 0..n {
-                grad[t] += delta * (q[(i, t)] - q[(j, t)]);
+            // Incremental gradient update grad += δ(Q e_i − Q e_j) fused
+            // with the *next* pair selection: one pass over (grad, α, Q
+            // rows) instead of an update pass plus a selection pass. The
+            // gradient expression matches the plain loop element-for-element
+            // (no cross-element reduction), so the trajectory is
+            // bit-identical to the unfused form.
+            i_best = usize::MAX;
+            g_min = f64::INFINITY;
+            j_best = usize::MAX;
+            g_max = f64::NEG_INFINITY;
+            for (t, ((g, &a), (&ki, &kj))) in grad
+                .iter_mut()
+                .zip(alpha.iter())
+                .zip(qi.iter().zip(qj.iter()))
+                .enumerate()
+            {
+                let v = *g + delta * (ki - kj);
+                *g = v;
+                // Branchless eligibility, as in `select_pair`.
+                let up = if a < c - 1e-15 { v } else { f64::INFINITY };
+                let down = if a > 1e-15 { v } else { f64::NEG_INFINITY };
+                if up < g_min {
+                    g_min = up;
+                    i_best = t;
+                }
+                if down > g_max {
+                    g_max = down;
+                    j_best = t;
+                }
             }
             iterations += 1;
         }

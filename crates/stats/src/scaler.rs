@@ -115,6 +115,32 @@ impl StandardScaler {
             .collect())
     }
 
+    /// Allocation-free form of [`StandardScaler::transform_sample`]: writes
+    /// the z-scores into `out` with the identical arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if `sample` or `out`
+    /// length differs from the fitted dimension.
+    pub fn transform_sample_into(&self, sample: &[f64], out: &mut [f64]) -> Result<(), StatsError> {
+        if sample.len() != self.dim() {
+            return Err(StatsError::DimensionMismatch {
+                expected: self.dim(),
+                got: sample.len(),
+            });
+        }
+        if out.len() != self.dim() {
+            return Err(StatsError::DimensionMismatch {
+                expected: self.dim(),
+                got: out.len(),
+            });
+        }
+        for (j, (o, v)) in out.iter_mut().zip(sample).enumerate() {
+            *o = (v - self.means[j]) / self.stds[j];
+        }
+        Ok(())
+    }
+
     /// Maps z-scores back to the original units.
     ///
     /// # Errors

@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Per-stage bench-regression gate.
+#
+# Rebuilds the release perf harness, runs it twice, takes the per-stage
+# minimum of the two runs (wall-clock noise is one-sided: load only ever
+# slows a stage down), and compares each pipeline stage against the
+# committed BENCH_pipeline.json baseline. Exits non-zero if any gated
+# stage regresses by more than REGRESSION_PCT percent.
+#
+# Stage comparisons are load-normalized: each stage's timing is scaled
+# by the ratio of single-threaded totals before comparing. On a shared
+# host, background load inflates every stage uniformly — that cancels
+# out under normalization — while a code regression shows up as a stage
+# growing its *share* of the run, which does not. The raw total is
+# printed for context but not gated.
+#
+# Stages below MIN_STAGE_MS in the baseline are reported but not gated:
+# at sub-millisecond scale, scheduler jitter swamps any real change.
+#
+# Usage: scripts/bench_gate.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+root="$(pwd)"
+
+BASELINE=BENCH_pipeline.json
+REGRESSION_PCT=${REGRESSION_PCT:-15}
+MIN_STAGE_MS=${MIN_STAGE_MS:-1.0}
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "bench_gate: no committed $BASELINE; run 'perf --json' and commit it" >&2
+    exit 0
+fi
+
+cargo build --release -q -p sidefp-bench --bin perf
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# perf --json writes BENCH_pipeline.json into its working directory; run
+# it from the scratch dir so the committed baseline is never clobbered.
+run_perf() {
+    (cd "$tmp" && "$root/target/release/perf" --json >/dev/null)
+    mv "$tmp/BENCH_pipeline.json" "$1"
+}
+
+echo "bench_gate: timing run 1/2"
+run_perf "$tmp/run1.json"
+echo "bench_gate: timing run 2/2"
+run_perf "$tmp/run2.json"
+
+# Flattens the perf JSON (a format this repo generates itself) into
+# "key value" lines: the single-threaded total plus one stage.<name>
+# line per pipeline stage.
+parse() {
+    awk '
+        /"stages_ms"/ { in_stages = 1; next }
+        in_stages && /}/ { in_stages = 0; next }
+        {
+            line = $0
+            gsub(/[",:{}]/, " ", line)
+            n = split(line, f, " ")
+            if (n < 2 || f[2] + 0 != f[2]) next
+            if (in_stages) print "stage." f[1], f[2]
+            else if (f[1] == "threads1_ms") print f[1], f[2]
+        }
+    ' "$1"
+}
+
+parse "$BASELINE" >"$tmp/base.txt"
+parse "$tmp/run1.json" >"$tmp/a.txt"
+parse "$tmp/run2.json" >"$tmp/b.txt"
+
+if ! grep -q '^stage\.' "$tmp/base.txt"; then
+    echo "bench_gate: baseline has no stages_ms block; comparing totals only" >&2
+fi
+
+awk -v thr="$REGRESSION_PCT" -v floor="$MIN_STAGE_MS" '
+    FILENAME == ARGV[1] { base[$1] = $2; order[++n] = $1; next }
+    FILENAME == ARGV[2] { a[$1] = $2; next }
+    { b[$1] = $2 }
+    END {
+        # Load normalization: scale every stage comparison by the ratio
+        # of single-threaded totals.
+        scale = 1.0
+        if (("threads1_ms" in base) && ("threads1_ms" in a) && ("threads1_ms" in b)) {
+            tot = a["threads1_ms"] < b["threads1_ms"] ? a["threads1_ms"] : b["threads1_ms"]
+            if (base["threads1_ms"] > 0) scale = tot / base["threads1_ms"]
+            printf "  %-24s base %8.2f ms  now %8.2f ms  (load factor %.2fx, not gated)\n", \
+                "threads1_ms", base["threads1_ms"], tot, scale
+        }
+        bad = ""
+        for (i = 1; i <= n; i++) {
+            k = order[i]
+            if (k == "threads1_ms") continue
+            if (!(k in a) || !(k in b) || base[k] <= 0) continue
+            now = a[k] < b[k] ? a[k] : b[k]
+            pct = (now / (base[k] * scale) - 1) * 100
+            gated = (base[k] >= floor)
+            printf "  %-24s base %8.2f ms  now %8.2f ms  %+6.1f%% of share%s\n", \
+                k, base[k], now, pct, gated ? "" : "  (not gated)"
+            if (gated && pct > thr) bad = bad " " k
+        }
+        if (bad != "") {
+            print "bench_gate: FAIL — stage share regression >" thr "% in:" bad
+            exit 1
+        }
+        print "bench_gate: OK (no stage share regressed >" thr "%)"
+    }
+' "$tmp/base.txt" "$tmp/a.txt" "$tmp/b.txt"

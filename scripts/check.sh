@@ -7,6 +7,10 @@ cd "$(dirname "$0")/.."
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 
+# The criterion benches are not exercised by tests or clippy's default
+# profile; compile them so bench-only breakage can't land silently.
+cargo bench --workspace --no-run -q
+
 # Degradation-hardened solver modules must stay unwrap-free outside their
 # test blocks: a reintroduced unwrap() reopens the panic paths the fault
 # harness exists to close.
@@ -14,9 +18,11 @@ hardened=(
     crates/stats/src/kmm.rs
     crates/stats/src/ocsvm.rs
     crates/stats/src/qp/smo.rs
+    crates/stats/src/gram.rs
     crates/linalg/src/lu.rs
     crates/linalg/src/qr.rs
     crates/linalg/src/eigen.rs
+    crates/linalg/src/vecops.rs
 )
 if ! awk '
     FNR == 1 { in_tests = 0 }
@@ -33,6 +39,12 @@ fi
 
 if [[ "${1:-}" == "--tests" ]]; then
     cargo test --workspace -q
+    # Per-stage bench regression vs the committed BENCH_pipeline.json.
+    # Advisory here — wall-clock on a shared box is too noisy to block a
+    # commit on; run scripts/bench_gate.sh directly for an enforcing check.
+    if ! scripts/bench_gate.sh; then
+        echo "warning: bench_gate reported a stage regression (non-fatal in check.sh)" >&2
+    fi
 else
     # Fault-matrix smoke: the degradation pipeline must absorb every fault
     # class without panicking even in the quick gate.

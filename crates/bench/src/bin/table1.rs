@@ -3,23 +3,32 @@
 //! baseline row.
 //!
 //! ```text
-//! cargo run --release -p sidefp-bench --bin table1 [seed]
+//! cargo run --release -p sidefp-bench --bin table1 [seed] [--trace]
 //! ```
+//!
+//! `--trace` additionally dumps the run's structured trace events (stage
+//! boundaries, solver rescues, quarantine decisions) as JSONL to
+//! `target/table1_trace.jsonl`.
 
 use std::env;
 use std::process::ExitCode;
 
 use sidefp_core::stages::trojan_test;
-use sidefp_core::{ExperimentConfig, PaperExperiment};
+use sidefp_core::{ExperimentConfig, PaperExperiment, RunContext};
 use sidefp_stats::bootstrap::proportion_interval;
 use sidefp_stats::mmd_test::mmd_permutation_test;
 use sidefp_stats::roc::RocCurve;
 
 fn main() -> ExitCode {
-    let seed = env::args()
-        .nth(1)
-        .and_then(|s| s.parse::<u64>().ok())
-        .unwrap_or(ExperimentConfig::default().seed);
+    let mut seed = ExperimentConfig::default().seed;
+    let mut trace = false;
+    for arg in env::args().skip(1) {
+        if arg == "--trace" {
+            trace = true;
+        } else if let Ok(s) = arg.parse::<u64>() {
+            seed = s;
+        }
+    }
     let config = ExperimentConfig {
         seed,
         ..Default::default()
@@ -40,7 +49,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let artifacts = match sidefp_bench::timed("table1", || experiment.run_with_artifacts()) {
+    let ctx = RunContext::new();
+    let artifacts = match sidefp_bench::timed("table1", || experiment.run_in_context(&ctx)) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("experiment failed: {e}");
@@ -55,6 +65,20 @@ fn main() -> ExitCode {
     // visibly clean.
     if artifacts.result.health.is_clean() {
         println!("{}", artifacts.result.health.render());
+    }
+    println!("worker threads: {}", artifacts.result.resolved_threads);
+
+    if trace {
+        let path = "target/table1_trace.jsonl";
+        if std::fs::create_dir_all("target").is_ok()
+            && std::fs::write(path, ctx.trace_jsonl()).is_ok()
+        {
+            println!(
+                "Trace events written to {path} ({} events, {} dropped)",
+                ctx.trace_len(),
+                ctx.trace_dropped()
+            );
+        }
     }
 
     // ROC analysis: the full decision functions, beyond the operating point.

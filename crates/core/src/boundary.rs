@@ -58,7 +58,26 @@ impl TrustedBoundary {
         config: &BoundaryConfig,
         seed: u64,
     ) -> Result<Self, CoreError> {
-        let fit_start = std::time::Instant::now();
+        Self::fit_observed(name, trusted, config, seed, crate::timing::ambient())
+    }
+
+    /// [`TrustedBoundary::fit`] recording into `obs` instead of the
+    /// ambient compat context: the fit runs under a `boundary.{name}`
+    /// timing span (which also emits `stage_start`/`stage_end` trace
+    /// events) and any SMO rescue of the inner SVM solve lands on the
+    /// run's own solver-health counters.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TrustedBoundary::fit`].
+    pub fn fit_observed(
+        name: &'static str,
+        trusted: &Matrix,
+        config: &BoundaryConfig,
+        seed: u64,
+        obs: &sidefp_obs::RunContext,
+    ) -> Result<Self, CoreError> {
+        let _span = obs.span(format!("boundary.{name}"));
         let scaler = StandardScaler::fit(trusted)?;
         let z = scaler.transform(trusted)?;
 
@@ -80,18 +99,15 @@ impl TrustedBoundary {
             // honestly reflects the degenerate training data.
             None => Kernel::rbf_median_heuristic(&train).unwrap_or(Kernel::Rbf { gamma: 1.0 }),
         };
-        let svm = OneClassSvm::fit(
+        let svm = OneClassSvm::fit_observed(
             &train,
             &OneClassSvmConfig {
                 nu: config.nu,
                 kernel,
                 ..Default::default()
             },
+            obs,
         )?;
-        crate::timing::record(
-            &format!("boundary.{name}"),
-            fit_start.elapsed().as_secs_f64() * 1000.0,
-        );
         Ok(TrustedBoundary { name, scaler, svm })
     }
 

@@ -4,6 +4,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sidefp_linalg::Matrix;
+use sidefp_obs::RunContext;
 use sidefp_stats::Pca;
 
 use crate::config::ExperimentConfig;
@@ -88,19 +89,38 @@ impl PaperExperiment {
     ///
     /// Propagates any stage error.
     pub fn run_with_artifacts(&self) -> Result<RunArtifacts, CoreError> {
+        self.run_in_context(&RunContext::new())
+    }
+
+    /// Runs the experiment, recording its stage timings, solver-health
+    /// counters and trace events into `obs`.
+    ///
+    /// This is the observability entry point: every run owns its context,
+    /// so two experiments running concurrently in one process each report
+    /// exactly their own spans, rescues and quarantine decisions. The
+    /// context is *not* reset on entry — reusing one context across runs
+    /// accumulates; pass a fresh [`RunContext`] per run for per-run
+    /// isolation (as [`PaperExperiment::run_with_artifacts`] does).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stage error.
+    pub fn run_in_context(&self, obs: &RunContext) -> Result<RunArtifacts, CoreError> {
         let par = self.config.parallelism;
-        sidefp_parallel::with_threads(par.threads, || {
-            sidefp_parallel::with_determinism(par.deterministic, || self.run_stages())
+        // Clamp to the machine: oversubscribing the worker pool beyond the
+        // available cores only adds scheduling overhead.
+        let threads = par.effective_threads();
+        sidefp_parallel::with_threads(threads, || {
+            sidefp_parallel::with_determinism(par.deterministic, || self.run_stages(obs, threads))
         })
     }
 
     /// The stage pipeline itself; assumes the parallelism scope is set.
-    fn run_stages(&self) -> Result<RunArtifacts, CoreError> {
-        // Solver-health counters are process-global; reset them so this
-        // run's snapshot reports only its own rescues. The set of solver
-        // calls is a pure function of the config, so the snapshot is as
-        // deterministic as the rest of the result.
-        sidefp_stats::diagnostics::reset();
+    fn run_stages(
+        &self,
+        obs: &RunContext,
+        resolved_threads: usize,
+    ) -> Result<RunArtifacts, CoreError> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let bench = Testbench::random(
             &mut rng,
@@ -109,23 +129,29 @@ impl PaperExperiment {
         )?
         .with_meter(self.config.meter.clone());
 
-        let pre = PremanufacturingStage::run(&self.config, &bench, &mut rng)?;
-        let silicon = SiliconStage::run(&self.config, &bench, &pre, &mut rng)?;
+        let pre = PremanufacturingStage::run_observed(&self.config, &bench, &mut rng, obs)?;
+        let silicon = SiliconStage::run_observed(&self.config, &bench, &pre, &mut rng, obs)?;
 
-        let evaluate_timer = crate::timing::scoped("evaluate");
+        let evaluate_span = obs.span("evaluate");
         let table1 = trojan_test::evaluate_boundaries(
             &[&pre.b1, &pre.b2, &silicon.b3, &silicon.b4, &silicon.b5],
             &silicon.dutts,
         )?;
-        let (_, golden_row) =
-            golden_baseline::run(&silicon.dutts, &self.config.boundary, self.config.seed)?;
-        drop(evaluate_timer);
+        let (_, golden_row) = golden_baseline::run_observed(
+            &silicon.dutts,
+            &self.config.boundary,
+            self.config.seed,
+            obs,
+        )?;
+        drop(evaluate_span);
 
         let fig4 = self.build_fig4(&pre, &silicon, &mut rng)?;
 
+        // The set of solver calls is a pure function of the config, so the
+        // per-run snapshot is as deterministic as the rest of the result.
         let health = RunHealth {
             measurement: silicon.health.clone(),
-            solvers: sidefp_stats::diagnostics::snapshot(),
+            solvers: obs.solver_health(),
         };
 
         Ok(RunArtifacts {
@@ -134,6 +160,7 @@ impl PaperExperiment {
                 golden_baseline: golden_row,
                 fig4,
                 health,
+                resolved_threads,
             },
             premanufacturing: pre,
             silicon,

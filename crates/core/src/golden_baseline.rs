@@ -23,8 +23,23 @@ pub fn run(
     config: &BoundaryConfig,
     seed: u64,
 ) -> Result<(TrustedBoundary, Table1Row), CoreError> {
+    run_observed(population, config, seed, crate::timing::ambient())
+}
+
+/// [`run`] recording the `boundary.golden` fit span and any SVM rescues
+/// into `obs` instead of the ambient compat context.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_observed(
+    population: &DuttPopulation,
+    config: &BoundaryConfig,
+    seed: u64,
+    obs: &sidefp_obs::RunContext,
+) -> Result<(TrustedBoundary, Table1Row), CoreError> {
     let golden = population.free_fingerprints();
-    let boundary = TrustedBoundary::fit("golden", &golden, config, seed ^ 0x601d)?;
+    let boundary = TrustedBoundary::fit_observed("golden", &golden, config, seed ^ 0x601d, obs)?;
     let counts = boundary.evaluate(population)?;
     Ok((
         boundary,

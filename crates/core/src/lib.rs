@@ -58,4 +58,5 @@ pub use error::CoreError;
 pub use experiment::PaperExperiment;
 pub use health::{MeasurementHealth, QuarantineReason, QuarantinedDevice, RunHealth};
 pub use report::{ExperimentResult, Table1Row};
+pub use sidefp_obs::{RunContext, SolverHealth, TraceEvent, TraceRecord};
 pub use stages::sanitize::{sanitize_measurements, SanitizedMeasurements, SanitizerConfig};

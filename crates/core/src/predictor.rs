@@ -73,6 +73,25 @@ impl FingerprintPredictor {
         kind: &RegressorKind,
         space: RegressionSpace,
     ) -> Result<Self, CoreError> {
+        Self::fit_in_space_observed(pcms, fingerprints, kind, space, crate::timing::ambient())
+    }
+
+    /// [`FingerprintPredictor::fit_in_space`] recording into `obs` instead
+    /// of the ambient compat context: each per-column MARS fit emits a
+    /// `model_fit` trace event (its surviving basis count) and any
+    /// ridge-escalation rescue of the polynomial baseline lands on the
+    /// run's own solver-health counters.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FingerprintPredictor::fit_in_space`].
+    pub fn fit_in_space_observed(
+        pcms: &Matrix,
+        fingerprints: &Matrix,
+        kind: &RegressorKind,
+        space: RegressionSpace,
+        obs: &sidefp_obs::RunContext,
+    ) -> Result<Self, CoreError> {
         if pcms.nrows() != fingerprints.nrows() {
             return Err(CoreError::InvalidConfig {
                 name: "predictor data",
@@ -111,8 +130,11 @@ impl FingerprintPredictor {
         for j in 0..y_all.ncols() {
             let y = y_all.col(j);
             let model: Box<dyn Regressor> = match kind {
-                RegressorKind::Mars(cfg) => Box::new(Mars::fit(&x, &y, cfg)?),
-                RegressorKind::Ridge(cfg) => Box::new(PolynomialRidge::fit(&x, &y, cfg)?),
+                RegressorKind::Mars(cfg) => Box::new(Mars::fit_observed(&x, &y, cfg, obs)?),
+                RegressorKind::Ridge(cfg) => {
+                    Box::new(PolynomialRidge::fit_observed(&x, &y, cfg, obs)?)
+                }
+                // k-NN has no iterative solver, hence nothing to observe.
                 RegressorKind::Knn(cfg) => Box::new(KnnRegressor::fit(&x, &y, cfg)?),
             };
             models.push(model);

@@ -61,6 +61,10 @@ pub struct ExperimentResult {
     /// Degradation report: what the run repaired, quarantined or rescued
     /// (all-zero for a healthy run).
     pub health: RunHealth,
+    /// Worker threads the run actually used: the configured parallelism
+    /// clamped to the machine (see
+    /// [`crate::ParallelismConfig::effective_threads`]).
+    pub resolved_threads: usize,
 }
 
 impl ExperimentResult {
@@ -154,6 +158,7 @@ impl ExperimentResult {
             out.push_str(&self.health.render());
             out.push_str("```\n");
         }
+        out.push_str(&format!("\n_worker threads: {}_\n", self.resolved_threads));
         out
     }
 }
@@ -199,6 +204,7 @@ mod tests {
             },
             fig4: vec![],
             health: RunHealth::default(),
+            resolved_threads: 1,
         };
         let md = result.render_markdown();
         assert!(md.contains("| B5 | 0/80 | 3/40 |"));
@@ -228,6 +234,7 @@ mod tests {
             },
             fig4: vec![],
             health,
+            resolved_threads: 1,
         };
         let text = result.render_table1();
         assert!(text.contains("injected faults        7"));
@@ -255,6 +262,7 @@ mod tests {
             },
             fig4: vec![],
             health: RunHealth::default(),
+            resolved_threads: 1,
         };
         let rendered = result.render_table1();
         assert!(rendered.contains("B1"));

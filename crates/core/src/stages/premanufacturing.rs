@@ -14,12 +14,13 @@ use sidefp_silicon::foundry::Foundry;
 use sidefp_silicon::monte_carlo::MonteCarloEngine;
 use sidefp_stats::kde::AdaptiveKde;
 
+use sidefp_obs::RunContext;
+
 use crate::boundary::TrustedBoundary;
 use crate::config::ExperimentConfig;
 use crate::dataset::Dataset;
 use crate::predictor::FingerprintPredictor;
 use crate::stages::Testbench;
-use crate::timing;
 use crate::CoreError;
 
 /// Products of the pre-manufacturing stage.
@@ -50,6 +51,23 @@ impl PremanufacturingStage {
         bench: &Testbench,
         rng: &mut R,
     ) -> Result<Self, CoreError> {
+        Self::run_observed(config, bench, rng, crate::timing::ambient())
+    }
+
+    /// [`PremanufacturingStage::run`] recording into `obs` instead of the
+    /// ambient compat context: the `mc`/`regression`/`kde.s2` spans, the
+    /// B1/B2 boundary fits and every solver rescue land on the run's own
+    /// timings, counters and trace ring.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PremanufacturingStage::run`].
+    pub fn run_observed<R: Rng>(
+        config: &ExperimentConfig,
+        bench: &Testbench,
+        rng: &mut R,
+        obs: &RunContext,
+    ) -> Result<Self, CoreError> {
         // The trusted simulation model: the foundry as the Spice deck
         // remembers it — zero operating-point shift and (typically)
         // understated corner spread.
@@ -63,7 +81,7 @@ impl PremanufacturingStage {
         // Parallel fan-out: each Monte Carlo sample runs on its own RNG
         // stream forked from a seed drawn here, so the stage stays a pure
         // function of the caller's rng state at any thread count.
-        let mc_timer = timing::scoped("mc");
+        let mc_span = obs.span("mc");
         let (_dies, pcms, fingerprints) = engine.run_paired_streamed(
             rng.next_u64(),
             |die, rng| suite.measure(die.process(), rng),
@@ -72,32 +90,40 @@ impl PremanufacturingStage {
                 meter.fingerprint(&device, &plan, rng)
             },
         )?;
-        drop(mc_timer);
+        drop(mc_span);
 
         // Regression bank g_j : m_p → m_j.
-        let regression_timer = timing::scoped("regression");
-        let predictor = FingerprintPredictor::fit_in_space(
+        let regression_span = obs.span("regression");
+        let predictor = FingerprintPredictor::fit_in_space_observed(
             &pcms,
             &fingerprints,
             &config.regressor,
             config.regression_space,
+            obs,
         )?;
-        drop(regression_timer);
+        drop(regression_span);
 
         // B1 straight from the simulated fingerprints.
-        let b1 = TrustedBoundary::fit("B1", &fingerprints, &config.boundary, config.seed ^ 0xb1)?;
+        let b1 = TrustedBoundary::fit_observed(
+            "B1",
+            &fingerprints,
+            &config.boundary,
+            config.seed ^ 0xb1,
+            obs,
+        )?;
 
         // S2: adaptive-KDE tail enhancement (sampled on per-row parallel
         // RNG streams), then B2.
-        let kde_timer = timing::scoped("kde.s2");
-        let kde = AdaptiveKde::fit(&fingerprints, &config.kde)?;
+        let kde_span = obs.span("kde.s2");
+        let kde = AdaptiveKde::fit_observed(&fingerprints, &config.kde, obs)?;
         let s2_matrix = kde.sample_matrix_streamed(rng.next_u64(), config.kde_samples);
-        drop(kde_timer);
-        let b2 = TrustedBoundary::fit(
+        drop(kde_span);
+        let b2 = TrustedBoundary::fit_observed(
             "B2",
             &s2_matrix,
             &config.enhanced_boundary,
             config.seed ^ 0xb2,
+            obs,
         )?;
 
         Ok(PremanufacturingStage {

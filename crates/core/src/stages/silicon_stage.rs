@@ -20,13 +20,14 @@ use sidefp_silicon::wafer::WaferMap;
 use sidefp_stats::kde::AdaptiveKde;
 use sidefp_stats::{DetectionLabel, KernelMeanMatching};
 
+use sidefp_obs::{RunContext, TraceEvent};
+
 use crate::boundary::TrustedBoundary;
 use crate::config::{ExperimentConfig, RegressionSpace};
 use crate::dataset::{Dataset, DuttPopulation};
 use crate::health::MeasurementHealth;
 use crate::stages::sanitize::sanitize_measurements;
 use crate::stages::{PremanufacturingStage, Testbench};
-use crate::timing;
 use crate::CoreError;
 
 /// Products of the silicon measurement stage.
@@ -78,13 +79,37 @@ impl SiliconStage {
         pre: &PremanufacturingStage,
         rng: &mut R,
     ) -> Result<Self, CoreError> {
-        let measure_timer = timing::scoped("measure");
-        let (dutts, health) = Self::fabricate_and_measure(config, bench, rng)?;
-        drop(measure_timer);
+        Self::run_observed(config, bench, pre, rng, crate::timing::ambient())
+    }
+
+    /// [`SiliconStage::run`] recording into `obs` instead of the ambient
+    /// compat context: the `measure`/`kmm`/`kde.s5` spans, the B3–B5
+    /// boundary fits, every solver rescue and each quarantined device land
+    /// on the run's own timings, counters and trace ring.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SiliconStage::run`].
+    pub fn run_observed<R: Rng>(
+        config: &ExperimentConfig,
+        bench: &Testbench,
+        pre: &PremanufacturingStage,
+        rng: &mut R,
+        obs: &RunContext,
+    ) -> Result<Self, CoreError> {
+        let measure_span = obs.span("measure");
+        let (dutts, health) = Self::fabricate_and_measure(config, bench, rng, obs)?;
+        drop(measure_span);
 
         // S3: predict golden fingerprints from the silicon PCMs.
         let s3_matrix = pre.predictor.predict_rows(dutts.pcms())?;
-        let b3 = TrustedBoundary::fit("B3", &s3_matrix, &config.boundary, config.seed ^ 0xb3)?;
+        let b3 = TrustedBoundary::fit_observed(
+            "B3",
+            &s3_matrix,
+            &config.boundary,
+            config.seed ^ 0xb3,
+            obs,
+        )?;
 
         // S4: calibrate the simulated PCM population to the silicon
         // operating point via the iterated kernel mean shift, then push
@@ -96,15 +121,16 @@ impl SiliconStage {
             RegressionSpace::Linear => (pre.pcms.clone(), dutts.pcms().clone()),
             RegressionSpace::Log => (log_matrix(&pre.pcms)?, log_matrix(dutts.pcms())?),
         };
-        let kmm_timer = timing::scoped("kmm");
-        let shifted = KernelMeanMatching::mean_shift_population(
+        let kmm_span = obs.span("kmm");
+        let shifted = KernelMeanMatching::mean_shift_population_observed(
             &sim_pcms,
             &si_pcms,
             &config.kmm,
             config.kmm_iterations,
+            obs,
         )?;
-        let kmm = KernelMeanMatching::fit(&shifted, &si_pcms, &config.kmm)?;
-        drop(kmm_timer);
+        let kmm = KernelMeanMatching::fit_observed(&shifted, &si_pcms, &config.kmm, obs)?;
+        drop(kmm_span);
         let shifted_pcms = match config.regression_space {
             RegressionSpace::Linear => shifted,
             RegressionSpace::Log => Matrix::from_fn(shifted.nrows(), shifted.ncols(), |i, j| {
@@ -112,19 +138,26 @@ impl SiliconStage {
             }),
         };
         let s4_matrix = pre.predictor.predict_rows(&shifted_pcms)?;
-        let b4 = TrustedBoundary::fit("B4", &s4_matrix, &config.boundary, config.seed ^ 0xb4)?;
+        let b4 = TrustedBoundary::fit_observed(
+            "B4",
+            &s4_matrix,
+            &config.boundary,
+            config.seed ^ 0xb4,
+            obs,
+        )?;
 
         // S5: KDE tail enhancement of S4, sampled on per-row parallel
         // RNG streams.
-        let kde_timer = timing::scoped("kde.s5");
-        let kde = AdaptiveKde::fit(&s4_matrix, &config.kde)?;
+        let kde_span = obs.span("kde.s5");
+        let kde = AdaptiveKde::fit_observed(&s4_matrix, &config.kde, obs)?;
         let s5_matrix = kde.sample_matrix_streamed(rng.next_u64(), config.kde_samples);
-        drop(kde_timer);
-        let b5 = TrustedBoundary::fit(
+        drop(kde_span);
+        let b5 = TrustedBoundary::fit_observed(
             "B5",
             &s5_matrix,
             &config.enhanced_boundary,
             config.seed ^ 0xb5,
+            obs,
         )?;
 
         Ok(SiliconStage {
@@ -150,6 +183,7 @@ impl SiliconStage {
         config: &ExperimentConfig,
         bench: &Testbench,
         rng: &mut R,
+        obs: &RunContext,
     ) -> Result<(DuttPopulation, MeasurementHealth), CoreError> {
         let foundry = Foundry::with_shift(config.process_shift);
         let map = WaferMap::grid(8);
@@ -253,6 +287,16 @@ impl SiliconStage {
         let sanitized = sanitize_measurements(&fingerprints, &pcms, &config.sanitizer)?;
         let mut health = sanitized.health;
         health.injected_faults = injected;
+        // Quarantine decisions are load-bearing for the result (whole
+        // devices vanish from every downstream dataset); pin each one in
+        // the trace. The sanitizer is sequential and deterministic, so the
+        // events are too.
+        for q in &health.quarantined {
+            obs.trace(TraceEvent::Quarantine {
+                device: q.index,
+                reason: q.reason.to_string(),
+            });
+        }
 
         // Quarantine drops whole devices: every per-device side table must
         // shrink with the measurement matrices.

@@ -1,62 +1,67 @@
-//! Process-wide per-stage wall-clock accounting.
+//! Deprecated process-global shim over the per-run stage timings.
 //!
-//! The perf harness needs to know *where* a pipeline run spends its time
-//! (Monte Carlo, regression fit, KMM, each OCSVM boundary fit, KDE), not
-//! just the end-to-end wall clock. Stages record into a process-global
-//! table keyed by stage name; the harness resets the table before a run
-//! and snapshots it afterwards.
+//! Per-stage wall-clock accounting now lives in a per-run
+//! [`sidefp_obs::RunContext`]: [`crate::PaperExperiment::run_in_context`]
+//! records every stage span (Monte Carlo, regression fit, KMM, each OCSVM
+//! boundary fit, KDE, evaluation) into the context the caller supplies, so
+//! two concurrent runs in one process each keep exactly their own timing
+//! table — and the perf harness reads its breakdown from the run's own
+//! context instead of a process-global registry. Spans also emit
+//! `stage_start`/`stage_end` trace events; see the `sidefp_obs` crate docs
+//! for the ownership model and the JSONL trace schema.
 //!
-//! Recording is a single mutex-guarded map insert per stage — a dozen
-//! events per experiment run, so the overhead is unmeasurable next to the
-//! stages themselves. Like [`sidefp_stats::diagnostics`], the table is
-//! process-global: one experiment per process is the supported pattern
-//! for the binaries that read it.
+//! The free functions below are thin shims over one private **ambient**
+//! context, kept for one release so out-of-tree callers of the old
+//! process-global API keep compiling. They inherit the old API's sharing
+//! caveat (concurrent users see each other's timings), no longer observe
+//! pipeline runs (those record into their own contexts), and will be
+//! removed; new code should pass a [`RunContext`] explicitly.
 
-use std::collections::BTreeMap;
-use std::sync::Mutex;
 use std::time::Instant;
 
-static STAGES: Mutex<BTreeMap<String, f64>> = Mutex::new(BTreeMap::new());
+use sidefp_obs::RunContext;
 
-/// Clears all recorded stage timings (call before a timed run).
+/// The process-wide ambient compat context, shared with
+/// `sidefp_stats::diagnostics` so the old "reset, run, snapshot" pattern
+/// sees timings and solver counters on one context.
+pub(crate) fn ambient() -> &'static RunContext {
+    sidefp_stats::diagnostics::ambient()
+}
+
+/// Clears all ambient stage timings.
+#[deprecated(
+    since = "0.5.0",
+    note = "create a per-run sidefp_obs::RunContext instead of resetting process-global state"
+)]
 pub fn reset() {
-    if let Ok(mut stages) = STAGES.lock() {
-        stages.clear();
-    }
+    ambient().reset();
 }
 
-/// Adds `ms` to the accumulated wall-clock for `name`.
-///
-/// Stages that run more than once per experiment (e.g. KDE enhancement in
-/// both the pre-manufacturing and silicon stages use distinct names, but
-/// repeated KMM refinement rounds share one) accumulate.
+/// Adds `ms` to the ambient wall-clock accumulator for `name`.
+#[deprecated(since = "0.5.0", note = "use RunContext::record_timing")]
 pub fn record(name: &str, ms: f64) {
-    if let Ok(mut stages) = STAGES.lock() {
-        *stages.entry(name.to_owned()).or_insert(0.0) += ms;
-    }
+    ambient().record_timing(name, ms);
 }
 
-/// Returns the recorded stage timings, sorted by stage name.
+/// Returns the ambient stage timings, sorted by stage name.
+#[deprecated(
+    since = "0.5.0",
+    note = "read RunContext::timing_snapshot() on the run's own context"
+)]
 pub fn snapshot() -> Vec<(String, f64)> {
-    STAGES
-        .lock()
-        .map(|stages| stages.iter().map(|(k, v)| (k.clone(), *v)).collect())
-        .unwrap_or_default()
+    ambient().timing_snapshot()
 }
 
-/// RAII guard that records the elapsed time for a stage on drop.
-///
-/// ```
-/// let _t = sidefp_core::timing::scoped("mc");
-/// // ... stage body ...
-/// ```
+/// RAII guard that records the elapsed time for a stage on drop (into the
+/// ambient context).
 pub struct StageTimer {
     name: &'static str,
     start: Instant,
 }
 
-/// Starts timing a stage; the elapsed time is recorded when the returned
-/// guard is dropped.
+/// Starts timing a stage against the ambient context; prefer
+/// [`RunContext::span`], which records into the run that owns the stage.
+#[deprecated(since = "0.5.0", note = "use RunContext::span")]
 pub fn scoped(name: &'static str) -> StageTimer {
     StageTimer {
         name,
@@ -66,11 +71,12 @@ pub fn scoped(name: &'static str) -> StageTimer {
 
 impl Drop for StageTimer {
     fn drop(&mut self) {
-        record(self.name, self.start.elapsed().as_secs_f64() * 1000.0);
+        ambient().record_timing(self.name, self.start.elapsed().as_secs_f64() * 1000.0);
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

@@ -1,137 +1,111 @@
-//! Process-wide solver-health counters.
+//! Deprecated process-global shim over the per-run solver-health counters.
 //!
-//! The degradation-aware pipeline never papers over a numerical rescue
-//! silently: every ridge-escalated factorization, relaxed-tolerance solver
-//! acceptance and degenerate-bandwidth floor increments a counter here, and
-//! the experiment surfaces the totals through its `RunHealth` report.
+//! Solver health now lives in a per-run [`sidefp_obs::RunContext`]: the
+//! experiment creates one context per run and threads it through every
+//! instrumented solver via the `*_observed` entry points (for example
+//! [`crate::OneClassSvm::fit_observed`]), so two concurrent runs in one
+//! process each report exactly their own rescues. See the `sidefp_obs`
+//! crate docs for the ownership model.
 //!
-//! Counters are plain atomics: increments are commutative and the parallel
-//! hot paths perform a *deterministic* set of solver calls for a given seed,
-//! so a snapshot is bit-identical at any worker-pool size. The counters are
-//! process-global — concurrent experiments in one process share them, which
-//! is fine for the CLI binaries (one experiment per process) and for the
-//! integration tests (each test binary is its own process and serializes
-//! the runs it asserts health counters on).
+//! The free functions below are thin shims over one private **ambient**
+//! context, kept for one release so out-of-tree callers of the old
+//! process-global API keep compiling. They inherit the old API's sharing
+//! caveat (concurrent users see each other's events) and will be removed;
+//! new code should pass a [`RunContext`] explicitly. Context-free solver
+//! entry points (for example [`crate::OneClassSvm::fit`]) record into the
+//! same ambient context, which keeps the old
+//! `reset()`/`fit(..)`/`snapshot()` pattern working unchanged.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
-static CHOLESKY_RETRIES: AtomicUsize = AtomicUsize::new(0);
-static LU_RETRIES: AtomicUsize = AtomicUsize::new(0);
-static SMO_RELAXED: AtomicUsize = AtomicUsize::new(0);
-static SMO_NONCONVERGED: AtomicUsize = AtomicUsize::new(0);
-static QP_RELAXED: AtomicUsize = AtomicUsize::new(0);
-static QP_NONCONVERGED: AtomicUsize = AtomicUsize::new(0);
-static KDE_PILOT_FLOORS: AtomicUsize = AtomicUsize::new(0);
+use sidefp_obs::RunContext;
+pub use sidefp_obs::SolverHealth;
 
-/// Snapshot of the solver-health counters — the "fallbacks taken" half of
-/// the pipeline's `RunHealth` report.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct SolverHealth {
-    /// Cholesky factorizations that needed ridge-jitter escalation.
-    pub cholesky_retries: usize,
-    /// LU factorizations that needed ridge-jitter escalation.
-    pub lu_retries: usize,
-    /// SMO runs accepted under the relaxed (100×) KKT tolerance.
-    pub smo_relaxed: usize,
-    /// SMO runs that missed even the relaxed tolerance (best-effort used).
-    pub smo_nonconverged: usize,
-    /// Projected-gradient QP runs accepted under the relaxed tolerance.
-    pub qp_relaxed: usize,
-    /// Projected-gradient QP runs that missed even the relaxed tolerance.
-    pub qp_nonconverged: usize,
-    /// KDE pilot densities floored to keep local bandwidths defined.
-    pub kde_pilot_floors: usize,
+// Allowlisted process-global state: the one ambient context backing this
+// deprecated shim layer (see scripts/check.sh's static-state gate).
+static AMBIENT: OnceLock<RunContext> = OnceLock::new();
+
+/// The process-wide ambient context behind the deprecated free functions
+/// and the context-free solver entry points.
+///
+/// Hidden rather than private so the sibling `sidefp-core` compat shims
+/// can share this single ambient context (one per process, so the old
+/// "reset, run, snapshot" pattern sees timings and solver counters
+/// together). Out-of-tree code should create a [`RunContext`] instead.
+#[doc(hidden)]
+pub fn ambient() -> &'static RunContext {
+    AMBIENT.get_or_init(RunContext::new)
 }
 
-impl SolverHealth {
-    /// `true` if no solver needed any rescue.
-    pub fn is_clean(&self) -> bool {
-        *self == SolverHealth::default()
-    }
-
-    /// Total number of rescue events.
-    pub fn total(&self) -> usize {
-        self.cholesky_retries
-            + self.lu_retries
-            + self.smo_relaxed
-            + self.smo_nonconverged
-            + self.qp_relaxed
-            + self.qp_nonconverged
-            + self.kde_pilot_floors
-    }
-}
-
-/// Resets all counters to zero (call at the start of an experiment).
+/// Resets the ambient counters to zero.
+#[deprecated(
+    since = "0.5.0",
+    note = "create a per-run sidefp_obs::RunContext instead of resetting process-global state"
+)]
 pub fn reset() {
-    for c in [
-        &CHOLESKY_RETRIES,
-        &LU_RETRIES,
-        &SMO_RELAXED,
-        &SMO_NONCONVERGED,
-        &QP_RELAXED,
-        &QP_NONCONVERGED,
-        &KDE_PILOT_FLOORS,
-    ] {
-        c.store(0, Ordering::Relaxed);
-    }
+    ambient().reset();
 }
 
-/// Reads the current counter values.
+/// Reads the ambient counter values.
+#[deprecated(
+    since = "0.5.0",
+    note = "read RunContext::solver_health() on the run's own context"
+)]
 pub fn snapshot() -> SolverHealth {
-    SolverHealth {
-        cholesky_retries: CHOLESKY_RETRIES.load(Ordering::Relaxed),
-        lu_retries: LU_RETRIES.load(Ordering::Relaxed),
-        smo_relaxed: SMO_RELAXED.load(Ordering::Relaxed),
-        smo_nonconverged: SMO_NONCONVERGED.load(Ordering::Relaxed),
-        qp_relaxed: QP_RELAXED.load(Ordering::Relaxed),
-        qp_nonconverged: QP_NONCONVERGED.load(Ordering::Relaxed),
-        kde_pilot_floors: KDE_PILOT_FLOORS.load(Ordering::Relaxed),
-    }
+    ambient().solver_health()
 }
 
 /// Records `n` ridge-escalation retries of a Cholesky factorization.
+#[deprecated(since = "0.5.0", note = "use RunContext::record_cholesky_retries")]
 pub fn record_cholesky_retries(n: usize) {
-    CHOLESKY_RETRIES.fetch_add(n, Ordering::Relaxed);
+    ambient().record_cholesky_retries(n);
 }
 
 /// Records `n` ridge-escalation retries of an LU factorization.
+#[deprecated(since = "0.5.0", note = "use RunContext::record_lu_retries")]
 pub fn record_lu_retries(n: usize) {
-    LU_RETRIES.fetch_add(n, Ordering::Relaxed);
+    ambient().record_lu_retries(n);
 }
 
 /// Records an SMO solution accepted under the relaxed tolerance.
+#[deprecated(since = "0.5.0", note = "use RunContext::record_smo_relaxed")]
 pub fn record_smo_relaxed() {
-    SMO_RELAXED.fetch_add(1, Ordering::Relaxed);
+    ambient().record_smo_relaxed();
 }
 
 /// Records an SMO solution that missed even the relaxed tolerance.
+#[deprecated(since = "0.5.0", note = "use RunContext::record_smo_nonconverged")]
 pub fn record_smo_nonconverged() {
-    SMO_NONCONVERGED.fetch_add(1, Ordering::Relaxed);
+    ambient().record_smo_nonconverged();
 }
 
 /// Records a projected-gradient QP accepted under the relaxed tolerance.
+#[deprecated(since = "0.5.0", note = "use RunContext::record_qp_relaxed")]
 pub fn record_qp_relaxed() {
-    QP_RELAXED.fetch_add(1, Ordering::Relaxed);
+    ambient().record_qp_relaxed();
 }
 
 /// Records a projected-gradient QP that missed even the relaxed tolerance.
+#[deprecated(since = "0.5.0", note = "use RunContext::record_qp_nonconverged")]
 pub fn record_qp_nonconverged() {
-    QP_NONCONVERGED.fetch_add(1, Ordering::Relaxed);
+    ambient().record_qp_nonconverged();
 }
 
 /// Records `n` pilot densities floored during a KDE fit.
+#[deprecated(since = "0.5.0", note = "use RunContext::record_kde_pilot_floors")]
 pub fn record_kde_pilot_floors(n: usize) {
-    KDE_PILOT_FLOORS.fetch_add(n, Ordering::Relaxed);
+    ambient().record_kde_pilot_floors(n);
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
     #[test]
     fn snapshot_reflects_recorded_events() {
-        // Other unit tests in this binary may touch the counters; assert on
-        // deltas rather than absolutes.
+        // Other unit tests in this binary may touch the ambient context;
+        // assert on deltas rather than absolutes.
         let before = snapshot();
         record_cholesky_retries(2);
         record_smo_relaxed();

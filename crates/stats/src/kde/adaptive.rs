@@ -2,7 +2,7 @@ use rand::{Rng, SeedableRng};
 use sidefp_linalg::{Matrix, Workspace};
 
 use crate::kde::Epanechnikov;
-use crate::{check_finite_matrix, descriptive, diagnostics, StandardScaler, StatsError};
+use crate::{check_finite_matrix, descriptive, StandardScaler, StatsError};
 
 /// Squared distance `‖(x − row)/h‖²` capped at the Epanechnikov support
 /// boundary: once the partial sum reaches 1 the kernel is exactly zero no
@@ -81,6 +81,21 @@ impl AdaptiveKde {
     /// - [`StatsError::DegenerateData`] when every pilot density vanishes
     ///   (all local bandwidths would be undefined).
     pub fn fit(data: &Matrix, config: &KdeConfig) -> Result<Self, StatsError> {
+        Self::fit_observed(data, config, crate::diagnostics::ambient())
+    }
+
+    /// [`AdaptiveKde::fit`] reporting any floored pilot densities into
+    /// `obs` (a counter bump plus a `rescue` trace event) instead of the
+    /// ambient diagnostics context.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AdaptiveKde::fit`].
+    pub fn fit_observed(
+        data: &Matrix,
+        config: &KdeConfig,
+        obs: &sidefp_obs::RunContext,
+    ) -> Result<Self, StatsError> {
         if data.nrows() < 2 {
             return Err(StatsError::InsufficientData {
                 needed: 2,
@@ -138,7 +153,8 @@ impl AdaptiveKde {
         if degenerate > 0 {
             // Previously a silent repair; surface it through RunHealth so a
             // too-small bandwidth is visible in the experiment report.
-            diagnostics::record_kde_pilot_floors(degenerate);
+            obs.record_kde_pilot_floors(degenerate);
+            obs.trace_rescue("kde", "pilot_floor", degenerate);
         }
         let floored: Vec<f64> = pilot.iter().map(|p| p.max(floor)).collect();
 
@@ -464,9 +480,13 @@ mod tests {
             bandwidth: Some(1e-6),
             alpha: 0.5,
         };
-        let kde = AdaptiveKde::fit(&data, &cfg).unwrap();
+        let obs = sidefp_obs::RunContext::new();
+        let kde = AdaptiveKde::fit_observed(&data, &cfg, &obs).unwrap();
         assert!(kde.lambdas().iter().all(|l| l.is_finite() && *l > 0.0));
-        let _ = diagnostics::snapshot(); // counter readable without poisoning
+        // Every pilot keeps its own kernel term, so the min/max pilot ratio
+        // is bounded by m and the 1e-9 floor cannot fire on this data; the
+        // per-run counter stays readable and exactly zero.
+        assert_eq!(obs.solver_health().kde_pilot_floors, 0);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 use rand::Rng;
 use sidefp_linalg::Matrix;
+use sidefp_obs::RunContext;
 
 use crate::qp::{solve_box_band_detailed, BoxBandConfig};
 use crate::{
@@ -75,7 +76,22 @@ pub struct KernelMeanMatching {
 }
 
 impl KernelMeanMatching {
-    /// Fits importance weights matching `train` to `test`.
+    /// Fits importance weights matching `train` to `test`, reporting any
+    /// QP rescue into the process-wide ambient diagnostics context.
+    ///
+    /// Pipeline code should prefer [`KernelMeanMatching::fit_observed`],
+    /// which reports into the run's own [`RunContext`].
+    ///
+    /// # Errors
+    ///
+    /// See [`KernelMeanMatching::fit_observed`].
+    pub fn fit(train: &Matrix, test: &Matrix, config: &KmmConfig) -> Result<Self, StatsError> {
+        Self::fit_observed(train, test, config, diagnostics::ambient())
+    }
+
+    /// Fits importance weights matching `train` to `test`, reporting any
+    /// relaxed-tolerance QP acceptance or non-convergence into `obs` (a
+    /// counter bump plus a `rescue` trace event).
     ///
     /// # Errors
     ///
@@ -85,7 +101,12 @@ impl KernelMeanMatching {
     ///   columns or contain non-finite entries.
     /// - [`StatsError::DimensionMismatch`] if the column counts differ.
     /// - Parameter and solver errors from the underlying QP.
-    pub fn fit(train: &Matrix, test: &Matrix, config: &KmmConfig) -> Result<Self, StatsError> {
+    pub fn fit_observed(
+        train: &Matrix,
+        test: &Matrix,
+        config: &KmmConfig,
+        obs: &RunContext,
+    ) -> Result<Self, StatsError> {
         let ntr = train.nrows();
         let nte = test.nrows();
         if ntr < 2 {
@@ -149,9 +170,11 @@ impl KernelMeanMatching {
             // Best-effort weights: record how rough the final step still was
             // so RunHealth surfaces the fallback instead of hiding it.
             if sol.final_delta <= QP_RELAXED_FACTOR * qp_cfg.tol {
-                diagnostics::record_qp_relaxed();
+                obs.record_qp_relaxed();
+                obs.trace_rescue("qp", "relaxed", 1);
             } else {
-                diagnostics::record_qp_nonconverged();
+                obs.record_qp_nonconverged();
+                obs.trace_rescue("qp", "nonconverged", 1);
             }
         }
         let weights = sol.beta;
@@ -247,6 +270,24 @@ impl KernelMeanMatching {
         config: &KmmConfig,
         max_iterations: usize,
     ) -> Result<Matrix, StatsError> {
+        Self::mean_shift_population_observed(train, test, config, max_iterations, {
+            diagnostics::ambient()
+        })
+    }
+
+    /// [`KernelMeanMatching::mean_shift_population`] reporting each
+    /// iteration's QP rescues into `obs` instead of the ambient context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates KMM fitting errors.
+    pub fn mean_shift_population_observed(
+        train: &Matrix,
+        test: &Matrix,
+        config: &KmmConfig,
+        max_iterations: usize,
+        obs: &RunContext,
+    ) -> Result<Matrix, StatsError> {
         let mut shifted = train.clone();
         // Convergence scale: translation below 2% of the per-column test
         // spread stops the iteration.
@@ -254,7 +295,7 @@ impl KernelMeanMatching {
             .map(|j| descriptive::std_dev(&test.col(j)).unwrap_or(0.0).max(1e-12))
             .collect();
         for _ in 0..max_iterations {
-            let kmm = KernelMeanMatching::fit(&shifted, test, config)?;
+            let kmm = KernelMeanMatching::fit_observed(&shifted, test, config, obs)?;
             let weighted = kmm.weighted_train_mean()?;
             let raw = shifted.column_means();
             let delta: Vec<f64> = weighted.iter().zip(&raw).map(|(w, r)| w - r).collect();
@@ -481,17 +522,42 @@ mod tests {
     #[test]
     fn exhausted_qp_budget_records_fallback_not_error() {
         let (tr, te) = shifted_sets(10);
+        let obs = RunContext::new();
+        let cfg = KmmConfig {
+            max_iter: 1,
+            ..Default::default()
+        };
+        let kmm = KernelMeanMatching::fit_observed(&tr, &te, &cfg, &obs).unwrap();
+        assert_eq!(kmm.weights().len(), tr.nrows());
+        let health = obs.solver_health();
+        assert!(
+            health.qp_relaxed + health.qp_nonconverged > 0,
+            "one-iteration QP budget must be recorded as a fallback"
+        );
+        // The fallback also leaves a structured trace event.
+        assert!(obs
+            .trace_events()
+            .iter()
+            .any(|r| matches!(r.event, sidefp_obs::TraceEvent::Rescue { solver: "qp", .. })));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn context_free_fit_records_into_ambient_shim() {
+        // The one-release compatibility contract: the old
+        // reset()/fit()/snapshot() pattern keeps working via the ambient
+        // context. Deltas, not absolutes — other tests share the ambient.
+        let (tr, te) = shifted_sets(11);
         let before = diagnostics::snapshot();
         let cfg = KmmConfig {
             max_iter: 1,
             ..Default::default()
         };
-        let kmm = KernelMeanMatching::fit(&tr, &te, &cfg).unwrap();
-        assert_eq!(kmm.weights().len(), tr.nrows());
+        KernelMeanMatching::fit(&tr, &te, &cfg).unwrap();
         let after = diagnostics::snapshot();
         assert!(
             after.qp_relaxed + after.qp_nonconverged > before.qp_relaxed + before.qp_nonconverged,
-            "one-iteration QP budget must be recorded as a fallback"
+            "ambient-backed fit must keep recording fallbacks"
         );
     }
 

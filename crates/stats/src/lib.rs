@@ -72,6 +72,8 @@ mod scaler;
 
 pub use diagnostics::SolverHealth;
 pub use error::StatsError;
+// Re-export the per-run observability handle the `*_observed` solver entry
+// points take, so downstream crates need no direct sidefp-obs dependency.
 pub use gram::{pairwise_squared_distances, GramMatrix};
 pub use kernel::Kernel;
 pub use kernel_cache::KernelRowCache;
@@ -82,6 +84,7 @@ pub use ocsvm::{OneClassSvm, OneClassSvmConfig};
 pub use pca::Pca;
 pub use regression::Regressor;
 pub use scaler::StandardScaler;
+pub use sidefp_obs::RunContext;
 
 // Re-export the linalg error so `?` conversions read naturally downstream.
 pub use sidefp_linalg::LinalgError;

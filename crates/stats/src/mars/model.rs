@@ -58,6 +58,26 @@ impl Mars {
     /// - [`StatsError::InvalidParameter`] for a zero `max_terms` /
     ///   `max_interaction` / `max_knots` or negative penalty.
     pub fn fit(x: &Matrix, y: &[f64], config: &MarsConfig) -> Result<Self, StatsError> {
+        Self::fit_observed(x, y, config, crate::diagnostics::ambient())
+    }
+
+    /// [`Mars::fit`] reporting the fitted model shape as a trace event into
+    /// `obs` instead of the ambient diagnostics context.
+    ///
+    /// MARS solves its least-squares subproblems by QR, so there are no
+    /// ridge-escalation rescues to count; the observability hook records a
+    /// deterministic `model_fit` trace event carrying the surviving basis
+    /// count, which pins the pruned model shape in the run's trace log.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Mars::fit`].
+    pub fn fit_observed(
+        x: &Matrix,
+        y: &[f64],
+        config: &MarsConfig,
+        obs: &sidefp_obs::RunContext,
+    ) -> Result<Self, StatsError> {
         let n = x.nrows();
         if y.len() != n {
             return Err(StatsError::DimensionMismatch {
@@ -233,12 +253,17 @@ impl Mars {
             .collect();
         let coefficients = Self::least_squares(&cols, y)?;
 
-        Ok(Mars {
+        let model = Mars {
             bases: final_bases,
             coefficients,
             input_dim: x.ncols(),
             gcv: best_gcv,
-        })
+        };
+        obs.trace(sidefp_obs::TraceEvent::ModelFit {
+            model: "mars",
+            detail: format!("bases={}", model.bases.len()),
+        });
+        Ok(model)
     }
 
     /// Column of basis values over all rows of `x`.

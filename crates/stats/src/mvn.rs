@@ -63,6 +63,20 @@ impl MultivariateNormal {
     ///   lost definiteness to floating-point noise) is rescued by a bounded
     ///   ridge escalation, recorded in the solver-health diagnostics.
     pub fn new(mean: Vec<f64>, covariance: &Matrix) -> Result<Self, StatsError> {
+        Self::new_observed(mean, covariance, crate::diagnostics::ambient())
+    }
+
+    /// [`MultivariateNormal::new`] reporting any ridge-escalation retries
+    /// into `obs` instead of the ambient diagnostics context.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MultivariateNormal::new`].
+    pub fn new_observed(
+        mean: Vec<f64>,
+        covariance: &Matrix,
+        obs: &sidefp_obs::RunContext,
+    ) -> Result<Self, StatsError> {
         if mean.len() != covariance.nrows() {
             return Err(StatsError::DimensionMismatch {
                 expected: covariance.nrows(),
@@ -72,7 +86,8 @@ impl MultivariateNormal {
         let rec =
             sidefp_linalg::cholesky_ridged(covariance, &sidefp_linalg::Escalation::default())?;
         if rec.retries > 0 {
-            crate::diagnostics::record_cholesky_retries(rec.retries);
+            obs.record_cholesky_retries(rec.retries);
+            obs.trace_rescue("cholesky", "ridge_retry", rec.retries);
         }
         Ok(MultivariateNormal {
             mean,

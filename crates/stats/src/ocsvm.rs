@@ -1,4 +1,5 @@
 use sidefp_linalg::Matrix;
+use sidefp_obs::RunContext;
 
 use crate::diagnostics;
 use crate::qp::{SmoConfig, SmoSolver};
@@ -71,7 +72,22 @@ pub struct OneClassSvm {
 }
 
 impl OneClassSvm {
-    /// Fits the SVM to the rows of `data`.
+    /// Fits the SVM to the rows of `data`, reporting any SMO rescue into
+    /// the process-wide ambient diagnostics context.
+    ///
+    /// Pipeline code should prefer [`OneClassSvm::fit_observed`], which
+    /// reports into the run's own [`RunContext`].
+    ///
+    /// # Errors
+    ///
+    /// See [`OneClassSvm::fit_observed`].
+    pub fn fit(data: &Matrix, config: &OneClassSvmConfig) -> Result<Self, StatsError> {
+        Self::fit_observed(data, config, diagnostics::ambient())
+    }
+
+    /// Fits the SVM to the rows of `data`, reporting any relaxed-tolerance
+    /// SMO acceptance or non-convergence into `obs` (a counter bump plus a
+    /// `rescue` trace event).
     ///
     /// # Errors
     ///
@@ -79,7 +95,11 @@ impl OneClassSvm {
     /// - [`StatsError::InvalidParameter`] for zero feature columns,
     ///   non-finite training entries, `ν ∉ (0, 1]` or invalid kernel
     ///   hyper-parameters.
-    pub fn fit(data: &Matrix, config: &OneClassSvmConfig) -> Result<Self, StatsError> {
+    pub fn fit_observed(
+        data: &Matrix,
+        config: &OneClassSvmConfig,
+        obs: &RunContext,
+    ) -> Result<Self, StatsError> {
         let n = data.nrows();
         if n < 2 {
             return Err(StatsError::InsufficientData { needed: 2, got: n });
@@ -118,9 +138,11 @@ impl OneClassSvm {
             // Best-effort boundary: record how far from optimal it stopped
             // so RunHealth surfaces the fallback instead of hiding it.
             if sol.kkt_gap <= SMO_RELAXED_FACTOR * config.tol {
-                diagnostics::record_smo_relaxed();
+                obs.record_smo_relaxed();
+                obs.trace_rescue("smo", "relaxed", 1);
             } else {
-                diagnostics::record_smo_nonconverged();
+                obs.record_smo_nonconverged();
+                obs.trace_rescue("smo", "nonconverged", 1);
             }
         }
 

@@ -89,6 +89,21 @@ impl PolynomialRidge {
     /// - [`StatsError::Linalg`] if the regularized Gram is still singular
     ///   (λ = 0 with collinear features).
     pub fn fit(x: &Matrix, y: &[f64], config: &RidgeConfig) -> Result<Self, StatsError> {
+        Self::fit_observed(x, y, config, crate::diagnostics::ambient())
+    }
+
+    /// [`PolynomialRidge::fit`] reporting any ridge-escalation retries into
+    /// `obs` instead of the ambient diagnostics context.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PolynomialRidge::fit`].
+    pub fn fit_observed(
+        x: &Matrix,
+        y: &[f64],
+        config: &RidgeConfig,
+        obs: &sidefp_obs::RunContext,
+    ) -> Result<Self, StatsError> {
         if y.len() != x.nrows() {
             return Err(StatsError::DimensionMismatch {
                 expected: x.nrows(),
@@ -128,7 +143,8 @@ impl PolynomialRidge {
         // diagnostics) rescues those instead of failing the whole fit.
         let rec = sidefp_linalg::cholesky_ridged(&gram, &sidefp_linalg::Escalation::default())?;
         if rec.retries > 0 {
-            crate::diagnostics::record_cholesky_retries(rec.retries);
+            obs.record_cholesky_retries(rec.retries);
+            obs.trace_rescue("cholesky", "ridge_retry", rec.retries);
         }
         let coefficients = rec.value.solve(&rhs)?;
 

@@ -4,15 +4,24 @@
 # Rebuilds the release perf harness, runs it twice, takes the per-stage
 # minimum of the two runs (wall-clock noise is one-sided: load only ever
 # slows a stage down), and compares each pipeline stage against the
-# committed BENCH_pipeline.json baseline. Exits non-zero if any gated
-# stage regresses by more than REGRESSION_PCT percent.
+# committed BENCH_pipeline.json baseline. The per-stage timings come from
+# the run's own observability context (perf threads a RunContext through
+# the experiment), so the stage set is exactly what the pipeline timed.
+# Exits non-zero if any gated stage regresses by more than REGRESSION_PCT
+# percent, or if the stage sets diverge: a stage present in the baseline
+# but absent from the fresh runs (or vice versa) means the pipeline's
+# instrumentation changed and the baseline must be regenerated — that is
+# a hard failure naming the stage, never a silent skip.
 #
 # Stage comparisons are load-normalized: each stage's timing is scaled
-# by the ratio of single-threaded totals before comparing. On a shared
-# host, background load inflates every stage uniformly — that cancels
-# out under normalization — while a code regression shows up as a stage
-# growing its *share* of the run, which does not. The raw total is
-# printed for context but not gated.
+# by the ratio of summed stage times before comparing. On a shared host,
+# background load inflates every stage uniformly — that cancels out
+# under normalization — while a code regression shows up as a stage
+# growing its *share* of the accounted time, which does not. The sum of
+# per-stage minima is used rather than the raw single-threaded total
+# because the minima converge to the quiet-machine floor much faster
+# than any whole-run total does; the raw total is printed for context
+# but not gated.
 #
 # Stages below MIN_STAGE_MS in the baseline are reported but not gated:
 # at sub-millisecond scale, scheduler jitter swamps any real change.
@@ -79,21 +88,55 @@ awk -v thr="$REGRESSION_PCT" -v floor="$MIN_STAGE_MS" '
     FILENAME == ARGV[2] { a[$1] = $2; next }
     { b[$1] = $2 }
     END {
-        # Load normalization: scale every stage comparison by the ratio
-        # of single-threaded totals.
-        scale = 1.0
         if (("threads1_ms" in base) && ("threads1_ms" in a) && ("threads1_ms" in b)) {
             tot = a["threads1_ms"] < b["threads1_ms"] ? a["threads1_ms"] : b["threads1_ms"]
-            if (base["threads1_ms"] > 0) scale = tot / base["threads1_ms"]
-            printf "  %-24s base %8.2f ms  now %8.2f ms  (load factor %.2fx, not gated)\n", \
-                "threads1_ms", base["threads1_ms"], tot, scale
+            printf "  %-24s base %8.2f ms  now %8.2f ms  (context only, not gated)\n", \
+                "threads1_ms", base["threads1_ms"], tot
         }
+        # Stage-set drift is a hard failure: a silently skipped stage
+        # would let an instrumentation change dodge the gate.
+        missing = ""
+        for (i = 1; i <= n; i++) {
+            k = order[i]
+            if (k == "threads1_ms") continue
+            if (!(k in a) || !(k in b)) missing = missing " " k
+        }
+        extra = ""
+        for (k in a) {
+            if (k !~ /^stage\./ || (k in base)) continue
+            if (k in b) extra = extra " " k
+        }
+        if (missing != "") {
+            print "bench_gate: FAIL — stage(s) in baseline but absent from fresh runs:" missing
+            print "  (regenerate the baseline with: perf --json)"
+            exit 1
+        }
+        if (extra != "") {
+            print "bench_gate: FAIL — stage(s) in fresh runs but absent from baseline:" extra
+            print "  (regenerate the baseline with: perf --json)"
+            exit 1
+        }
+        # Load normalization: scale every stage comparison by the ratio
+        # of summed per-stage minima (both sides of the ratio are sums of
+        # floors, so uniform background load cancels out).
+        sum_base = 0.0
+        sum_now = 0.0
+        for (i = 1; i <= n; i++) {
+            k = order[i]
+            if (k == "threads1_ms" || base[k] <= 0) continue
+            now_ms[k] = a[k] < b[k] ? a[k] : b[k]
+            sum_base += base[k]
+            sum_now += now_ms[k]
+        }
+        scale = (sum_base > 0) ? sum_now / sum_base : 1.0
+        printf "  %-24s base %8.2f ms  now %8.2f ms  (load factor %.2fx, not gated)\n", \
+            "stages total", sum_base, sum_now, scale
         bad = ""
         for (i = 1; i <= n; i++) {
             k = order[i]
             if (k == "threads1_ms") continue
-            if (!(k in a) || !(k in b) || base[k] <= 0) continue
-            now = a[k] < b[k] ? a[k] : b[k]
+            if (base[k] <= 0) continue
+            now = now_ms[k]
             pct = (now / (base[k] * scale) - 1) * 100
             gated = (base[k] >= floor)
             printf "  %-24s base %8.2f ms  now %8.2f ms  %+6.1f%% of share%s\n", \

@@ -8,15 +8,13 @@
 //! reading each (entry-level classes) or the whole device (row-level
 //! classes).
 
-use std::sync::Mutex;
-
 use sidefp_core::health::QuarantineReason;
 use sidefp_core::{ExperimentConfig, PaperExperiment};
 use sidefp_faults::{FaultClass, FaultPlan};
 
-/// Solver-health counters are process-global and reset per run; serialize
-/// the tests in this binary so concurrent runs cannot cross-contaminate.
-static RUN_LOCK: Mutex<()> = Mutex::new(());
+// Solver-health counters live in each run's own `RunContext`, so the
+// tests in this binary can run concurrently without cross-contamination
+// (the former process-global registry needed a serializing lock here).
 
 const CHIPS: usize = 10;
 const DEVICES: usize = CHIPS * 3;
@@ -62,7 +60,6 @@ fn run_with_fault(class: FaultClass, rate: f64) -> sidefp_core::ExperimentResult
 
 #[test]
 fn clean_run_reports_clean_measurement_health() {
-    let _guard = RUN_LOCK.lock().unwrap();
     let result = PaperExperiment::new(config_with(FaultPlan::none()))
         .unwrap()
         .run()
@@ -79,7 +76,6 @@ fn clean_run_reports_clean_measurement_health() {
 /// channels): each injected fault is one repaired reading, no quarantine.
 #[test]
 fn repairable_classes_repair_exactly_the_injected_entries() {
-    let _guard = RUN_LOCK.lock().unwrap();
     for class in [
         FaultClass::NanReading,
         FaultClass::InfReading,
@@ -99,7 +95,6 @@ fn repairable_classes_repair_exactly_the_injected_entries() {
 /// by the winsorizer, not the repair pass.
 #[test]
 fn magnitude_classes_are_winsorized() {
-    let _guard = RUN_LOCK.lock().unwrap();
     for class in [FaultClass::AdcSaturation, FaultClass::OutlierSpike] {
         for rate in [0.05, 0.2] {
             let result = run_with_fault(class, rate);
@@ -116,7 +111,6 @@ fn magnitude_classes_are_winsorized() {
 /// partially repaired.
 #[test]
 fn dropped_devices_are_quarantined_as_dead() {
-    let _guard = RUN_LOCK.lock().unwrap();
     for rate in [0.05, 0.2] {
         let result = run_with_fault(FaultClass::DroppedDevice, rate);
         let m = &result.health.measurement;
@@ -134,7 +128,6 @@ fn dropped_devices_are_quarantined_as_dead() {
 /// as a duplicate, keeping the first occurrence.
 #[test]
 fn duplicated_rows_are_quarantined_as_duplicates() {
-    let _guard = RUN_LOCK.lock().unwrap();
     for rate in [0.05, 0.2] {
         let result = run_with_fault(FaultClass::DuplicatedRow, rate);
         let m = &result.health.measurement;
@@ -152,7 +145,6 @@ fn duplicated_rows_are_quarantined_as_duplicates() {
 /// report accounts for the full injection total.
 #[test]
 fn composed_plan_completes_with_full_accounting() {
-    let _guard = RUN_LOCK.lock().unwrap();
     let mut plan = FaultPlan::none();
     for class in FaultClass::ALL {
         plan = plan.with_fault(class, 0.1);
@@ -175,7 +167,6 @@ fn composed_plan_completes_with_full_accounting() {
 /// bit-identical, health report included.
 #[test]
 fn faulty_runs_are_bit_identical_across_thread_counts() {
-    let _guard = RUN_LOCK.lock().unwrap();
     let run_at = |threads: usize| {
         let mut plan = FaultPlan::none()
             .with_fault(FaultClass::NanReading, 0.1)

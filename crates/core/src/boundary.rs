@@ -104,6 +104,7 @@ impl TrustedBoundary {
             &OneClassSvmConfig {
                 nu: config.nu,
                 kernel,
+                approx: config.approx,
                 ..Default::default()
             },
             obs,
@@ -202,13 +203,13 @@ mod tests {
         let cfg = BoundaryConfig {
             gamma: Some(500.0),
             nu: 0.05,
-            train_cap: 1500,
+            ..Default::default()
         };
         let tight = TrustedBoundary::fit("Bt", &blob(0.0, 60, 3), &cfg, 3).unwrap();
         let loose_cfg = BoundaryConfig {
             gamma: Some(0.05),
             nu: 0.05,
-            train_cap: 1500,
+            ..Default::default()
         };
         let loose = TrustedBoundary::fit("Bl", &blob(0.0, 60, 3), &loose_cfg, 3).unwrap();
         // The loose boundary accepts a moderately distant point the tight

@@ -36,6 +36,7 @@
 mod cholesky;
 mod eigen;
 mod error;
+pub mod lowrank;
 mod lu;
 mod matrix;
 mod qr;

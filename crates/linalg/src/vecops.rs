@@ -15,6 +15,11 @@
 
 /// Dot product of two slices.
 ///
+/// Lengths up to 8 — the 6-dim fingerprint vectors and every PCM suite in
+/// the workspace — dispatch to the monomorphized [`dot_fixed`] (fully
+/// unrolled, no trip-count branching); the result is bit-identical either
+/// way.
+///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
@@ -26,7 +31,53 @@
 /// ```
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    match a.len() {
+        1 => dot_fixed::<1>(a, b),
+        2 => dot_fixed::<2>(a, b),
+        3 => dot_fixed::<3>(a, b),
+        4 => dot_fixed::<4>(a, b),
+        5 => dot_fixed::<5>(a, b),
+        6 => dot_fixed::<6>(a, b),
+        7 => dot_fixed::<7>(a, b),
+        8 => dot_fixed::<8>(a, b),
+        _ => dot_any(a, b),
+    }
+}
+
+/// Length-generic body of [`dot`] (the pre-dispatch implementation).
+fn dot_any(a: &[f64], b: &[f64]) -> f64 {
     let split = a.len() & !3;
+    let mut acc = [0.0f64; 4];
+    for (ca, cb) in a[..split].chunks_exact(4).zip(b[..split].chunks_exact(4)) {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
+    }
+    let mut tail = 0.0;
+    for (x, y) in a[split..].iter().zip(&b[split..]) {
+        tail += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Dot product monomorphized for the compile-time length `N`.
+///
+/// The accumulation layout (4-wide unrolled body, sequential tail,
+/// `(acc0 + acc1) + (acc2 + acc3) + tail` combine) is exactly the
+/// length-generic one, so the result is bit-identical to [`dot`] — but
+/// with `N` fixed the compiler erases every trip-count branch and emits a
+/// straight-line kernel, which is what the 6-dim fingerprint inner loops
+/// want.
+///
+/// # Panics
+///
+/// Panics if either slice's length differs from `N`.
+#[inline]
+pub fn dot_fixed<const N: usize>(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), N, "dot_fixed: length mismatch");
+    assert_eq!(b.len(), N, "dot_fixed: length mismatch");
+    let split = N & !3;
     let mut acc = [0.0f64; 4];
     for (ca, cb) in a[..split].chunks_exact(4).zip(b[..split].chunks_exact(4)) {
         acc[0] += ca[0] * cb[0];
@@ -53,12 +104,62 @@ pub fn norm(a: &[f64]) -> f64 {
 
 /// Squared Euclidean distance between two slices.
 ///
+/// Lengths up to 8 dispatch to the monomorphized
+/// [`squared_distance_fixed`]; the result is bit-identical either way.
+///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "squared_distance: length mismatch");
+    match a.len() {
+        1 => squared_distance_fixed::<1>(a, b),
+        2 => squared_distance_fixed::<2>(a, b),
+        3 => squared_distance_fixed::<3>(a, b),
+        4 => squared_distance_fixed::<4>(a, b),
+        5 => squared_distance_fixed::<5>(a, b),
+        6 => squared_distance_fixed::<6>(a, b),
+        7 => squared_distance_fixed::<7>(a, b),
+        8 => squared_distance_fixed::<8>(a, b),
+        _ => squared_distance_any(a, b),
+    }
+}
+
+/// Length-generic body of [`squared_distance`] (the pre-dispatch
+/// implementation).
+fn squared_distance_any(a: &[f64], b: &[f64]) -> f64 {
     let split = a.len() & !3;
+    let mut acc = [0.0f64; 4];
+    for (ca, cb) in a[..split].chunks_exact(4).zip(b[..split].chunks_exact(4)) {
+        let d0 = ca[0] - cb[0];
+        let d1 = ca[1] - cb[1];
+        let d2 = ca[2] - cb[2];
+        let d3 = ca[3] - cb[3];
+        acc[0] += d0 * d0;
+        acc[1] += d1 * d1;
+        acc[2] += d2 * d2;
+        acc[3] += d3 * d3;
+    }
+    let mut tail = 0.0;
+    for (x, y) in a[split..].iter().zip(&b[split..]) {
+        let d = x - y;
+        tail += d * d;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Squared Euclidean distance monomorphized for the compile-time length
+/// `N`, with the exact accumulation layout of [`squared_distance`] — see
+/// [`dot_fixed`] for why the results are bit-identical.
+///
+/// # Panics
+///
+/// Panics if either slice's length differs from `N`.
+#[inline]
+pub fn squared_distance_fixed<const N: usize>(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), N, "squared_distance_fixed: length mismatch");
+    assert_eq!(b.len(), N, "squared_distance_fixed: length mismatch");
+    let split = N & !3;
     let mut acc = [0.0f64; 4];
     for (ca, cb) in a[..split].chunks_exact(4).zip(b[..split].chunks_exact(4)) {
         let d0 = ca[0] - cb[0];
@@ -225,6 +326,51 @@ mod tests {
             }
             assert_eq!(got, want, "len {n}");
         }
+    }
+
+    #[test]
+    fn fixed_length_paths_bit_identical_to_generic() {
+        // The const-generic kernels must reproduce the generic layout down
+        // to the last bit, including awkward values (subnormals, huge
+        // magnitude spread) where accumulation order matters.
+        fn vecs(n: usize) -> (Vec<f64>, Vec<f64>) {
+            let a: Vec<f64> = (0..n)
+                .map(|i| (0.37 + i as f64 * 1.618).sin() * 10f64.powi(i as i32 % 7 - 3))
+                .collect();
+            let b: Vec<f64> = (0..n)
+                .map(|i| (1.22 - i as f64 * 0.731).cos() * 10f64.powi((i as i32 + 2) % 5 - 2))
+                .collect();
+            (a, b)
+        }
+        macro_rules! check_n {
+            ($($n:literal),*) => {$(
+                let (a, b) = vecs($n);
+                assert_eq!(
+                    dot_fixed::<$n>(&a, &b).to_bits(),
+                    dot_any(&a, &b).to_bits(),
+                    "dot_fixed len {}", $n
+                );
+                assert_eq!(
+                    squared_distance_fixed::<$n>(&a, &b).to_bits(),
+                    squared_distance_any(&a, &b).to_bits(),
+                    "squared_distance_fixed len {}", $n
+                );
+                // The public entry points dispatch to the fixed kernels at
+                // these lengths; they must agree too.
+                assert_eq!(dot(&a, &b).to_bits(), dot_any(&a, &b).to_bits());
+                assert_eq!(
+                    squared_distance(&a, &b).to_bits(),
+                    squared_distance_any(&a, &b).to_bits()
+                );
+            )*};
+        }
+        check_n!(1, 2, 3, 4, 5, 6, 7, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "dot_fixed: length mismatch")]
+    fn dot_fixed_panics_on_wrong_length() {
+        dot_fixed::<3>(&[1.0, 2.0], &[3.0, 4.0]);
     }
 
     #[test]

@@ -292,6 +292,42 @@ where
     });
 }
 
+/// Applies `f(row_index, row)` to every `ncols`-wide row of a row-major
+/// buffer, fanning contiguous row blocks out across the worker pool — the
+/// feature-map fan-out used by the kernel approximation layer's
+/// element-wise passes (e.g. the random-Fourier cosine map).
+///
+/// Each row is visited exactly once and rows are disjoint, so as long as
+/// `f`'s output for a row depends only on that row and its index, the
+/// result is bit-identical at any thread count.
+///
+/// # Panics
+///
+/// Panics if `ncols > 0` and `data.len()` is not a whole number of rows.
+pub fn for_each_row_mut<T, F>(data: &mut [T], ncols: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if ncols == 0 || data.is_empty() {
+        return;
+    }
+    assert_eq!(
+        data.len() % ncols,
+        0,
+        "for_each_row_mut: buffer is not a whole number of rows"
+    );
+    let nrows = data.len() / ncols;
+    let blocks = split_even(nrows, current_threads());
+    let cuts: Vec<usize> = blocks.iter().skip(1).map(|r| r.start * ncols).collect();
+    for_each_split_mut(data, &cuts, |part, slice| {
+        let first_row = blocks[part].start;
+        for (local, row) in slice.chunks_exact_mut(ncols).enumerate() {
+            f(first_row + local, row);
+        }
+    });
+}
+
 /// Runs two closures, concurrently when more than one worker is
 /// available, and returns both results.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
@@ -351,6 +387,39 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn for_each_row_mut_visits_every_row_once_with_correct_index() {
+        for threads in [1usize, 2, 8] {
+            with_threads(threads, || {
+                let (nrows, ncols) = (13usize, 3usize);
+                let mut data = vec![0.0f64; nrows * ncols];
+                for_each_row_mut(&mut data, ncols, |i, row| {
+                    for (j, v) in row.iter_mut().enumerate() {
+                        *v += (i * ncols + j) as f64 + 1.0;
+                    }
+                });
+                let expect: Vec<f64> = (0..nrows * ncols).map(|t| t as f64 + 1.0).collect();
+                assert_eq!(data, expect, "threads {threads}");
+            });
+        }
+    }
+
+    #[test]
+    fn for_each_row_mut_tolerates_empty_and_degenerate_buffers() {
+        let mut empty: Vec<f64> = Vec::new();
+        for_each_row_mut(&mut empty, 4, |_, _| panic!("no rows expected"));
+        let mut data = vec![1.0f64; 4];
+        for_each_row_mut(&mut data, 0, |_, _| panic!("zero-width rows"));
+        assert_eq!(data, vec![1.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of rows")]
+    fn for_each_row_mut_rejects_ragged_buffers() {
+        let mut data = vec![0.0f64; 5];
+        for_each_row_mut(&mut data, 3, |_, _| {});
     }
 
     #[test]

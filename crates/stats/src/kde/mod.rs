@@ -30,9 +30,11 @@
 //! ```
 
 mod adaptive;
+mod binned;
 mod classifier;
 mod kernel;
 
 pub use adaptive::{AdaptiveKde, KdeConfig};
+pub use binned::BinnedKde;
 pub use classifier::DensityClassifier;
 pub use kernel::Epanechnikov;

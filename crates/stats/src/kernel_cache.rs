@@ -187,6 +187,72 @@ mod tests {
     }
 
     #[test]
+    fn capacity_one_clamps_to_pair_capacity() {
+        // A requested capacity of 1 (or 0) must clamp to 2 so a working-set
+        // pair can always be held without self-eviction.
+        let data = sample(6, 2);
+        for cap in [0, 1] {
+            let kernel = Kernel::Rbf { gamma: 0.8 };
+            let mut cache = KernelRowCache::new(kernel, &data, cap);
+            let (qi, qj) = cache.pair(2, 4);
+            let (qi, qj) = (qi.to_vec(), qj.to_vec());
+            assert_eq!(cache.misses(), 2, "cap={cap}: both rows computed once");
+            for j in 0..6 {
+                assert_eq!(qi[j], kernel.eval(data.row(2), data.row(j)));
+                assert_eq!(qj[j], kernel.eval(data.row(4), data.row(j)));
+            }
+        }
+    }
+
+    #[test]
+    fn pair_works_when_protected_rows_fill_every_slot() {
+        // Capacity exactly 2 and both slots owned by the pair itself: the
+        // protect logic must never evict the first row while fetching the
+        // second, for any request order or repetition.
+        let data = sample(7, 3);
+        let kernel = Kernel::Rbf { gamma: 0.5 };
+        let mut cache = KernelRowCache::new(kernel, &data, 2);
+        for (i, j) in [(0, 1), (1, 0), (5, 6), (5, 3), (3, 5)] {
+            let (qi, qj) = cache.pair(i, j);
+            for c in 0..7 {
+                assert_eq!(qi[c], kernel.eval(data.row(i), data.row(c)), "({i},{j})");
+                assert_eq!(qj[c], kernel.eval(data.row(j), data.row(c)), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn recomputed_rows_after_eviction_are_identical() {
+        // Evict and refetch every row repeatedly: recomputation must be
+        // bit-identical to the first computation of the same row, and must
+        // track the dense Gram matrix to roundoff (the dense path builds
+        // RBF entries from GEMM-form squared distances, so it can differ
+        // from the direct per-pair evaluation by O(ε), not more).
+        let data = sample(10, 3);
+        let kernel = Kernel::Rbf { gamma: 0.7 };
+        let dense = GramMatrix::symmetric(kernel, &data);
+        let mut cache = KernelRowCache::new(kernel, &data, 2);
+        let first: Vec<Vec<f64>> = (0..10).map(|i| cache.row(i).to_vec()).collect();
+        for pass in 0..2 {
+            for (i, first_row) in first.iter().enumerate() {
+                let row = cache.row(i);
+                for j in 0..10 {
+                    assert_eq!(
+                        row[j].to_bits(),
+                        first_row[j].to_bits(),
+                        "pass={pass} ({i},{j})"
+                    );
+                    let diff = (row[j] - dense.matrix()[(i, j)]).abs();
+                    assert!(diff < 1e-12, "pass={pass} ({i},{j}): diff {diff}");
+                }
+            }
+        }
+        // With 2 slots and 10 rows scanned round-robin, every fetch after
+        // the warmup is a miss — eviction genuinely happened.
+        assert!(cache.misses() >= 28, "misses={}", cache.misses());
+    }
+
+    #[test]
     fn lru_keeps_hot_rows() {
         let data = sample(8, 2);
         let mut cache = KernelRowCache::new(Kernel::Linear, &data, 2);

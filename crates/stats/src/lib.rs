@@ -48,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+mod approx;
 pub mod bootstrap;
 pub mod descriptive;
 pub mod diagnostics;
@@ -70,6 +71,7 @@ pub mod ridge;
 pub mod roc;
 mod scaler;
 
+pub use approx::{KernelApprox, KernelFeatureMap, LowRankQ};
 pub use diagnostics::SolverHealth;
 pub use error::StatsError;
 // Re-export the per-run observability handle the `*_observed` solver entry

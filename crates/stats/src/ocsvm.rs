@@ -1,6 +1,7 @@
-use sidefp_linalg::Matrix;
+use sidefp_linalg::{vecops, Matrix};
 use sidefp_obs::RunContext;
 
+use crate::approx::{self, DecisionParts, KernelApprox, KernelFeatureMap};
 use crate::diagnostics;
 use crate::qp::{SmoConfig, SmoSolver};
 use crate::{
@@ -33,6 +34,12 @@ pub struct OneClassSvmConfig {
     pub tol: f64,
     /// Iteration budget of the SMO solver.
     pub max_iter: usize,
+    /// Kernel evaluation strategy: exact Gram rows, or a sub-quadratic
+    /// low-rank approximation (Nyström / random Fourier features). The
+    /// default [`KernelApprox::Auto`] keeps every population up to
+    /// [`KernelApprox::AUTO_EXACT_LIMIT`] rows on the exact path, so
+    /// existing pipelines are value-identical.
+    pub approx: KernelApprox,
 }
 
 impl Default for OneClassSvmConfig {
@@ -42,6 +49,7 @@ impl Default for OneClassSvmConfig {
             kernel: Kernel::Rbf { gamma: 1.0 },
             tol: 1e-6,
             max_iter: 200_000,
+            approx: KernelApprox::Auto,
         }
     }
 }
@@ -63,12 +71,32 @@ impl Default for OneClassSvmConfig {
 /// See the [crate-level example](crate).
 #[derive(Debug, Clone)]
 pub struct OneClassSvm {
-    support_vectors: Matrix,
-    alphas: Vec<f64>,
+    model: DecisionModel,
     rho: f64,
     kernel: Kernel,
     input_dim: usize,
     trained_nu: f64,
+    /// Count of training points with `α > margin_tol` — the ν-property SV
+    /// count, independent of how the decision function is represented.
+    support_count: usize,
+}
+
+/// How a trained boundary evaluates `Σ_i α_i k(x_i, x)`.
+///
+/// The exact and Nyström paths both use the classic kernel expansion
+/// (Nyström collapses its feature-space weight vector back onto the
+/// landmarks exactly); the RFF path keeps the explicit random feature map.
+#[derive(Debug, Clone)]
+enum DecisionModel {
+    /// `f(x) = Σ_l coeffs_l · k(points_l, x) − ρ`.
+    KernelExpansion { points: Matrix, coeffs: Vec<f64> },
+    /// `f(x) = Σ_j w_j · scale · cos(ω_jᵀx + b_j) − ρ`.
+    RandomFeatures {
+        omega: Matrix,
+        offsets: Vec<f64>,
+        scale: f64,
+        w: Vec<f64>,
+    },
 }
 
 impl OneClassSvm {
@@ -118,21 +146,51 @@ impl OneClassSvm {
             });
         }
         config.kernel.validate()?;
+        config.approx.validate()?;
 
         let c = 1.0 / (config.nu * n as f64);
-        let smo = SmoSolver::new(SmoConfig {
+        let smo_cfg = SmoConfig {
             upper: c,
             tol: config.tol,
             max_iter: config.max_iter,
-        });
-        // Dense Gram up to DENSE_GRAM_LIMIT rows (fastest: every Q row is a
-        // slice away), memory-bounded kernel-row cache beyond it.
-        let sol = if n <= DENSE_GRAM_LIMIT {
-            let q = GramMatrix::symmetric(config.kernel, data);
-            smo.solve(q.matrix())?
-        } else {
-            let mut cache = KernelRowCache::new(config.kernel, data, KERNEL_CACHE_ROWS);
-            smo.solve_with(&mut cache)?
+        };
+        // Route the dual solve: exact Gram rows (dense up to
+        // DENSE_GRAM_LIMIT, memory-bounded kernel-row cache beyond), or a
+        // low-rank feature map solved in feature space — O(n·rank) per
+        // sweep instead of O(n²).
+        let resolved = config.approx.resolve(n, &config.kernel);
+        let (sol, map) = match resolved {
+            KernelApprox::Nystrom { rank } => {
+                let map = KernelFeatureMap::nystrom(
+                    config.kernel,
+                    data,
+                    rank,
+                    approx::approx_fit_seed(n),
+                )?;
+                let sol = approx::solve_feature_smo(map.features(), &smo_cfg)?;
+                (sol, Some(map))
+            }
+            KernelApprox::Rff { features } => {
+                let map = KernelFeatureMap::rff(
+                    config.kernel,
+                    data,
+                    features,
+                    approx::approx_fit_seed(n),
+                )?;
+                let sol = approx::solve_feature_smo(map.features(), &smo_cfg)?;
+                (sol, Some(map))
+            }
+            _ => {
+                let smo = SmoSolver::new(smo_cfg);
+                let sol = if n <= DENSE_GRAM_LIMIT {
+                    let q = GramMatrix::symmetric(config.kernel, data);
+                    smo.solve(q.matrix())?
+                } else {
+                    let mut cache = KernelRowCache::new(config.kernel, data, KERNEL_CACHE_ROWS);
+                    smo.solve_with(&mut cache)?
+                };
+                (sol, None)
+            }
         };
         if !sol.converged {
             // Best-effort boundary: record how far from optimal it stopped
@@ -167,16 +225,41 @@ impl OneClassSvm {
 
         // Keep only support vectors for prediction.
         let sv_idx: Vec<usize> = (0..n).filter(|&i| sol.alpha[i] > margin_tol).collect();
-        let support_vectors = data.select_rows(&sv_idx);
-        let alphas: Vec<f64> = sv_idx.iter().map(|&i| sol.alpha[i]).collect();
+        let model = match &map {
+            None => DecisionModel::KernelExpansion {
+                points: data.select_rows(&sv_idx),
+                coeffs: sv_idx.iter().map(|&i| sol.alpha[i]).collect(),
+            },
+            Some(map) => {
+                // Feature-space weights w = Φᵀα, collapsed onto whatever
+                // standalone form the map supports.
+                let w = map.features().vecmat(&sol.alpha)?;
+                match map.decision_parts(&w)? {
+                    DecisionParts::Expansion { points, coeffs } => {
+                        DecisionModel::KernelExpansion { points, coeffs }
+                    }
+                    DecisionParts::Random {
+                        omega,
+                        offsets,
+                        scale,
+                        w,
+                    } => DecisionModel::RandomFeatures {
+                        omega,
+                        offsets,
+                        scale,
+                        w,
+                    },
+                }
+            }
+        };
 
         Ok(OneClassSvm {
-            support_vectors,
-            alphas,
+            model,
             rho,
             kernel: config.kernel,
             input_dim: data.ncols(),
             trained_nu: config.nu,
+            support_count: sv_idx.len(),
         })
     }
 
@@ -201,12 +284,24 @@ impl OneClassSvm {
 
     /// Decision value without the dimension check (callers validate once).
     fn decision_value(&self, x: &[f64]) -> f64 {
-        let sum: f64 = self
-            .support_vectors
-            .rows_iter()
-            .zip(&self.alphas)
-            .map(|(sv, a)| a * self.kernel.eval(sv, x))
-            .sum();
+        let sum: f64 = match &self.model {
+            DecisionModel::KernelExpansion { points, coeffs } => points
+                .rows_iter()
+                .zip(coeffs)
+                .map(|(sv, a)| a * self.kernel.eval(sv, x))
+                .sum(),
+            DecisionModel::RandomFeatures {
+                omega,
+                offsets,
+                scale,
+                w,
+            } => omega
+                .rows_iter()
+                .zip(offsets)
+                .zip(w)
+                .map(|((om, b), wj)| wj * (vecops::dot(om, x) + b).cos() * scale)
+                .sum(),
+        };
         sum - self.rho
     }
 
@@ -271,9 +366,12 @@ impl OneClassSvm {
         Ok(())
     }
 
-    /// Number of support vectors retained.
+    /// Number of support vectors (training points with `α` above the
+    /// margin tolerance). On approximate paths the decision function may be
+    /// represented more compactly (landmarks or random features), but this
+    /// count still reflects the ν-property of the fitted dual.
     pub fn support_vector_count(&self) -> usize {
-        self.support_vectors.nrows()
+        self.support_count
     }
 
     /// Offset ρ of the decision function.
@@ -509,6 +607,41 @@ mod tests {
         for (i, row) in data.rows_iter().enumerate() {
             assert_eq!(batch[i], svm.decision_function(row).unwrap());
         }
+    }
+
+    #[test]
+    fn approx_paths_produce_usable_boundaries() {
+        let data = blob(150, 17);
+        for approx in [
+            KernelApprox::Nystrom { rank: 40 },
+            KernelApprox::Rff { features: 512 },
+        ] {
+            let cfg = OneClassSvmConfig {
+                approx,
+                ..default_cfg()
+            };
+            let svm = OneClassSvm::fit(&data, &cfg).unwrap();
+            assert!(svm.is_inlier(&[0.0, 0.0]).unwrap(), "{approx:?}");
+            assert!(!svm.is_inlier(&[10.0, 10.0]).unwrap(), "{approx:?}");
+            assert!(svm.support_vector_count() > 0, "{approx:?}");
+        }
+    }
+
+    #[test]
+    fn approx_config_validated() {
+        let data = blob(30, 18);
+        let bad = OneClassSvmConfig {
+            approx: KernelApprox::Nystrom { rank: 0 },
+            ..default_cfg()
+        };
+        assert!(OneClassSvm::fit(&data, &bad).is_err());
+        // RFF requires an RBF kernel.
+        let bad_kernel = OneClassSvmConfig {
+            approx: KernelApprox::Rff { features: 64 },
+            kernel: Kernel::Linear,
+            ..default_cfg()
+        };
+        assert!(OneClassSvm::fit(&data, &bad_kernel).is_err());
     }
 
     #[test]

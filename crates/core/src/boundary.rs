@@ -58,11 +58,11 @@ impl TrustedBoundary {
         config: &BoundaryConfig,
         seed: u64,
     ) -> Result<Self, CoreError> {
-        Self::fit_observed(name, trusted, config, seed, crate::timing::ambient())
+        Self::fit_observed(name, trusted, config, seed, &sidefp_obs::RunContext::new())
     }
 
     /// [`TrustedBoundary::fit`] recording into `obs` instead of the
-    /// ambient compat context: the fit runs under a `boundary.{name}`
+    /// throwaway context: the fit runs under a `boundary.{name}`
     /// timing span (which also emits `stage_start`/`stage_end` trace
     /// events) and any SMO rescue of the inner SVM solve lands on the
     /// run's own solver-health counters.
@@ -78,6 +78,60 @@ impl TrustedBoundary {
         obs: &sidefp_obs::RunContext,
     ) -> Result<Self, CoreError> {
         let _span = obs.span(format!("boundary.{name}"));
+        let (scaler, train, svm_config) =
+            Self::prepare(trusted, config, seed, OneClassSvmConfig::default().max_iter)?;
+        let svm = OneClassSvm::fit_observed(&train, &svm_config, obs)?;
+        Ok(TrustedBoundary { name, scaler, svm })
+    }
+
+    /// Refits this boundary on a fresh trusted population, warm-starting
+    /// the SMO solve from the current dual solution when its shape still
+    /// matches the new (standardized, possibly subsampled) training set.
+    ///
+    /// This is the incremental-recalibration path of the streaming-lot
+    /// driver: under mild drift the old dual variables are already close to
+    /// feasible for the shifted population, so the warm solve converges in
+    /// a fraction of the cold budget. `max_iter` bounds the SMO iterations
+    /// — pass a tight budget first and inspect
+    /// [`TrustedBoundary::solve_iterations`] to detect exhaustion before
+    /// escalating to the full budget. Falls back to a cold start (still
+    /// within `max_iter`) when the shapes differ or the current solve used
+    /// an approximation path that keeps no dual vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scaler/SVM fitting errors.
+    pub fn refit_warm_observed(
+        &self,
+        trusted: &Matrix,
+        config: &BoundaryConfig,
+        seed: u64,
+        max_iter: usize,
+        obs: &sidefp_obs::RunContext,
+    ) -> Result<Self, CoreError> {
+        let _span = obs.span(format!("boundary.{}.refit", self.name));
+        let (scaler, train, svm_config) = Self::prepare(trusted, config, seed, max_iter.max(1))?;
+        let start = self.svm.dual_alpha();
+        let svm = if start.len() == train.nrows() {
+            OneClassSvm::fit_warm_observed(&train, &svm_config, start, obs)?
+        } else {
+            OneClassSvm::fit_observed(&train, &svm_config, obs)?
+        };
+        Ok(TrustedBoundary {
+            name: self.name,
+            scaler,
+            svm,
+        })
+    }
+
+    /// Shared fit preparation: full-population scaler, seeded subsample to
+    /// the training cap, and kernel selection.
+    fn prepare(
+        trusted: &Matrix,
+        config: &BoundaryConfig,
+        seed: u64,
+        max_iter: usize,
+    ) -> Result<(StandardScaler, Matrix, OneClassSvmConfig), CoreError> {
         let scaler = StandardScaler::fit(trusted)?;
         let z = scaler.transform(trusted)?;
 
@@ -99,22 +153,29 @@ impl TrustedBoundary {
             // honestly reflects the degenerate training data.
             None => Kernel::rbf_median_heuristic(&train).unwrap_or(Kernel::Rbf { gamma: 1.0 }),
         };
-        let svm = OneClassSvm::fit_observed(
-            &train,
-            &OneClassSvmConfig {
-                nu: config.nu,
-                kernel,
-                approx: config.approx,
-                ..Default::default()
-            },
-            obs,
-        )?;
-        Ok(TrustedBoundary { name, scaler, svm })
+        let svm_config = OneClassSvmConfig {
+            nu: config.nu,
+            kernel,
+            approx: config.approx,
+            max_iter,
+            ..Default::default()
+        };
+        Ok((scaler, train, svm_config))
     }
 
     /// Boundary label ("B1" … "B5", "golden").
     pub fn name(&self) -> &'static str {
         self.name
+    }
+
+    /// SMO iterations spent by the most recent solve (0 on approximation
+    /// paths, which bypass the SMO loop entirely).
+    ///
+    /// A value at or above the configured iteration budget means the solve
+    /// stopped on budget exhaustion rather than convergence — the signal
+    /// the recalibration ladder uses to escalate a tight warm refit.
+    pub fn solve_iterations(&self) -> usize {
+        self.svm.solve_iterations()
     }
 
     /// Signed decision value in standardized space (positive = trusted).
@@ -244,6 +305,44 @@ mod tests {
         assert_eq!(counts.false_negatives(), 0);
         assert_eq!(counts.infested_total(), 2);
         assert_eq!(counts.free_total(), 2);
+    }
+
+    #[test]
+    fn warm_refit_tracks_a_small_shift_cheaper_than_cold() {
+        let cfg = BoundaryConfig::default();
+        let obs = sidefp_obs::RunContext::new();
+        let b = TrustedBoundary::fit("B3", &blob(0.0, 120, 11), &cfg, 11).unwrap();
+        let shifted = blob(0.15, 120, 11);
+        let warm = b
+            .refit_warm_observed(&shifted, &cfg, 11, 200_000, &obs)
+            .unwrap();
+        let cold = TrustedBoundary::fit("B3", &shifted, &cfg, 11).unwrap();
+        // The warm solve starts near the optimum and must not work harder
+        // than the cold one; both land on the same trusted region.
+        assert!(warm.solve_iterations() <= cold.solve_iterations());
+        assert_eq!(
+            warm.classify(&[0.15, 0.15]).unwrap(),
+            DetectionLabel::TrojanFree
+        );
+        assert_eq!(
+            warm.classify(&[9.0, 9.0]).unwrap(),
+            DetectionLabel::TrojanInfested
+        );
+        let probe = [1.0, -0.5];
+        assert!((warm.decision(&probe).unwrap() - cold.decision(&probe).unwrap()).abs() < 0.2);
+    }
+
+    #[test]
+    fn warm_refit_with_starved_budget_reports_exhaustion() {
+        let cfg = BoundaryConfig::default();
+        let obs = sidefp_obs::RunContext::new();
+        let b = TrustedBoundary::fit("B4", &blob(0.0, 100, 12), &cfg, 12).unwrap();
+        let starved = b
+            .refit_warm_observed(&blob(2.0, 100, 13), &cfg, 13, 1, &obs)
+            .unwrap();
+        // One iteration cannot absorb a two-sigma shift: the budget signal
+        // must fire so the recalibration ladder can escalate.
+        assert!(starved.solve_iterations() >= 1);
     }
 
     #[test]

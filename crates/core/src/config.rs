@@ -125,6 +125,89 @@ impl Default for BoundaryConfig {
     }
 }
 
+/// Tiered recalibration policy for streaming wafer lots
+/// ([`crate::stages::recalibrate::LotStream`]).
+///
+/// Each incoming lot is checked against the calibrated SPC charts; the
+/// worst standardized deviation (across the x̄ and EWMA charts) selects the
+/// tier: in control → **accept**, alarmed but below `refit_limit` →
+/// **incremental recalibration** (warm-started boundary refits, KMM
+/// re-weighting, KDE bandwidth refresh), beyond it — or when the
+/// incremental result fails its self-check — **full refit**.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecalConfig {
+    /// Control limit of the per-lot x̄ and EWMA charts, in standard errors.
+    pub control_limit: f64,
+    /// EWMA smoothing weight λ ∈ (0, 1] for the slow-ramp chart.
+    pub ewma_lambda: f64,
+    /// Severity (worst chart z-score) beyond which the incremental tier is
+    /// skipped and the lot goes straight to a full refit. Set to
+    /// `control_limit` (or below) to disable the incremental tier.
+    pub refit_limit: f64,
+    /// Self-check ceiling: a recalibrated boundary may reject at most this
+    /// fraction of its own training population (a healthy ν-OCSVM rejects
+    /// ≈ ν); above it the incremental result is discarded for a full refit.
+    pub max_rejection_rate: f64,
+    /// First-rung warm-solve budget, as a divisor of the cold SMO iteration
+    /// budget: warm refits first run with `max_iter / divisor` and only
+    /// escalate to the full budget when that is exhausted.
+    pub warm_budget_divisor: usize,
+}
+
+impl Default for RecalConfig {
+    fn default() -> Self {
+        RecalConfig {
+            control_limit: crate::spc::DEFAULT_CONTROL_LIMIT,
+            ewma_lambda: crate::spc::DEFAULT_EWMA_LAMBDA,
+            refit_limit: 12.0,
+            max_rejection_rate: 0.25,
+            warm_budget_divisor: 4,
+        }
+    }
+}
+
+impl RecalConfig {
+    /// Validates the policy knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if !(self.control_limit > 0.0 && self.control_limit.is_finite()) {
+            return Err(CoreError::InvalidConfig {
+                name: "recalibration.control_limit",
+                reason: format!("must be positive and finite, got {}", self.control_limit),
+            });
+        }
+        if !(self.ewma_lambda.is_finite() && self.ewma_lambda > 0.0 && self.ewma_lambda <= 1.0) {
+            return Err(CoreError::InvalidConfig {
+                name: "recalibration.ewma_lambda",
+                reason: format!("must be in (0, 1], got {}", self.ewma_lambda),
+            });
+        }
+        if !(self.refit_limit.is_finite() && self.refit_limit >= 0.0) {
+            return Err(CoreError::InvalidConfig {
+                name: "recalibration.refit_limit",
+                reason: format!("must be non-negative and finite, got {}", self.refit_limit),
+            });
+        }
+        if !(self.max_rejection_rate > 0.0 && self.max_rejection_rate <= 1.0) {
+            return Err(CoreError::InvalidConfig {
+                name: "recalibration.max_rejection_rate",
+                reason: format!("must be in (0, 1], got {}", self.max_rejection_rate),
+            });
+        }
+        if self.warm_budget_divisor == 0 {
+            return Err(CoreError::InvalidConfig {
+                name: "recalibration.warm_budget_divisor",
+                reason: "must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Full configuration of the paper experiment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentConfig {
@@ -187,6 +270,8 @@ pub struct ExperimentConfig {
     pub faults: FaultPlan,
     /// Measurement sanitizer thresholds (screen/repair/winsorize/quarantine).
     pub sanitizer: SanitizerConfig,
+    /// Tiered recalibration policy for streaming wafer lots.
+    pub recalibration: RecalConfig,
 }
 
 impl Default for ExperimentConfig {
@@ -243,6 +328,7 @@ impl Default for ExperimentConfig {
             parallelism: ParallelismConfig::default(),
             faults: FaultPlan::none(),
             sanitizer: SanitizerConfig::default(),
+            recalibration: RecalConfig::default(),
         }
     }
 }
@@ -343,6 +429,7 @@ impl ExperimentConfig {
         }
         self.faults.validate()?;
         self.sanitizer.validate()?;
+        self.recalibration.validate()?;
         Ok(())
     }
 
@@ -419,6 +506,30 @@ mod tests {
         let mut c = base();
         c.sanitizer.mad_k = -1.0;
         assert!(c.validate().is_err());
+        let mut c = base();
+        c.recalibration.control_limit = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = base();
+        c.recalibration.ewma_lambda = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = base();
+        c.recalibration.refit_limit = f64::NAN;
+        assert!(c.validate().is_err());
+        let mut c = base();
+        c.recalibration.max_rejection_rate = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = base();
+        c.recalibration.warm_budget_divisor = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn default_recalibration_policy_is_tiered() {
+        let r = ExperimentConfig::default().recalibration;
+        r.validate().unwrap();
+        // The incremental tier must exist: refits only beyond the limit.
+        assert!(r.refit_limit > r.control_limit);
+        assert!(r.warm_budget_divisor > 1);
     }
 
     #[test]

@@ -115,6 +115,45 @@ impl PaperExperiment {
         })
     }
 
+    /// Opens a streaming wafer-lot session under this configuration: the
+    /// pre-manufacturing stage runs once, then each
+    /// [`advance`](crate::stages::recalibrate::LotStream::advance) call
+    /// measures a lot, checks it for drift and recalibrates as needed.
+    ///
+    /// Like [`PaperExperiment::run_in_context`], the whole setup executes
+    /// inside the configured worker pool; later `advance` calls use the
+    /// ambient pool of their own call site.
+    ///
+    /// # Errors
+    ///
+    /// Propagates drift-plan validation and pre-manufacturing errors.
+    pub fn stream(
+        &self,
+        drift: sidefp_faults::DriftPlan,
+    ) -> Result<crate::stages::recalibrate::LotStream, CoreError> {
+        self.stream_observed(drift, &RunContext::new())
+    }
+
+    /// [`PaperExperiment::stream`] recording setup spans, solver rescues
+    /// and later per-lot decisions into `obs`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PaperExperiment::stream`].
+    pub fn stream_observed(
+        &self,
+        drift: sidefp_faults::DriftPlan,
+        obs: &RunContext,
+    ) -> Result<crate::stages::recalibrate::LotStream, CoreError> {
+        let par = self.config.parallelism;
+        let threads = par.effective_threads();
+        sidefp_parallel::with_threads(threads, || {
+            sidefp_parallel::with_determinism(par.deterministic, || {
+                crate::stages::recalibrate::LotStream::new_observed(self.config.clone(), drift, obs)
+            })
+        })
+    }
+
     /// The stage pipeline itself; assumes the parallelism scope is set.
     fn run_stages(
         &self,

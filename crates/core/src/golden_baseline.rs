@@ -23,11 +23,11 @@ pub fn run(
     config: &BoundaryConfig,
     seed: u64,
 ) -> Result<(TrustedBoundary, Table1Row), CoreError> {
-    run_observed(population, config, seed, crate::timing::ambient())
+    run_observed(population, config, seed, &sidefp_obs::RunContext::new())
 }
 
 /// [`run`] recording the `boundary.golden` fit span and any SVM rescues
-/// into `obs` instead of the ambient compat context.
+/// into `obs` instead of the throwaway context.
 ///
 /// # Errors
 ///

@@ -74,6 +74,57 @@ impl MeasurementHealth {
     }
 }
 
+/// Tiered-recalibration accounting for a streaming wafer-lot run: how many
+/// lots each policy tier absorbed, and how often the incremental path had
+/// to escalate or hand off to the full-refit fallback.
+///
+/// Attached to a [`LotStream`](crate::stages::recalibrate::LotStream); the
+/// counters are exact (every processed lot lands in exactly one of
+/// `accepted` / `recalibrated` / `refitted`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecalHealth {
+    /// Lots processed by the stream (including the calibration lot).
+    pub lots: usize,
+    /// Lots accepted without touching the fitted state (in control).
+    pub accepted: usize,
+    /// Lots absorbed by the incremental recalibration tier.
+    pub recalibrated: usize,
+    /// Lots that took a full from-scratch refit (the calibration lot,
+    /// severity beyond the refit limit, or an incremental self-check
+    /// failure).
+    pub refitted: usize,
+    /// Warm-started solves that exhausted their tight iteration budget and
+    /// were escalated to the full budget.
+    pub escalations: usize,
+    /// Incremental recalibrations discarded by the self-check (each such
+    /// lot also counts in `refitted`).
+    pub selfcheck_failures: usize,
+}
+
+impl RecalHealth {
+    /// `true` if every lot after calibration was accepted as-is.
+    pub fn is_clean(&self) -> bool {
+        self.recalibrated == 0 && self.refitted <= 1 && self.selfcheck_failures == 0
+    }
+
+    /// Renders the counter block as indented plain text.
+    pub fn render(&self) -> String {
+        let mut out = format!("recalibration health ({} lots):\n", self.lots);
+        for (label, n) in [
+            ("accepted              ", self.accepted),
+            ("recalibrated          ", self.recalibrated),
+            ("refitted              ", self.refitted),
+            ("warm-budget escalations", self.escalations),
+            ("self-check failures   ", self.selfcheck_failures),
+        ] {
+            if n > 0 {
+                out.push_str(&format!("  {label} {n}\n"));
+            }
+        }
+        out
+    }
+}
+
 /// Full degradation report of one experiment run: the measurement-stream
 /// half (sanitizer) and the solver half (numerical rescues).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -179,6 +230,29 @@ mod tests {
             h.measurement.quarantined_for(QuarantineReason::DeadDevice),
             1
         );
+    }
+
+    #[test]
+    fn recal_health_renders_nonzero_tiers_only() {
+        let mut h = RecalHealth::default();
+        assert!(h.is_clean());
+        h.lots = 6;
+        h.accepted = 3;
+        h.recalibrated = 2;
+        h.refitted = 1;
+        let text = h.render();
+        assert!(text.contains("6 lots"));
+        assert!(text.contains("accepted               3"));
+        assert!(text.contains("recalibrated           2"));
+        assert!(!text.contains("escalations"));
+        assert!(!h.is_clean());
+        let calm = RecalHealth {
+            lots: 3,
+            accepted: 2,
+            refitted: 1, // the calibration lot
+            ..Default::default()
+        };
+        assert!(calm.is_clean());
     }
 
     #[test]

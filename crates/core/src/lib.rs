@@ -49,14 +49,14 @@ pub mod predictor;
 pub mod report;
 pub mod spc;
 pub mod stages;
-pub mod timing;
 pub mod tuning;
 
 pub use boundary::TrustedBoundary;
 pub use config::{ExperimentConfig, ParallelismConfig};
 pub use error::CoreError;
 pub use experiment::PaperExperiment;
-pub use health::{MeasurementHealth, QuarantineReason, QuarantinedDevice, RunHealth};
+pub use health::{MeasurementHealth, QuarantineReason, QuarantinedDevice, RecalHealth, RunHealth};
 pub use report::{ExperimentResult, Table1Row};
 pub use sidefp_obs::{RunContext, SolverHealth, TraceEvent, TraceRecord};
+pub use stages::recalibrate::{LotAction, LotOutcome, LotStream};
 pub use stages::sanitize::{sanitize_measurements, SanitizedMeasurements, SanitizerConfig};

@@ -73,11 +73,17 @@ impl FingerprintPredictor {
         kind: &RegressorKind,
         space: RegressionSpace,
     ) -> Result<Self, CoreError> {
-        Self::fit_in_space_observed(pcms, fingerprints, kind, space, crate::timing::ambient())
+        Self::fit_in_space_observed(
+            pcms,
+            fingerprints,
+            kind,
+            space,
+            &sidefp_obs::RunContext::new(),
+        )
     }
 
     /// [`FingerprintPredictor::fit_in_space`] recording into `obs` instead
-    /// of the ambient compat context: each per-column MARS fit emits a
+    /// of the throwaway context: each per-column MARS fit emits a
     /// `model_fit` trace event (its surviving basis count) and any
     /// ridge-escalation rescue of the polynomial baseline lands on the
     /// run's own solver-health counters.

@@ -5,7 +5,11 @@
 //! systematic modification of PCMs will result in deviation from expected
 //! parametric measurement statistics and is bound to trigger action by
 //! process engineers." This module is that scrutiny: an x̄ control chart
-//! comparing a product's PCM population against the fab-wide baseline.
+//! comparing a product's PCM population against the fab-wide baseline,
+//! plus an EWMA chart ([`EwmaChart`]) over the lot sequence — the x̄ chart
+//! catches abrupt shifts within one lot, the EWMA chart accumulates the
+//! small per-lot deviations of a slow ramp that never breach the x̄ limit
+//! individually.
 
 use sidefp_linalg::Matrix;
 use sidefp_stats::{descriptive, StatsError};
@@ -15,6 +19,10 @@ use crate::CoreError;
 /// Default control limit: alarm when the population mean deviates more
 /// than 3 standard errors from the baseline (the classic 3σ chart).
 pub const DEFAULT_CONTROL_LIMIT: f64 = 3.0;
+
+/// Default EWMA smoothing weight: the textbook λ = 0.2 trades ramp
+/// sensitivity against inertia after a recalibration.
+pub const DEFAULT_EWMA_LAMBDA: f64 = 0.2;
 
 /// Result of one SPC check.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,13 +102,17 @@ impl SpcMonitor {
         let mut sigmas = Vec::with_capacity(baseline.ncols());
         for j in 0..baseline.ncols() {
             let col = baseline.col(j);
-            means.push(descriptive::mean(&col)?);
+            let mean = descriptive::mean(&col)?;
             let sd = descriptive::std_dev(&col)?;
-            if sd <= 0.0 {
+            // A numerically constant column leaves a few ulps of summation
+            // noise in the sd, which would amplify every later z-score by
+            // ~1e15 — reject relative to the column's own scale, not 0.0.
+            if sd <= mean.abs().max(1.0) * 1e-12 {
                 return Err(CoreError::Stats(StatsError::DegenerateData(format!(
                     "baseline monitor {j} has zero variance"
                 ))));
             }
+            means.push(mean);
             sigmas.push(sd);
         }
         Ok(SpcMonitor {
@@ -113,6 +125,32 @@ impl SpcMonitor {
     /// Number of monitors the chart tracks.
     pub fn dim(&self) -> usize {
         self.means.len()
+    }
+
+    /// The chart's control limit (in standard errors).
+    pub fn control_limit(&self) -> f64 {
+        self.control_limit
+    }
+
+    /// Starts an EWMA chart over this monitor's baseline with smoothing
+    /// weight `lambda` (the chart inherits the monitor's control limit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for `lambda` outside `(0, 1]`.
+    pub fn ewma(&self, lambda: f64) -> Result<EwmaChart, CoreError> {
+        if !(lambda.is_finite() && lambda > 0.0 && lambda <= 1.0) {
+            return Err(CoreError::InvalidConfig {
+                name: "ewma_lambda",
+                reason: format!("must be in (0, 1], got {lambda}"),
+            });
+        }
+        Ok(EwmaChart {
+            monitor: self.clone(),
+            lambda,
+            state: vec![0.0; self.dim()],
+            lots: 0,
+        })
     }
 
     /// Checks a production PCM population against the baseline.
@@ -154,6 +192,88 @@ impl SpcMonitor {
             zscores,
             control_limit: self.control_limit,
         })
+    }
+}
+
+/// An EWMA control chart over the lot sequence, for slow ramps.
+///
+/// Each lot's standardized sample-mean deviation `z_t` (the x̄ chart
+/// statistic) is folded into an exponentially weighted moving average
+/// `E_t = (1 − λ)·E_{t−1} + λ·z_t` per monitor, started at `E_0 = 0`.
+/// Under the in-control hypothesis the `z_t` are standard normal, so
+/// `Var(E_t) = λ/(2−λ)·(1 − (1−λ)^{2t})` and the reported z-score is
+/// `E_t / √Var(E_t)` — comparable against the same control limit as the
+/// x̄ chart. A ramp that moves each lot by a fraction of a standard error
+/// accumulates in `E_t` and alarms long before any single lot would.
+///
+/// With `λ = 1` the chart degenerates to the x̄ chart exactly.
+///
+/// # Example
+///
+/// ```
+/// use sidefp_linalg::Matrix;
+/// use sidefp_core::spc::SpcMonitor;
+///
+/// # fn main() -> Result<(), sidefp_core::CoreError> {
+/// let baseline = Matrix::from_fn(200, 1, |i, _| 5.0 + (i % 7) as f64 * 0.01);
+/// let mut chart = SpcMonitor::calibrate(&baseline)?.ewma(0.3)?;
+/// let lot = Matrix::from_fn(50, 1, |i, _| 5.0 + (i % 7) as f64 * 0.01);
+/// assert!(!chart.update(&lot)?.alarm());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EwmaChart {
+    monitor: SpcMonitor,
+    lambda: f64,
+    state: Vec<f64>,
+    lots: usize,
+}
+
+impl EwmaChart {
+    /// Folds one production lot into the chart and reports the EWMA
+    /// z-scores.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SpcMonitor::check`]; a failed lot leaves the
+    /// chart state untouched.
+    pub fn update(&mut self, production: &Matrix) -> Result<SpcReport, CoreError> {
+        let lot_report = self.monitor.check(production)?;
+        self.lots += 1;
+        // Exact finite-horizon variance of E_t under H0.
+        let decay = (1.0 - self.lambda).powi(2 * self.lots as i32);
+        let sigma_e = (self.lambda / (2.0 - self.lambda) * (1.0 - decay)).sqrt();
+        let zscores = lot_report
+            .zscores
+            .iter()
+            .zip(self.state.iter_mut())
+            .map(|(z, e)| {
+                *e = (1.0 - self.lambda) * *e + self.lambda * z;
+                *e / sigma_e
+            })
+            .collect();
+        Ok(SpcReport {
+            zscores,
+            control_limit: self.monitor.control_limit,
+        })
+    }
+
+    /// Number of lots folded in since calibration (or the last reset).
+    pub fn lots(&self) -> usize {
+        self.lots
+    }
+
+    /// The smoothing weight λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Restarts the chart at `E = 0` — call after a recalibration moves the
+    /// reference, so pre-recalibration drift does not keep alarming.
+    pub fn reset(&mut self) {
+        self.state.iter_mut().for_each(|e| *e = 0.0);
+        self.lots = 0;
     }
 }
 
@@ -280,6 +400,95 @@ mod tests {
         let monitor = SpcMonitor::calibrate(&base).unwrap();
         assert!(monitor.check(&Matrix::zeros(5, 2)).is_err());
         assert_eq!(monitor.dim(), 1);
+    }
+
+    /// A constant baseline monitor has zero variance: every later z-score
+    /// would divide by zero, so calibration must refuse it outright with a
+    /// typed degenerate-data error rather than minting a chart that emits
+    /// ±∞.
+    #[test]
+    fn calibrate_rejects_constant_monitor() {
+        let constant = Matrix::filled(50, 1, 6.4);
+        match SpcMonitor::calibrate(&constant) {
+            Err(CoreError::Stats(StatsError::DegenerateData(msg))) => {
+                assert!(msg.contains("zero variance"), "unexpected message: {msg}");
+            }
+            other => panic!("constant monitor accepted: {other:?}"),
+        }
+        // A single bad column among healthy ones must also be refused.
+        let mixed = population(6.4, 0.3, 50, 30);
+        let mixed = Matrix::from_fn(50, 2, |i, j| if j == 0 { mixed[(i, 0)] } else { 1.0 });
+        assert!(SpcMonitor::calibrate(&mixed).is_err());
+    }
+
+    #[test]
+    fn ewma_accumulates_slow_ramp_the_xbar_chart_misses() {
+        let monitor =
+            SpcMonitor::calibrate_with_limit(&population(6.4, 0.3, 500, 40), 3.0).unwrap();
+        let mut chart = monitor.ewma(DEFAULT_EWMA_LAMBDA).unwrap();
+        // Each lot drifts by ~0.55 standard errors — individually invisible.
+        let mut ewma_alarmed_at = None;
+        for lot in 0..12_usize {
+            let shift = 0.0025 * (lot + 1) as f64;
+            let prod = population(6.4 + shift, 0.3, 60, 41 + lot as u64);
+            let xbar = monitor.check(&prod).unwrap();
+            let ewma = chart.update(&prod).unwrap();
+            if ewma.alarm() && ewma_alarmed_at.is_none() {
+                ewma_alarmed_at = Some((lot, xbar.alarm()));
+            }
+        }
+        let (lot, xbar_alarmed) = ewma_alarmed_at.expect("EWMA never alarmed on the ramp");
+        assert!(
+            !xbar_alarmed,
+            "x̄ chart already alarmed at lot {lot}; ramp too steep for this test"
+        );
+        assert_eq!(chart.lots(), 12);
+    }
+
+    #[test]
+    fn ewma_with_unit_lambda_matches_xbar_chart() {
+        let monitor = SpcMonitor::calibrate(&population(6.4, 0.3, 400, 50)).unwrap();
+        let mut chart = monitor.ewma(1.0).unwrap();
+        for seed in 51..54 {
+            let prod = population(6.38, 0.3, 80, seed);
+            let xbar = monitor.check(&prod).unwrap();
+            let ewma = chart.update(&prod).unwrap();
+            for (a, b) in ewma.zscores.iter().zip(xbar.zscores.iter()) {
+                assert!((a - b).abs() < 1e-12, "λ=1 EWMA {a} != x̄ {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn ewma_reset_restarts_the_chart() {
+        let monitor = SpcMonitor::calibrate(&population(6.4, 0.3, 400, 60)).unwrap();
+        let mut chart = monitor.ewma(0.3).unwrap();
+        for seed in 61..66 {
+            chart.update(&population(6.2, 0.3, 60, seed)).unwrap();
+        }
+        assert!(chart.lots() == 5 && chart.lambda() == 0.3);
+        chart.reset();
+        assert_eq!(chart.lots(), 0);
+        // After reset the first clean lot reads like a fresh chart.
+        let fresh = monitor
+            .ewma(0.3)
+            .unwrap()
+            .update(&population(6.4, 0.3, 60, 70))
+            .unwrap();
+        let reused = chart.update(&population(6.4, 0.3, 60, 70)).unwrap();
+        assert_eq!(fresh.zscores, reused.zscores);
+    }
+
+    #[test]
+    fn ewma_rejects_bad_lambda_and_bad_lots() {
+        let monitor = SpcMonitor::calibrate(&population(6.4, 0.3, 100, 80)).unwrap();
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            assert!(monitor.ewma(bad).is_err(), "lambda {bad} accepted");
+        }
+        let mut chart = monitor.ewma(0.2).unwrap();
+        // A failed lot must not advance the chart.
+        assert!(chart.update(&Matrix::zeros(5, 3)).is_err());
+        assert_eq!(chart.lots(), 0);
     }
 
     #[test]

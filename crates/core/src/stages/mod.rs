@@ -1,11 +1,13 @@
 //! The three stages of the golden chip-free flow.
 
 mod premanufacturing;
+pub mod recalibrate;
 pub mod sanitize;
 mod silicon_stage;
 pub mod trojan_test;
 
 pub use premanufacturing::PremanufacturingStage;
+pub use recalibrate::{LotAction, LotOutcome, LotStream};
 pub use sanitize::{sanitize_measurements, SanitizedMeasurements, SanitizerConfig};
 pub use silicon_stage::SiliconStage;
 

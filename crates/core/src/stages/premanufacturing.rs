@@ -51,11 +51,11 @@ impl PremanufacturingStage {
         bench: &Testbench,
         rng: &mut R,
     ) -> Result<Self, CoreError> {
-        Self::run_observed(config, bench, rng, crate::timing::ambient())
+        Self::run_observed(config, bench, rng, &sidefp_obs::RunContext::new())
     }
 
     /// [`PremanufacturingStage::run`] recording into `obs` instead of the
-    /// ambient compat context: the `mc`/`regression`/`kde.s2` spans, the
+    /// throwaway context: the `mc`/`regression`/`kde.s2` spans, the
     /// B1/B2 boundary fits and every solver rescue land on the run's own
     /// timings, counters and trace ring.
     ///

@@ -54,8 +54,29 @@ pub struct SiliconStage {
     pub kmm_weights: Vec<f64>,
 }
 
+/// One lot's raw tester output, before fault injection and sanitization.
+///
+/// The streaming-lot driver splits measurement from assembly so synthetic
+/// drift can be applied to the raw matrices in between — exactly where a
+/// real process excursion would enter the data.
+#[derive(Debug)]
+pub(crate) struct RawLotMeasurement {
+    /// Raw device fingerprints, one row per fabricated device.
+    pub fingerprints: Matrix,
+    /// Raw on-die PCM readings.
+    pub pcms: Matrix,
+    /// Raw scribe-line (kerf) PCM readings.
+    pub kerf_pcms: Matrix,
+    /// Ground-truth Trojan labels, by raw row.
+    pub labels: Vec<DetectionLabel>,
+    /// Variant tags ("free"/"amplitude"/"frequency"), by raw row.
+    pub tags: Vec<&'static str>,
+    /// Die positions, by raw row.
+    pub positions: Vec<sidefp_silicon::wafer::DiePosition>,
+}
+
 /// Element-wise natural log of a strictly positive matrix.
-fn log_matrix(m: &Matrix) -> Result<Matrix, CoreError> {
+pub(crate) fn log_matrix(m: &Matrix) -> Result<Matrix, CoreError> {
     if m.as_slice().iter().any(|v| *v <= 0.0) {
         return Err(CoreError::InvalidConfig {
             name: "pcms",
@@ -79,7 +100,7 @@ impl SiliconStage {
         pre: &PremanufacturingStage,
         rng: &mut R,
     ) -> Result<Self, CoreError> {
-        Self::run_observed(config, bench, pre, rng, crate::timing::ambient())
+        Self::run_observed(config, bench, pre, rng, &sidefp_obs::RunContext::new())
     }
 
     /// [`SiliconStage::run`] recording into `obs` instead of the ambient
@@ -185,6 +206,17 @@ impl SiliconStage {
         rng: &mut R,
         obs: &RunContext,
     ) -> Result<(DuttPopulation, MeasurementHealth), CoreError> {
+        let raw = Self::measure_raw_lot(config, bench, rng)?;
+        Self::assemble_lot(config, raw, obs)
+    }
+
+    /// Fabricates one lot and measures all `chips × 3` raw devices,
+    /// without any fault injection or sanitization.
+    pub(crate) fn measure_raw_lot<R: Rng>(
+        config: &ExperimentConfig,
+        bench: &Testbench,
+        rng: &mut R,
+    ) -> Result<RawLotMeasurement, CoreError> {
         let foundry = Foundry::with_shift(config.process_shift);
         let map = WaferMap::grid(8);
         let lot = foundry.fabricate_lot(rng, config.wafers_per_lot, &map);
@@ -276,6 +308,31 @@ impl SiliconStage {
             positions.push(die.position());
         }
 
+        Ok(RawLotMeasurement {
+            fingerprints,
+            pcms,
+            kerf_pcms,
+            labels,
+            tags,
+            positions,
+        })
+    }
+
+    /// Injects configured faults, sanitizes, and assembles the raw lot
+    /// measurement into a quarantine-consistent [`DuttPopulation`].
+    pub(crate) fn assemble_lot(
+        config: &ExperimentConfig,
+        raw: RawLotMeasurement,
+        obs: &RunContext,
+    ) -> Result<(DuttPopulation, MeasurementHealth), CoreError> {
+        let RawLotMeasurement {
+            mut fingerprints,
+            mut pcms,
+            kerf_pcms,
+            labels,
+            tags,
+            positions,
+        } = raw;
         // Corrupt (if a fault plan is configured), then sanitize. The
         // injection is seeded by the plan, not the tester RNG, so the same
         // fault plan hits the same coordinates regardless of threading.

@@ -1,0 +1,440 @@
+//! Cross-lot process-drift synthesis.
+//!
+//! Fault injection ([`crate::FaultPlan`]) models *within-lot* measurement
+//! corruption; this module models the slower failure mode a streaming fab
+//! exhibits: the operating point itself wandering across wafer lots. A
+//! [`DriftPlan`] perturbs a lot's paired fingerprint / PCM matrices as a
+//! pure function of `(seed, lot index)` — same determinism contract as
+//! fault injection, so a drifting stream is bit-reproducible at any thread
+//! count.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sidefp_linalg::Matrix;
+
+use crate::FaultError;
+
+/// How an operating point drifts across successive wafer lots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DriftClass {
+    /// An abrupt, persistent step of every column mean at the onset lot
+    /// (e.g. a new implant recipe) — the x̄-chart regime.
+    MeanShift,
+    /// Spread inflation: deviations from the column mean scale by
+    /// `1 + magnitude` from the onset lot on (e.g. a degrading chuck).
+    VarianceInflation,
+    /// A slow linear ramp: the mean moves by `magnitude · σ` *per lot*
+    /// past the onset, accumulating lot over lot (e.g. target drift
+    /// between preventive maintenance) — the EWMA-chart regime.
+    SlowRamp,
+}
+
+impl DriftClass {
+    /// All drift classes, for exhaustive sweeps.
+    pub const ALL: [DriftClass; 3] = [
+        DriftClass::MeanShift,
+        DriftClass::VarianceInflation,
+        DriftClass::SlowRamp,
+    ];
+}
+
+impl fmt::Display for DriftClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DriftClass::MeanShift => "mean-shift",
+            DriftClass::VarianceInflation => "variance-inflation",
+            DriftClass::SlowRamp => "slow-ramp",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One drift class with its severity and onset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftSpec {
+    /// What kind of drift.
+    pub class: DriftClass,
+    /// Severity in units of the per-column standard deviation (per lot for
+    /// [`DriftClass::SlowRamp`], once for the step classes). Must be finite
+    /// and non-negative.
+    pub magnitude: f64,
+    /// First lot index (0-based) the drift affects.
+    pub onset_lot: usize,
+}
+
+/// Exact record of one spec's effect on one lot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftRecord {
+    /// The drift class applied.
+    pub class: DriftClass,
+    /// The lot it was applied to.
+    pub lot: usize,
+    /// Columns perturbed (fingerprints + PCMs).
+    pub columns: usize,
+    /// The effective multiplier on `magnitude` for this lot (1 for step
+    /// classes, the ramp factor for [`DriftClass::SlowRamp`]).
+    pub scale: f64,
+}
+
+/// What a [`DriftPlan::apply`] call actually did to one lot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DriftLedger {
+    records: Vec<DriftRecord>,
+}
+
+impl DriftLedger {
+    /// Per-spec application records, in spec order.
+    pub fn records(&self) -> &[DriftRecord] {
+        &self.records
+    }
+
+    /// Number of specs that perturbed this lot.
+    pub fn total(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if the lot was left untouched.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// A composable, seed-deterministic drift scenario for a lot stream.
+///
+/// Specs are applied in order, each with per-column drift directions drawn
+/// from its own RNG stream forked off the plan seed — the directions depend
+/// only on `(seed, spec index)`, never on the lot, so a ramp accumulates
+/// coherently across lots and adding a spec never perturbs the ones before
+/// it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftPlan {
+    /// Master seed; drift is a pure function of it and the lot index.
+    pub seed: u64,
+    /// Drift specs, applied in order.
+    pub specs: Vec<DriftSpec>,
+}
+
+impl Default for DriftPlan {
+    fn default() -> Self {
+        DriftPlan::none()
+    }
+}
+
+impl DriftPlan {
+    /// The empty plan: every lot passes through untouched.
+    pub fn none() -> Self {
+        DriftPlan {
+            seed: 0,
+            specs: Vec::new(),
+        }
+    }
+
+    /// A plan with a single drift class.
+    pub fn single(class: DriftClass, magnitude: f64, onset_lot: usize, seed: u64) -> Self {
+        DriftPlan {
+            seed,
+            specs: vec![DriftSpec {
+                class,
+                magnitude,
+                onset_lot,
+            }],
+        }
+    }
+
+    /// Adds a drift spec (builder style).
+    #[must_use]
+    pub fn with_drift(mut self, class: DriftClass, magnitude: f64, onset_lot: usize) -> Self {
+        self.specs.push(DriftSpec {
+            class,
+            magnitude,
+            onset_lot,
+        });
+        self
+    }
+
+    /// `true` if the plan perturbs nothing.
+    pub fn is_none(&self) -> bool {
+        self.specs.iter().all(|s| s.magnitude == 0.0)
+    }
+
+    /// Validates every spec's magnitude.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidDriftMagnitude`] for the first
+    /// magnitude that is negative or non-finite.
+    pub fn validate(&self) -> Result<(), FaultError> {
+        for spec in &self.specs {
+            if !(spec.magnitude.is_finite() && spec.magnitude >= 0.0) {
+                return Err(FaultError::InvalidDriftMagnitude {
+                    class: spec.class,
+                    magnitude: spec.magnitude,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the drift this plan prescribes for lot `lot` to the paired
+    /// fingerprint / PCM matrices in place, returning the exact ledger of
+    /// what moved.
+    ///
+    /// Magnitudes are scaled by the *entry* per-column standard deviation
+    /// (captured before any spec runs), so composed specs stay independent
+    /// of application order; degenerate zero-spread columns fall back to a
+    /// tenth of the column-mean magnitude.
+    ///
+    /// # Errors
+    ///
+    /// - [`FaultError::InvalidDriftMagnitude`] if the plan fails
+    ///   [`DriftPlan::validate`].
+    /// - [`FaultError::RowMismatch`] if the matrices disagree on rows.
+    pub fn apply(
+        &self,
+        lot: usize,
+        fingerprints: &mut Matrix,
+        pcms: &mut Matrix,
+    ) -> Result<DriftLedger, FaultError> {
+        self.validate()?;
+        if fingerprints.nrows() != pcms.nrows() {
+            return Err(FaultError::RowMismatch {
+                fingerprints: fingerprints.nrows(),
+                pcms: pcms.nrows(),
+            });
+        }
+        let mut ledger = DriftLedger::default();
+        if fingerprints.nrows() == 0 {
+            return Ok(ledger);
+        }
+        // Entry statistics, shared by every spec of this apply call.
+        let fp_stats = column_scales(fingerprints);
+        let pcm_stats = column_scales(pcms);
+
+        for (idx, spec) in self.specs.iter().enumerate() {
+            if lot < spec.onset_lot || spec.magnitude == 0.0 {
+                continue;
+            }
+            // Directions depend on (seed, spec) only — never the lot — so
+            // ramps accumulate along a fixed axis.
+            let mut rng = StdRng::seed_from_u64(sidefp_parallel::fork_seed(self.seed, idx as u64));
+            let fp_dirs: Vec<f64> = (0..fingerprints.ncols())
+                .map(|_| if rng.random::<bool>() { 1.0 } else { -1.0 })
+                .collect();
+            let pcm_dirs: Vec<f64> = (0..pcms.ncols())
+                .map(|_| if rng.random::<bool>() { 1.0 } else { -1.0 })
+                .collect();
+
+            let scale = match spec.class {
+                // Ramp factor counts lots since onset, inclusive.
+                DriftClass::SlowRamp => (lot - spec.onset_lot + 1) as f64,
+                _ => 1.0,
+            };
+            match spec.class {
+                DriftClass::MeanShift | DriftClass::SlowRamp => {
+                    shift_columns(fingerprints, &fp_stats, &fp_dirs, spec.magnitude * scale);
+                    shift_columns(pcms, &pcm_stats, &pcm_dirs, spec.magnitude * scale);
+                }
+                DriftClass::VarianceInflation => {
+                    inflate_columns(fingerprints, &fp_stats, 1.0 + spec.magnitude);
+                    inflate_columns(pcms, &pcm_stats, 1.0 + spec.magnitude);
+                }
+            }
+            ledger.records.push(DriftRecord {
+                class: spec.class,
+                lot,
+                columns: fingerprints.ncols() + pcms.ncols(),
+                scale,
+            });
+        }
+        Ok(ledger)
+    }
+}
+
+/// Per-column `(mean, drift scale)`: the standard deviation, with a
+/// mean-magnitude fallback for degenerate constant columns.
+fn column_scales(m: &Matrix) -> Vec<(f64, f64)> {
+    let n = m.nrows() as f64;
+    (0..m.ncols())
+        .map(|j| {
+            let col = m.col(j);
+            let mean = col.iter().sum::<f64>() / n;
+            let var = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+            let sd = var.sqrt();
+            let scale = if sd > 0.0 {
+                sd
+            } else {
+                mean.abs().max(1.0) * 0.1
+            };
+            (mean, scale)
+        })
+        .collect()
+}
+
+fn shift_columns(m: &mut Matrix, stats: &[(f64, f64)], dirs: &[f64], amount: f64) {
+    for i in 0..m.nrows() {
+        let row = m.row_mut(i);
+        for (j, v) in row.iter_mut().enumerate() {
+            *v += dirs[j] * amount * stats[j].1;
+        }
+    }
+}
+
+fn inflate_columns(m: &mut Matrix, stats: &[(f64, f64)], factor: f64) {
+    for i in 0..m.nrows() {
+        let row = m.row_mut(i);
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = stats[j].0 + (*v - stats[j].0) * factor;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lot_matrices(seed: u64) -> (Matrix, Matrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fp = Matrix::from_fn(30, 4, |_, _| rng.random::<f64>() * 2.0 + 5.0);
+        let pcm = Matrix::from_fn(30, 2, |_, _| rng.random::<f64>() + 3.0);
+        (fp, pcm)
+    }
+
+    fn col_mean(m: &Matrix, j: usize) -> f64 {
+        m.col(j).iter().sum::<f64>() / m.nrows() as f64
+    }
+
+    fn col_sd(m: &Matrix, j: usize) -> f64 {
+        let mu = col_mean(m, j);
+        (m.col(j).iter().map(|v| (v - mu) * (v - mu)).sum::<f64>() / m.nrows() as f64).sqrt()
+    }
+
+    #[test]
+    fn empty_plan_is_a_noop() {
+        let (mut fp, mut pcm) = lot_matrices(1);
+        let before = fp.clone();
+        let ledger = DriftPlan::none().apply(0, &mut fp, &mut pcm).unwrap();
+        assert!(ledger.is_empty());
+        assert!(DriftPlan::none().is_none());
+        assert_eq!(fp, before);
+    }
+
+    #[test]
+    fn mean_shift_moves_means_persistently_after_onset() {
+        let plan = DriftPlan::single(DriftClass::MeanShift, 1.5, 2, 7);
+        let (clean_fp, clean_pcm) = lot_matrices(2);
+        // Before onset: untouched.
+        let (mut fp, mut pcm) = (clean_fp.clone(), clean_pcm.clone());
+        assert!(plan.apply(1, &mut fp, &mut pcm).unwrap().is_empty());
+        assert_eq!(fp, clean_fp);
+        // At and after onset: every column mean moves by 1.5 σ.
+        for lot in [2, 5] {
+            let (mut fp, mut pcm) = (clean_fp.clone(), clean_pcm.clone());
+            let ledger = plan.apply(lot, &mut fp, &mut pcm).unwrap();
+            assert_eq!(ledger.total(), 1);
+            assert_eq!(ledger.records()[0].scale, 1.0);
+            for j in 0..clean_fp.ncols() {
+                let moved = (col_mean(&fp, j) - col_mean(&clean_fp, j)).abs();
+                let expect = 1.5 * col_sd(&clean_fp, j);
+                assert!(
+                    (moved - expect).abs() < 1e-9,
+                    "col {j}: {moved} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slow_ramp_accumulates_linearly_along_a_fixed_axis() {
+        let plan = DriftPlan::single(DriftClass::SlowRamp, 0.2, 1, 9);
+        let (clean_fp, clean_pcm) = lot_matrices(3);
+        let mut offsets = Vec::new();
+        for lot in 1..4 {
+            let (mut fp, mut pcm) = (clean_fp.clone(), clean_pcm.clone());
+            let ledger = plan.apply(lot, &mut fp, &mut pcm).unwrap();
+            assert_eq!(ledger.records()[0].scale, lot as f64);
+            offsets.push(col_mean(&fp, 0) - col_mean(&clean_fp, 0));
+        }
+        // Same sign every lot, linear growth.
+        assert!(offsets.iter().all(|o| o.signum() == offsets[0].signum()));
+        assert!((offsets[1] / offsets[0] - 2.0).abs() < 1e-9);
+        assert!((offsets[2] / offsets[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_inflation_widens_spread_keeps_mean() {
+        let plan = DriftPlan::single(DriftClass::VarianceInflation, 0.5, 0, 11);
+        let (clean_fp, clean_pcm) = lot_matrices(4);
+        let (mut fp, mut pcm) = (clean_fp.clone(), clean_pcm.clone());
+        plan.apply(0, &mut fp, &mut pcm).unwrap();
+        for j in 0..clean_fp.ncols() {
+            assert!((col_mean(&fp, j) - col_mean(&clean_fp, j)).abs() < 1e-9);
+            let ratio = col_sd(&fp, j) / col_sd(&clean_fp, j);
+            assert!((ratio - 1.5).abs() < 1e-9, "col {j} sd ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn application_is_bit_reproducible() {
+        let plan = DriftPlan::none()
+            .with_drift(DriftClass::MeanShift, 0.8, 1)
+            .with_drift(DriftClass::SlowRamp, 0.1, 0);
+        let plan = DriftPlan { seed: 21, ..plan };
+        let (clean_fp, clean_pcm) = lot_matrices(5);
+        let (mut a_fp, mut a_pcm) = (clean_fp.clone(), clean_pcm.clone());
+        let (mut b_fp, mut b_pcm) = (clean_fp.clone(), clean_pcm.clone());
+        let la = plan.apply(3, &mut a_fp, &mut a_pcm).unwrap();
+        let lb = sidefp_parallel::with_threads(8, || plan.apply(3, &mut b_fp, &mut b_pcm).unwrap());
+        assert_eq!(la, lb);
+        assert_eq!(a_fp.as_slice(), b_fp.as_slice());
+        assert_eq!(a_pcm.as_slice(), b_pcm.as_slice());
+    }
+
+    #[test]
+    fn validate_rejects_bad_magnitudes() {
+        for bad in [-0.1, f64::NAN, f64::INFINITY] {
+            let plan = DriftPlan::single(DriftClass::MeanShift, bad, 0, 1);
+            assert!(matches!(
+                plan.validate(),
+                Err(FaultError::InvalidDriftMagnitude { .. })
+            ));
+            let (mut fp, mut pcm) = lot_matrices(6);
+            assert!(plan.apply(0, &mut fp, &mut pcm).is_err());
+        }
+    }
+
+    #[test]
+    fn row_mismatch_rejected() {
+        let plan = DriftPlan::single(DriftClass::MeanShift, 0.5, 0, 1);
+        let mut fp = Matrix::filled(4, 2, 1.0);
+        let mut pcm = Matrix::filled(3, 1, 1.0);
+        assert!(matches!(
+            plan.apply(0, &mut fp, &mut pcm),
+            Err(FaultError::RowMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_constant_columns_still_drift() {
+        let plan = DriftPlan::single(DriftClass::MeanShift, 1.0, 0, 13);
+        let mut fp = Matrix::filled(6, 2, 5.0);
+        let mut pcm = Matrix::filled(6, 1, 0.0);
+        plan.apply(0, &mut fp, &mut pcm).unwrap();
+        // Fallback scale |mean|·0.1 (or 0.1 for a zero column) applies.
+        assert!((fp[(0, 0)].abs() - 5.0).abs() > 1e-12);
+        assert!(fp.as_slice().iter().all(|v| v.is_finite()));
+        assert!(pcm.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(DriftClass::MeanShift.to_string(), "mean-shift");
+        assert_eq!(
+            DriftClass::VarianceInflation.to_string(),
+            "variance-inflation"
+        );
+        assert_eq!(DriftClass::SlowRamp.to_string(), "slow-ramp");
+        assert_eq!(DriftClass::ALL.len(), 3);
+    }
+}

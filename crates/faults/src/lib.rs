@@ -33,8 +33,10 @@
 
 #![warn(missing_docs)]
 
+mod drift;
 mod inject;
 mod plan;
 
+pub use drift::{DriftClass, DriftLedger, DriftPlan, DriftRecord, DriftSpec};
 pub use inject::{FaultRecord, FaultTarget, InjectionLedger};
 pub use plan::{FaultClass, FaultError, FaultPlan, FaultSpec};

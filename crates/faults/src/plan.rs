@@ -82,6 +82,13 @@ pub enum FaultError {
         /// PCM rows.
         pcms: usize,
     },
+    /// A drift spec's magnitude is negative or non-finite.
+    InvalidDriftMagnitude {
+        /// The offending drift class.
+        class: crate::DriftClass,
+        /// The rejected magnitude.
+        magnitude: f64,
+    },
 }
 
 impl fmt::Display for FaultError {
@@ -93,6 +100,10 @@ impl fmt::Display for FaultError {
             FaultError::RowMismatch { fingerprints, pcms } => write!(
                 f,
                 "fingerprint rows ({fingerprints}) and PCM rows ({pcms}) disagree"
+            ),
+            FaultError::InvalidDriftMagnitude { class, magnitude } => write!(
+                f,
+                "drift `{class}`: magnitude must be finite and >= 0, got {magnitude}"
             ),
         }
     }

@@ -20,9 +20,9 @@
 //! Ownership model: the experiment creates one context per run and threads
 //! `&RunContext` through the stages and every instrumented solver. Two
 //! concurrent runs in one process each observe exactly their own events —
-//! there is no process-global registry to corrupt. The registries that used
-//! to be process-global (`sidefp_core::timing`, `sidefp_stats::diagnostics`)
-//! survive only as deprecated shims over a private ambient context.
+//! there is no process-global registry to corrupt. (The process-global
+//! registries that predated this crate are gone; context-free convenience
+//! entry points construct a throwaway `RunContext` instead.)
 //!
 //! Internal mutexes recover from poisoning
 //! (`lock().unwrap_or_else(PoisonError::into_inner)`): a panic on another
@@ -131,6 +131,16 @@ pub enum TraceEvent {
         /// Human-readable reason ("dead device", "duplicate device").
         reason: String,
     },
+    /// A streaming-lot driver decided what to do with one wafer lot.
+    LotDecision {
+        /// Lot index in the stream (0-based).
+        lot: usize,
+        /// The tiered decision ("accept", "recalibrate", "refit").
+        decision: &'static str,
+        /// Deterministic decision detail (which chart alarmed, the drift
+        /// statistic, or why an incremental update was escalated).
+        detail: String,
+    },
 }
 
 /// A trace event stamped with its position in the run's event sequence.
@@ -200,6 +210,18 @@ impl TraceRecord {
                 out.push_str(&format!("\"type\":\"quarantine\",\"device\":{device},"));
                 out.push_str("\"reason\":\"");
                 escape_json(reason, &mut out);
+                out.push('"');
+            }
+            TraceEvent::LotDecision {
+                lot,
+                decision,
+                detail,
+            } => {
+                out.push_str(&format!("\"type\":\"lot_decision\",\"lot\":{lot},"));
+                out.push_str("\"decision\":\"");
+                escape_json(decision, &mut out);
+                out.push_str("\",\"detail\":\"");
+                escape_json(detail, &mut out);
                 out.push('"');
             }
         }
@@ -318,8 +340,8 @@ impl RunContext {
     }
 
     /// Clears counters, timings and the trace ring. Fresh runs should
-    /// prefer a fresh context; this exists for the deprecated process-global
-    /// shims, which reuse one ambient context across calls.
+    /// prefer a fresh context; this exists for callers that keep one
+    /// long-lived context across logically separate phases.
     pub fn reset(&self) {
         let c = &self.inner.counters;
         for counter in [
@@ -465,6 +487,21 @@ impl RunContext {
             solver,
             kind,
             count,
+        });
+    }
+
+    /// Convenience: records a [`TraceEvent::LotDecision`] with the given
+    /// fields.
+    pub fn trace_lot_decision(
+        &self,
+        lot: usize,
+        decision: &'static str,
+        detail: impl Into<String>,
+    ) {
+        self.trace(TraceEvent::LotDecision {
+            lot,
+            decision,
+            detail: detail.into(),
         });
     }
 
@@ -646,9 +683,10 @@ mod tests {
             device: 12,
             reason: "dead \"device\"\n".into(),
         });
+        ctx.trace_lot_decision(3, "recalibrate", "ewma z=4.20 col=1");
         let jsonl = ctx.trace_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert_eq!(lines.len(), 4);
+        assert_eq!(lines.len(), 5);
         assert_eq!(
             lines[0],
             "{\"seq\":0,\"type\":\"stage_start\",\"stage\":\"kde.s2\"}"
@@ -664,6 +702,11 @@ mod tests {
         assert_eq!(
             lines[3],
             "{\"seq\":3,\"type\":\"quarantine\",\"device\":12,\"reason\":\"dead \\\"device\\\"\\n\"}"
+        );
+        assert_eq!(
+            lines[4],
+            "{\"seq\":4,\"type\":\"lot_decision\",\"lot\":3,\"decision\":\"recalibrate\",\
+             \"detail\":\"ewma z=4.20 col=1\"}"
         );
     }
 

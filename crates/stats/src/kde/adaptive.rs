@@ -81,7 +81,7 @@ impl AdaptiveKde {
     /// - [`StatsError::DegenerateData`] when every pilot density vanishes
     ///   (all local bandwidths would be undefined).
     pub fn fit(data: &Matrix, config: &KdeConfig) -> Result<Self, StatsError> {
-        Self::fit_observed(data, config, crate::diagnostics::ambient())
+        Self::fit_observed(data, config, &sidefp_obs::RunContext::new())
     }
 
     /// [`AdaptiveKde::fit`] reporting any floored pilot densities into
@@ -245,6 +245,33 @@ impl AdaptiveKde {
     /// Global bandwidth `h` (standardized units).
     pub fn bandwidth(&self) -> f64 {
         self.bandwidth
+    }
+
+    /// Replaces the global bandwidth `h` without re-fitting the pilot
+    /// density.
+    ///
+    /// The scaler, z-space observations, local factors `λ_i` and the
+    /// density Jacobian are all kept; only `h` and the precomputed
+    /// `(h·λ_i)^d` denominators change. This is the cheap bandwidth-refresh
+    /// path for drifted populations whose *shape* (and hence pilot-density
+    /// ratios) is still trusted while the spread calls for a different
+    /// smoothing scale — it skips the O(m²) pilot evaluation entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] for a non-positive or
+    /// non-finite bandwidth.
+    pub fn refresh_bandwidth(&mut self, h: f64) -> Result<(), StatsError> {
+        if !(h > 0.0 && h.is_finite()) {
+            return Err(StatsError::InvalidParameter {
+                name: "bandwidth",
+                reason: format!("must be positive and finite, got {h}"),
+            });
+        }
+        let d = self.dim() as f64;
+        self.bandwidth = h;
+        self.hl_pow_d = self.lambdas.iter().map(|l| (h * l).powf(d)).collect();
+        Ok(())
     }
 
     /// Local bandwidth factors `λ_i`, one per observation.
@@ -511,6 +538,49 @@ mod tests {
         // is bounded by m and the 1e-9 floor cannot fire on this data; the
         // per-run counter stays readable and exactly zero.
         assert_eq!(obs.solver_health().kde_pilot_floors, 0);
+    }
+
+    #[test]
+    fn refresh_bandwidth_matches_refit_with_same_pilots() {
+        // Refreshing h on a fitted estimator must reproduce a from-scratch
+        // fit at the new h *up to the pilot stage*: same scaler, same
+        // z-space rows. The lambdas intentionally stay at the old pilot's
+        // values, so compare against a fit whose pilots coincide (alpha = 0
+        // makes lambdas identically 1, removing the pilot dependence).
+        let data = gaussian_blob(80, 19);
+        let cfg = KdeConfig {
+            bandwidth: Some(0.4),
+            alpha: 0.0,
+        };
+        let mut kde = AdaptiveKde::fit(&data, &cfg).unwrap();
+        kde.refresh_bandwidth(0.6).unwrap();
+        let refit = AdaptiveKde::fit(
+            &data,
+            &KdeConfig {
+                bandwidth: Some(0.6),
+                alpha: 0.0,
+            },
+        )
+        .unwrap();
+        assert_eq!(kde.bandwidth(), 0.6);
+        for (a, b) in data.rows_iter().zip(data.rows_iter()) {
+            let da = kde.density(a).unwrap();
+            let db = refit.density(b).unwrap();
+            assert!((da - db).abs() < 1e-12, "{da} vs {db}");
+        }
+    }
+
+    #[test]
+    fn refresh_bandwidth_keeps_lambdas_and_rejects_bad_h() {
+        let data = gaussian_blob(60, 20);
+        let mut kde = AdaptiveKde::fit(&data, &KdeConfig::default()).unwrap();
+        let lambdas = kde.lambdas().to_vec();
+        kde.refresh_bandwidth(kde.bandwidth() * 1.5).unwrap();
+        assert_eq!(kde.lambdas(), lambdas.as_slice());
+        assert!(kde.density(&[1.0, -2.0]).unwrap().is_finite());
+        assert!(kde.refresh_bandwidth(0.0).is_err());
+        assert!(kde.refresh_bandwidth(-1.0).is_err());
+        assert!(kde.refresh_bandwidth(f64::NAN).is_err());
     }
 
     #[test]

@@ -4,10 +4,7 @@ use sidefp_obs::RunContext;
 
 use crate::approx::{self, KernelApprox, KernelFeatureMap};
 use crate::qp::{solve_box_band_detailed, solve_box_band_lowrank, BoxBandConfig};
-use crate::{
-    check_finite_matrix, descriptive, diagnostics, GramMatrix, Kernel, MultivariateNormal,
-    StatsError,
-};
+use crate::{check_finite_matrix, descriptive, GramMatrix, Kernel, MultivariateNormal, StatsError};
 
 /// Relaxation factor for accepting a best-effort QP iterate: a final step
 /// within 100× the configured tolerance still yields usable weights.
@@ -94,7 +91,7 @@ enum KmmBacking {
 
 impl KernelMeanMatching {
     /// Fits importance weights matching `train` to `test`, reporting any
-    /// QP rescue into the process-wide ambient diagnostics context.
+    /// QP rescue into a throwaway [`RunContext`].
     ///
     /// Pipeline code should prefer [`KernelMeanMatching::fit_observed`],
     /// which reports into the run's own [`RunContext`].
@@ -103,7 +100,7 @@ impl KernelMeanMatching {
     ///
     /// See [`KernelMeanMatching::fit_observed`].
     pub fn fit(train: &Matrix, test: &Matrix, config: &KmmConfig) -> Result<Self, StatsError> {
-        Self::fit_observed(train, test, config, diagnostics::ambient())
+        Self::fit_observed(train, test, config, &RunContext::new())
     }
 
     /// Fits importance weights matching `train` to `test`, reporting any
@@ -239,6 +236,90 @@ impl KernelMeanMatching {
         })
     }
 
+    /// Re-solves the importance weights against an *updated* test
+    /// population, reusing the kernel representation cached at fit time.
+    ///
+    /// This is the cheap re-weighting path for drifted operating points:
+    /// the train-side Gram matrix (or low-rank feature map) — the dominant
+    /// fit cost — is kept verbatim, and only the train×test cross block and
+    /// the QP re-solve run fresh. The kernel stays whatever the original
+    /// fit selected (including a median-heuristic choice), so the weights
+    /// are exactly what [`KernelMeanMatching::fit_observed`] would produce
+    /// for the new test set with that kernel pinned.
+    ///
+    /// # Errors
+    ///
+    /// - [`StatsError::InsufficientData`] for fewer than two test rows.
+    /// - [`StatsError::DimensionMismatch`] if the column count differs from
+    ///   the fitted training set.
+    /// - [`StatsError::InvalidParameter`] for non-finite test entries.
+    /// - Parameter and solver errors from the underlying QP.
+    pub fn reweight_observed(
+        &mut self,
+        test: &Matrix,
+        config: &KmmConfig,
+        obs: &RunContext,
+    ) -> Result<(), StatsError> {
+        let ntr = self.train.nrows();
+        let nte = test.nrows();
+        if nte < 2 {
+            return Err(StatsError::InsufficientData {
+                needed: 2,
+                got: nte,
+            });
+        }
+        if test.ncols() != self.train.ncols() {
+            return Err(StatsError::DimensionMismatch {
+                expected: self.train.ncols(),
+                got: test.ncols(),
+            });
+        }
+        check_finite_matrix("test", test)?;
+
+        let ratio = ntr as f64 / nte as f64;
+        let band = config
+            .band
+            .unwrap_or(((ntr as f64).sqrt() - 1.0) / (ntr as f64).sqrt());
+        let qp_cfg = BoxBandConfig {
+            upper: config.upper,
+            band,
+            max_iter: config.max_iter,
+            tol: 1e-7,
+        };
+        let sol = match &self.backing {
+            KmmBacking::Exact(gram) => {
+                let cross = GramMatrix::cross(gram.kernel(), &self.train, test)?;
+                let kappa: Vec<f64> =
+                    sidefp_parallel::map_indexed(ntr, |i| ratio * cross.row(i).iter().sum::<f64>());
+                solve_box_band_detailed(gram.matrix(), &kappa, &qp_cfg)?
+            }
+            KmmBacking::LowRank(map) => {
+                let phi_te = map.embed_rows(test)?;
+                let mut s_te = vec![0.0; map.feature_count()];
+                for row in phi_te.rows_iter() {
+                    vecops::axpy_mut(&mut s_te, 1.0, row);
+                }
+                let phi_tr = map.features();
+                let s_ref = &s_te;
+                let kappa: Vec<f64> = sidefp_parallel::map_indexed(ntr, |i| {
+                    ratio * vecops::dot(phi_tr.row(i), s_ref)
+                });
+                solve_box_band_lowrank(phi_tr, &kappa, &qp_cfg)?
+            }
+        };
+        if !sol.converged {
+            if sol.final_delta <= QP_RELAXED_FACTOR * qp_cfg.tol {
+                obs.record_qp_relaxed();
+                obs.trace_rescue("qp", "relaxed", 1);
+            } else {
+                obs.record_qp_nonconverged();
+                obs.trace_rescue("qp", "nonconverged", 1);
+            }
+        }
+        self.weights = sol.beta;
+        Ok(())
+    }
+
     /// The fitted importance weights, one per training row.
     pub fn weights(&self) -> &[f64] {
         &self.weights
@@ -350,7 +431,7 @@ impl KernelMeanMatching {
         max_iterations: usize,
     ) -> Result<Matrix, StatsError> {
         Self::mean_shift_population_observed(train, test, config, max_iterations, {
-            diagnostics::ambient()
+            &RunContext::new()
         })
     }
 
@@ -621,23 +702,50 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn context_free_fit_records_into_ambient_shim() {
-        // The one-release compatibility contract: the old
-        // reset()/fit()/snapshot() pattern keeps working via the ambient
-        // context. Deltas, not absolutes — other tests share the ambient.
-        let (tr, te) = shifted_sets(11);
-        let before = diagnostics::snapshot();
-        let cfg = KmmConfig {
-            max_iter: 1,
-            ..Default::default()
-        };
-        KernelMeanMatching::fit(&tr, &te, &cfg).unwrap();
-        let after = diagnostics::snapshot();
-        assert!(
-            after.qp_relaxed + after.qp_nonconverged > before.qp_relaxed + before.qp_nonconverged,
-            "ambient-backed fit must keep recording fallbacks"
-        );
+    fn reweight_matches_fresh_fit_with_pinned_kernel() {
+        let (tr, te1) = shifted_sets(11);
+        let mut rng = StdRng::seed_from_u64(42);
+        let te2 = MultivariateNormal::independent(vec![2.0], &[0.7])
+            .unwrap()
+            .sample_matrix(&mut rng, 60);
+        let mut kmm = KernelMeanMatching::fit(&tr, &te1, &KmmConfig::default()).unwrap();
+        let kernel = kmm.kernel();
+        kmm.reweight_observed(&te2, &KmmConfig::default(), &RunContext::new())
+            .unwrap();
+        // A from-scratch fit with the same kernel pinned runs the identical
+        // Gram build + QP trajectory, so the weights must agree bitwise.
+        let fresh = KernelMeanMatching::fit(
+            &tr,
+            &te2,
+            &KmmConfig {
+                kernel: Some(kernel),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(kmm.weights().len(), fresh.weights().len());
+        for (a, b) in kmm.weights().iter().zip(fresh.weights()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn reweight_rejects_bad_inputs() {
+        let (tr, te) = shifted_sets(16);
+        let mut kmm = KernelMeanMatching::fit(&tr, &te, &KmmConfig::default()).unwrap();
+        let one = Matrix::from_rows(&[&[0.0]]).unwrap();
+        assert!(kmm
+            .reweight_observed(&one, &KmmConfig::default(), &RunContext::new())
+            .is_err());
+        let wide = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 2.0]]).unwrap();
+        assert!(kmm
+            .reweight_observed(&wide, &KmmConfig::default(), &RunContext::new())
+            .is_err());
+        let mut bad = te.clone();
+        bad[(0, 0)] = f64::NAN;
+        assert!(kmm
+            .reweight_observed(&bad, &KmmConfig::default(), &RunContext::new())
+            .is_err());
     }
 
     #[test]

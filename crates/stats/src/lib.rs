@@ -51,7 +51,6 @@
 mod approx;
 pub mod bootstrap;
 pub mod descriptive;
-pub mod diagnostics;
 mod error;
 mod gram;
 pub mod kde;
@@ -72,7 +71,6 @@ pub mod roc;
 mod scaler;
 
 pub use approx::{KernelApprox, KernelFeatureMap, LowRankQ};
-pub use diagnostics::SolverHealth;
 pub use error::StatsError;
 // Re-export the per-run observability handle the `*_observed` solver entry
 // points take, so downstream crates need no direct sidefp-obs dependency.
@@ -86,7 +84,7 @@ pub use ocsvm::{OneClassSvm, OneClassSvmConfig};
 pub use pca::Pca;
 pub use regression::Regressor;
 pub use scaler::StandardScaler;
-pub use sidefp_obs::RunContext;
+pub use sidefp_obs::{RunContext, SolverHealth};
 
 // Re-export the linalg error so `?` conversions read naturally downstream.
 pub use sidefp_linalg::LinalgError;

@@ -58,11 +58,11 @@ impl Mars {
     /// - [`StatsError::InvalidParameter`] for a zero `max_terms` /
     ///   `max_interaction` / `max_knots` or negative penalty.
     pub fn fit(x: &Matrix, y: &[f64], config: &MarsConfig) -> Result<Self, StatsError> {
-        Self::fit_observed(x, y, config, crate::diagnostics::ambient())
+        Self::fit_observed(x, y, config, &sidefp_obs::RunContext::new())
     }
 
     /// [`Mars::fit`] reporting the fitted model shape as a trace event into
-    /// `obs` instead of the ambient diagnostics context.
+    /// `obs` instead of a throwaway context.
     ///
     /// MARS solves its least-squares subproblems by QR, so there are no
     /// ridge-escalation rescues to count; the observability hook records a

@@ -63,11 +63,11 @@ impl MultivariateNormal {
     ///   lost definiteness to floating-point noise) is rescued by a bounded
     ///   ridge escalation, recorded in the solver-health diagnostics.
     pub fn new(mean: Vec<f64>, covariance: &Matrix) -> Result<Self, StatsError> {
-        Self::new_observed(mean, covariance, crate::diagnostics::ambient())
+        Self::new_observed(mean, covariance, &sidefp_obs::RunContext::new())
     }
 
     /// [`MultivariateNormal::new`] reporting any ridge-escalation retries
-    /// into `obs` instead of the ambient diagnostics context.
+    /// into `obs` instead of a throwaway context.
     ///
     /// # Errors
     ///

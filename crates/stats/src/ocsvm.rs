@@ -2,7 +2,6 @@ use sidefp_linalg::{vecops, Matrix};
 use sidefp_obs::RunContext;
 
 use crate::approx::{self, DecisionParts, KernelApprox, KernelFeatureMap};
-use crate::diagnostics;
 use crate::qp::{SmoConfig, SmoSolver};
 use crate::{
     check_finite_matrix, check_finite_slice, GramMatrix, Kernel, KernelRowCache, StatsError,
@@ -79,6 +78,15 @@ pub struct OneClassSvm {
     /// Count of training points with `α > margin_tol` — the ν-property SV
     /// count, independent of how the decision function is represented.
     support_count: usize,
+    /// The full dual iterate `α` the SMO solve ended on (all `n` training
+    /// coordinates, not just support vectors). Preserved so a later fit on
+    /// drifted-but-similar data can warm-start near this optimum; empty on
+    /// the low-rank approximation paths, whose feature-space decomposition
+    /// solver keeps its own working-set state.
+    dual_alpha: Vec<f64>,
+    /// Pairwise SMO updates the fit consumed — the cost figure warm-start
+    /// callers compare against a cold fit.
+    solve_iterations: usize,
 }
 
 /// How a trained boundary evaluates `Σ_i α_i k(x_i, x)`.
@@ -100,8 +108,8 @@ enum DecisionModel {
 }
 
 impl OneClassSvm {
-    /// Fits the SVM to the rows of `data`, reporting any SMO rescue into
-    /// the process-wide ambient diagnostics context.
+    /// Fits the SVM to the rows of `data`, reporting any SMO rescue into a
+    /// throwaway [`RunContext`].
     ///
     /// Pipeline code should prefer [`OneClassSvm::fit_observed`], which
     /// reports into the run's own [`RunContext`].
@@ -110,7 +118,7 @@ impl OneClassSvm {
     ///
     /// See [`OneClassSvm::fit_observed`].
     pub fn fit(data: &Matrix, config: &OneClassSvmConfig) -> Result<Self, StatsError> {
-        Self::fit_observed(data, config, diagnostics::ambient())
+        Self::fit_observed(data, config, &RunContext::new())
     }
 
     /// Fits the SVM to the rows of `data`, reporting any relaxed-tolerance
@@ -126,6 +134,48 @@ impl OneClassSvm {
     pub fn fit_observed(
         data: &Matrix,
         config: &OneClassSvmConfig,
+        obs: &RunContext,
+    ) -> Result<Self, StatsError> {
+        Self::fit_inner(data, config, None, obs)
+    }
+
+    /// Fits the SVM warm-started from a previous fit's preserved dual
+    /// iterate (see [`OneClassSvm::dual_alpha`]). On the exact kernel paths
+    /// the SMO solve starts from `start` (repaired onto the feasible
+    /// simplex) instead of the uniform point, typically converging in a
+    /// small fraction of a cold fit's updates when `data` has only drifted
+    /// from the population `start` was fitted on. The fitted model is
+    /// defined by the KKT conditions of the *new* data, so a converged warm
+    /// fit matches a cold fit up to solver tolerance.
+    ///
+    /// On the low-rank approximation paths the start is ignored and the fit
+    /// behaves exactly like [`OneClassSvm::fit_observed`].
+    ///
+    /// # Errors
+    ///
+    /// All of [`OneClassSvm::fit_observed`]'s errors, plus
+    /// [`StatsError::DimensionMismatch`] when `start.len()` differs from the
+    /// row count of `data` and [`StatsError::InvalidParameter`] for
+    /// non-finite start entries.
+    pub fn fit_warm_observed(
+        data: &Matrix,
+        config: &OneClassSvmConfig,
+        start: &[f64],
+        obs: &RunContext,
+    ) -> Result<Self, StatsError> {
+        if start.len() != data.nrows() {
+            return Err(StatsError::DimensionMismatch {
+                expected: data.nrows(),
+                got: start.len(),
+            });
+        }
+        Self::fit_inner(data, config, Some(start), obs)
+    }
+
+    fn fit_inner(
+        data: &Matrix,
+        config: &OneClassSvmConfig,
+        warm: Option<&[f64]>,
         obs: &RunContext,
     ) -> Result<Self, StatsError> {
         let n = data.nrows();
@@ -184,10 +234,16 @@ impl OneClassSvm {
                 let smo = SmoSolver::new(smo_cfg);
                 let sol = if n <= DENSE_GRAM_LIMIT {
                     let q = GramMatrix::symmetric(config.kernel, data);
-                    smo.solve(q.matrix())?
+                    match warm {
+                        Some(start) => smo.solve_with_start(&mut { q.matrix() }, start)?,
+                        None => smo.solve(q.matrix())?,
+                    }
                 } else {
                     let mut cache = KernelRowCache::new(config.kernel, data, KERNEL_CACHE_ROWS);
-                    smo.solve_with(&mut cache)?
+                    match warm {
+                        Some(start) => smo.solve_with_start(&mut cache, start)?,
+                        None => smo.solve_with(&mut cache)?,
+                    }
                 };
                 (sol, None)
             }
@@ -260,6 +316,8 @@ impl OneClassSvm {
             input_dim: data.ncols(),
             trained_nu: config.nu,
             support_count: sv_idx.len(),
+            solve_iterations: sol.iterations,
+            dual_alpha: if map.is_none() { sol.alpha } else { Vec::new() },
         })
     }
 
@@ -387,6 +445,21 @@ impl OneClassSvm {
     /// Input dimension.
     pub fn input_dim(&self) -> usize {
         self.input_dim
+    }
+
+    /// The preserved full dual iterate `α` the fit ended on — the warm
+    /// start for [`OneClassSvm::fit_warm_observed`] on a drifted
+    /// population. Empty when the model was fitted on a low-rank
+    /// approximation path (no exact dual is kept there).
+    pub fn dual_alpha(&self) -> &[f64] {
+        &self.dual_alpha
+    }
+
+    /// Pairwise SMO updates the fit consumed. Warm-started refits report
+    /// far fewer iterations than cold fits on similar data; callers use the
+    /// ratio as a recalibration cost metric.
+    pub fn solve_iterations(&self) -> usize {
+        self.solve_iterations
     }
 }
 

@@ -185,6 +185,76 @@ impl SmoSolver {
     ///
     /// Same contract as [`SmoSolver::solve`].
     pub fn solve_with<Q: WorkingSetQ>(&self, q: &mut Q) -> Result<SmoSolution, StatsError> {
+        let (n, c) = self.validate(q)?;
+
+        // Feasible start: uniform weights, clipped into the box. Uniform is
+        // always feasible because C·n ≥ 1.
+        let mut alpha = vec![(1.0 / n as f64).min(c); n];
+        // Repair any mass deficit from clipping (cannot happen for uniform,
+        // but keep the invariant explicit).
+        let mass: f64 = alpha.iter().sum();
+        if (mass - 1.0).abs() > 1e-12 {
+            let scale = 1.0 / mass;
+            for a in &mut alpha {
+                *a *= scale;
+            }
+        }
+
+        self.iterate(q, alpha)
+    }
+
+    /// Solves the QP starting from a caller-supplied iterate instead of the
+    /// uniform feasible point.
+    ///
+    /// This is the warm-start entry: an `α` preserved from a previous fit on
+    /// similar data lands near the new optimum, so the maximal-violating-pair
+    /// loop converges in far fewer updates than a cold solve. The start is
+    /// repaired into the feasible set before iterating — each coordinate is
+    /// clamped into `[0, C]` and the simplex mass `Σα = 1` is restored by
+    /// proportional scaling (excess) or headroom-proportional fill (deficit),
+    /// so any finite vector of the right length is a legal start.
+    ///
+    /// # Errors
+    ///
+    /// All of [`SmoSolver::solve_with`]'s errors, plus
+    /// [`StatsError::DimensionMismatch`] when `start.len() ≠ q.len()` and
+    /// [`StatsError::InvalidParameter`] for non-finite start entries.
+    pub fn solve_with_start<Q: WorkingSetQ>(
+        &self,
+        q: &mut Q,
+        start: &[f64],
+    ) -> Result<SmoSolution, StatsError> {
+        let (n, c) = self.validate(q)?;
+        if start.len() != n {
+            return Err(StatsError::DimensionMismatch {
+                expected: n,
+                got: start.len(),
+            });
+        }
+        crate::check_finite_slice("smo_start", start)?;
+
+        let mut alpha: Vec<f64> = start.iter().map(|&a| a.clamp(0.0, c)).collect();
+        let mass: f64 = alpha.iter().sum();
+        if mass > 1.0 + 1e-12 {
+            let scale = 1.0 / mass;
+            for a in &mut alpha {
+                *a *= scale;
+            }
+        } else if mass < 1.0 - 1e-12 {
+            // Distribute the deficit proportionally to per-coordinate
+            // headroom: Σ(C − α_i) = C·n − mass ≥ 1 − mass > 0, so the fill
+            // lands exactly on the simplex without leaving the box.
+            let headroom = c * n as f64 - mass;
+            let fill = (1.0 - mass) / headroom;
+            for a in &mut alpha {
+                *a += fill * (c - *a);
+            }
+        }
+
+        self.iterate(q, alpha)
+    }
+
+    fn validate<Q: WorkingSetQ>(&self, q: &mut Q) -> Result<(usize, f64), StatsError> {
         let n = q.len();
         let c = self.config.upper;
         if c <= 0.0 {
@@ -199,19 +269,18 @@ impl SmoSolver {
                 reason: format!("infeasible: upper * n = {} < 1", c * n as f64),
             });
         }
+        Ok((n, c))
+    }
 
-        // Feasible start: uniform weights, clipped into the box. Uniform is
-        // always feasible because C·n ≥ 1.
-        let mut alpha = vec![(1.0 / n as f64).min(c); n];
-        // Repair any mass deficit from clipping (cannot happen for uniform,
-        // but keep the invariant explicit).
-        let mass: f64 = alpha.iter().sum();
-        if (mass - 1.0).abs() > 1e-12 {
-            let scale = 1.0 / mass;
-            for a in &mut alpha {
-                *a *= scale;
-            }
-        }
+    /// The shared maximal-violating-pair loop, from an already-feasible
+    /// iterate (`α ∈ [0, C]ⁿ`, `Σα = 1`).
+    fn iterate<Q: WorkingSetQ>(
+        &self,
+        q: &mut Q,
+        mut alpha: Vec<f64>,
+    ) -> Result<SmoSolution, StatsError> {
+        let n = q.len();
+        let c = self.config.upper;
 
         // gradient = Qα.
         let mut grad = q.matvec(&alpha)?;
@@ -474,6 +543,75 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn warm_start_from_optimum_converges_immediately() {
+        let q = Matrix::from_rows(&[&[1.0, 0.9, 0.1], &[0.9, 1.0, 0.2], &[0.1, 0.2, 1.0]]).unwrap();
+        let solver = SmoSolver::new(SmoConfig::default());
+        let cold = solver.solve(&q).unwrap();
+        let warm = solver.solve_with_start(&mut { &q }, &cold.alpha).unwrap();
+        assert!(warm.converged);
+        assert_eq!(warm.iterations, 0, "optimum should already satisfy KKT");
+        for (a, b) in warm.alpha.iter().zip(&cold.alpha) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn warm_start_repairs_infeasible_iterates() {
+        let q = Matrix::identity(4);
+        let solver = SmoSolver::new(SmoConfig {
+            upper: 0.4,
+            ..Default::default()
+        });
+        // Out-of-box, wrong-mass starts must be clamped back onto the
+        // feasible set before iterating.
+        for start in [
+            vec![5.0, -3.0, 0.2, 0.1],
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![0.1, 0.0, 0.0, 0.0],
+        ] {
+            let sol = solver.solve_with_start(&mut { &q }, &start).unwrap();
+            let mass: f64 = sol.alpha.iter().sum();
+            assert!((mass - 1.0).abs() < 1e-10, "mass {mass}");
+            assert!(sol.alpha.iter().all(|a| *a >= -1e-12 && *a <= 0.4 + 1e-12));
+            assert!(sol.converged);
+        }
+    }
+
+    #[test]
+    fn warm_start_rejects_bad_inputs() {
+        let q = Matrix::identity(3);
+        let solver = SmoSolver::new(SmoConfig::default());
+        assert!(matches!(
+            solver.solve_with_start(&mut { &q }, &[0.5, 0.5]),
+            Err(StatsError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            solver.solve_with_start(&mut { &q }, &[f64::NAN, 0.5, 0.5]),
+            Err(StatsError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn warm_start_matches_cold_solution() {
+        let q = Matrix::from_rows(&[
+            &[2.0, 0.5, 0.0, 0.1],
+            &[0.5, 1.0, 0.3, 0.0],
+            &[0.0, 0.3, 1.5, 0.2],
+            &[0.1, 0.0, 0.2, 0.8],
+        ])
+        .unwrap();
+        let solver = SmoSolver::new(SmoConfig::default());
+        let cold = solver.solve(&q).unwrap();
+        // A mildly perturbed optimum must land on the same solution.
+        let start: Vec<f64> = cold.alpha.iter().map(|a| a + 0.01).collect();
+        let warm = solver.solve_with_start(&mut { &q }, &start).unwrap();
+        assert!(warm.converged);
+        for (a, b) in warm.alpha.iter().zip(&cold.alpha) {
+            assert!((a - b).abs() < 1e-4, "warm {a} vs cold {b}");
+        }
     }
 
     #[test]

@@ -89,11 +89,11 @@ impl PolynomialRidge {
     /// - [`StatsError::Linalg`] if the regularized Gram is still singular
     ///   (λ = 0 with collinear features).
     pub fn fit(x: &Matrix, y: &[f64], config: &RidgeConfig) -> Result<Self, StatsError> {
-        Self::fit_observed(x, y, config, crate::diagnostics::ambient())
+        Self::fit_observed(x, y, config, &sidefp_obs::RunContext::new())
     }
 
     /// [`PolynomialRidge::fit`] reporting any ridge-escalation retries into
-    /// `obs` instead of the ambient diagnostics context.
+    /// `obs` instead of a throwaway context.
     ///
     /// # Errors
     ///

@@ -110,6 +110,53 @@ proptest! {
     }
 
     #[test]
+    fn warm_started_smo_matches_cold_fit_with_fewer_iterations(seed in 0_u64..200) {
+        let mvn = sidefp_stats::MultivariateNormal::independent(
+            vec![0.0, 0.0], &[1.0, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = mvn.sample_matrix(&mut rng, 60);
+        let cfg = OneClassSvmConfig {
+            nu: 0.1,
+            kernel: Kernel::Rbf { gamma: 0.5 },
+            ..Default::default()
+        };
+        let original = OneClassSvm::fit(&base, &cfg).unwrap();
+        prop_assert_eq!(original.dual_alpha().len(), 60);
+        // Drift the population slightly (small mean shift + mild per-row
+        // wobble) — the warm-start regime the streaming-lot driver hits.
+        let mut drifted = base.clone();
+        for i in 0..drifted.nrows() {
+            for j in 0..drifted.ncols() {
+                drifted[(i, j)] += 0.02 + 0.002 * ((i % 7) as f64);
+            }
+        }
+        let cold = OneClassSvm::fit(&drifted, &cfg).unwrap();
+        let obs = sidefp_stats::RunContext::new();
+        let warm = OneClassSvm::fit_warm_observed(
+            &drifted, &cfg, original.dual_alpha(), &obs).unwrap();
+        // Strictly cheaper than the cold fit…
+        prop_assert!(
+            warm.solve_iterations() < cold.solve_iterations(),
+            "warm {} vs cold {} iterations",
+            warm.solve_iterations(), cold.solve_iterations()
+        );
+        // …and the same boundary within solver tolerance.
+        for row in drifted.rows_iter() {
+            let a = warm.decision_function(row).unwrap();
+            let b = cold.decision_function(row).unwrap();
+            prop_assert!((a - b).abs() < 1e-3, "decision {a} vs {b}");
+        }
+        // Bit-identical at any thread count.
+        let fit_warm = || OneClassSvm::fit_warm_observed(
+            &drifted, &cfg, original.dual_alpha(), &sidefp_stats::RunContext::new()).unwrap();
+        let d1 = sidefp_parallel::with_threads(1, fit_warm);
+        let d8 = sidefp_parallel::with_threads(8, fit_warm);
+        prop_assert_eq!(d1.dual_alpha(), d8.dual_alpha());
+        prop_assert!(d1.rho().to_bits() == d8.rho().to_bits());
+        prop_assert_eq!(d1.solve_iterations(), d8.solve_iterations());
+    }
+
+    #[test]
     fn kde_density_nonnegative_everywhere(
         m in spread_matrix(10, 2),
         q in proptest::collection::vec(-20.0_f64..20.0, 2),

@@ -73,6 +73,33 @@ if [[ -f BENCH_kernels.json ]]; then
     ' BENCH_kernels.json
 fi
 
+# The streaming-lot recalibration bench (sidefp-bench --bin drift --json)
+# commits BENCH_drift.json. Validated statically like the kernel sweep:
+# incremental recalibration must keep its >= DRIFT_RATIO_FLOOR x cost
+# advantage over a full from-scratch refit, or the baseline cannot land.
+DRIFT_RATIO_FLOOR=${DRIFT_RATIO_FLOOR:-3.0}
+if [[ -f BENCH_drift.json ]]; then
+    awk -v floor="$DRIFT_RATIO_FLOOR" '
+        {
+            line = $0
+            gsub(/[",:]/, " ", line)
+            split(line, f, " ")
+            if (f[1] == "cost_ratio") ratio = f[2]
+        }
+        END {
+            if (ratio == "") {
+                print "bench_gate: BENCH_drift.json has no cost_ratio; regenerate with: drift --json"
+                exit 1
+            }
+            if (ratio + 0 < floor) {
+                printf "bench_gate: FAIL — committed BENCH_drift.json cost_ratio %.1fx below the %.1fx floor\n", ratio, floor
+                exit 1
+            }
+            printf "bench_gate: drift baseline OK (incremental recalibration %.1fx cheaper than full refit)\n", ratio
+        }
+    ' BENCH_drift.json
+fi
+
 if [[ ! -f "$BASELINE" ]]; then
     echo "bench_gate: no committed $BASELINE; run 'perf --json' and commit it" >&2
     exit 0

@@ -7,11 +7,12 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sidefp_core::stages::recalibrate::{LotAction, LotStream};
 use sidefp_core::stages::sanitize::{
     sanitize_measurements, SanitizedMeasurements, SanitizerConfig,
 };
-use sidefp_core::CoreError;
-use sidefp_faults::{FaultClass, FaultPlan};
+use sidefp_core::{CoreError, ExperimentConfig};
+use sidefp_faults::{DriftClass, DriftPlan, FaultClass, FaultPlan};
 use sidefp_linalg::Matrix;
 
 const N: usize = 20;
@@ -129,5 +130,71 @@ proptest! {
         prop_assert_eq!(second.health.repaired_readings, 0);
         prop_assert_eq!(second.health.devices_kept, first.health.devices_kept);
         prop_assert!(second.health.quarantined.is_empty());
+    }
+}
+
+proptest! {
+    // Each case stands up a full pre-manufacturing stage and streams
+    // several silicon lots, so the case count stays deliberately small.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random multi-lot drift plans against a streaming session: no
+    /// combination of drift classes, magnitudes and onsets may panic the
+    /// stream. Every lot ends in an accept / recalibrate / refit decision
+    /// (or a typed error), and the health counters account for exactly
+    /// the lots that were advanced.
+    #[test]
+    fn random_drift_plans_never_panic_the_stream(
+        seed in 0_u64..100_000,
+        specs in proptest::collection::vec(
+            (0_usize..DriftClass::ALL.len(), 0.0_f64..10.0, 0_usize..3),
+            0..4,
+        ),
+    ) {
+        let config = ExperimentConfig {
+            chips: 10,
+            mc_samples: 40,
+            kde_samples: 1200,
+            seed,
+            ..Default::default()
+        };
+        let mut plan = DriftPlan::none();
+        plan.seed = seed ^ 0xd1f7;
+        for (class, magnitude, onset) in specs {
+            plan = plan.with_drift(DriftClass::ALL[class], magnitude, onset);
+        }
+        let mut stream = match LotStream::new(config, plan) {
+            Ok(stream) => stream,
+            Err(CoreError::InvalidConfig { .. }) => return Ok(()),
+            Err(e) => {
+                prop_assert!(false, "setup: {e}");
+                unreachable!()
+            }
+        };
+        let lots = 3;
+        let mut decided = 0;
+        for _ in 0..lots {
+            match stream.advance() {
+                Ok(outcome) => {
+                    prop_assert!(matches!(
+                        outcome.action,
+                        LotAction::Accepted | LotAction::Recalibrated | LotAction::Refitted
+                    ));
+                    prop_assert!(outcome.severity >= 0.0);
+                    prop_assert_eq!(outcome.table1.len(), 5);
+                    decided += 1;
+                }
+                // Extreme drift may degrade a lot beyond repair or starve a
+                // solver — both must surface as typed errors, not panics.
+                Err(CoreError::DataQuality { .. }) | Err(CoreError::Stats(_)) => break,
+                Err(e) => prop_assert!(false, "unexpected error: {e}"),
+            }
+        }
+        let health = stream.health();
+        prop_assert_eq!(health.lots, decided);
+        prop_assert_eq!(
+            health.accepted + health.recalibrated + health.refitted,
+            health.lots
+        );
     }
 }

@@ -5,15 +5,23 @@
 //! Usage:
 //!
 //! ```text
-//! perf            # print the comparison
-//! perf --json     # additionally dump BENCH_pipeline.json
-//! perf --trace    # additionally dump BENCH_pipeline_trace.jsonl
+//! perf              # print the comparison
+//! perf --json       # additionally dump BENCH_pipeline.json
+//! perf --trace      # additionally dump BENCH_pipeline_trace.jsonl
+//! perf --score-only # only the scoring phase (one fit, no refit noise)
 //! ```
 //!
 //! Each timed run records into its own [`sidefp_core::RunContext`], not
 //! process-global state. The per-stage breakdown is the per-stage
 //! minimum across all single-threaded reps (noise is one-sided); the
 //! `--trace` JSONL dump comes from the best rep's context.
+//!
+//! The scoring phase (`score.*` stages) always runs: it fits one
+//! [`sidefp_core::FittedModel`] and times repeated batch scores against
+//! it, so its per-stage minima carry no refit noise. `--score-only`
+//! skips the pipeline reps entirely for fast local iteration on the
+//! scoring paths (no BENCH_pipeline.json is written in that mode — the
+//! committed baseline needs the full stage set).
 //!
 //! Build with `--release`; the debug profile distorts the hot paths.
 //! Build with `--features count-alloc` to additionally report heap
@@ -23,7 +31,9 @@
 
 use std::time::Instant;
 
-use sidefp_core::{ExperimentConfig, PaperExperiment, ParallelismConfig, RunContext};
+use sidefp_core::{
+    BatchScorer, ExperimentConfig, FittedModel, PaperExperiment, ParallelismConfig, RunContext,
+};
 
 #[cfg(feature = "count-alloc")]
 mod alloc_count {
@@ -73,6 +83,7 @@ mod alloc_count {
 struct AllocReport {
     kde_density_rows: u64,
     ocsvm_decision_rows: u64,
+    score_into_rows: u64,
 }
 
 /// Measures heap blocks requested by the KDE density and OCSVM decision
@@ -121,9 +132,34 @@ fn measure_steady_state_allocs() -> AllocReport {
                 .expect("svm scores");
         }
     });
+
+    // The artifact-driven per-device scoring loop: fit once, then count
+    // heap blocks across a steady-state stretch of `score_into` calls.
+    let model = FittedModel::fit(&ExperimentConfig {
+        chips: 10,
+        mc_samples: 40,
+        kde_samples: 1200,
+        ..Default::default()
+    })
+    .expect("model fits");
+    let mut scorer = BatchScorer::new(&model);
+    let (fps, _) = model.synthesize_batch(1, 64);
+    let mut decisions = vec![0.0; scorer.boundaries().len()];
+    scorer
+        .score_into(fps.row(0), &mut decisions)
+        .expect("scorer scores");
+    let (_, score_allocs) = alloc_count::count_in(|| {
+        for i in 0..fps.nrows() {
+            scorer
+                .score_into(fps.row(i), &mut decisions)
+                .expect("scorer scores");
+        }
+    });
+
     AllocReport {
         kde_density_rows: kde_allocs,
         ocsvm_decision_rows: svm_allocs,
+        score_into_rows: score_allocs,
     }
 }
 
@@ -155,12 +191,75 @@ fn time_run(threads: usize, seed: u64) -> (f64, usize, RunContext) {
     (elapsed, result.resolved_threads, ctx)
 }
 
+/// Fits one model and times `reps` batch scores against it (threads=1,
+/// one warm-up batch). Returns the per-stage minima of the `score.*`
+/// spans and the best whole-batch wall-clock.
+fn time_scoring(reps: usize, batch_devices: usize) -> (Vec<(String, f64)>, f64) {
+    let config = ExperimentConfig {
+        seed: 2,
+        chips: 12,
+        mc_samples: 60,
+        kde_samples: 8000,
+        parallelism: ParallelismConfig {
+            threads: 1,
+            deterministic: true,
+        },
+        ..Default::default()
+    };
+    let model = FittedModel::fit(&config).expect("model fits");
+    let mut scorer = BatchScorer::new(&model);
+    let (fps, pcms) = model.synthesize_batch(99, batch_devices);
+    // Warm-up batch: first call grows the workspace pool.
+    scorer
+        .score_batch(&fps, &pcms, &RunContext::new())
+        .expect("batch scores");
+    let mut stage_min: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let ctx = RunContext::new();
+        let start = Instant::now();
+        scorer.score_batch(&fps, &pcms, &ctx).expect("batch scores");
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1000.0);
+        for (name, ms) in ctx.timing_snapshot() {
+            stage_min
+                .entry(name)
+                .and_modify(|m| *m = m.min(ms))
+                .or_insert(ms);
+        }
+    }
+    (stage_min.into_iter().collect(), best_ms)
+}
+
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let trace = std::env::args().any(|a| a == "--trace");
+    let score_only = std::env::args().any(|a| a == "--score-only");
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+
+    // The scoring phase reuses ONE fitted model across all reps: the
+    // score.* stage minima measure pure scoring, never refit noise.
+    let score_batch_devices = 20_000;
+    let (score_stages, score_batch_ms) = time_scoring(5, score_batch_devices);
+
+    if score_only {
+        println!("scoring (batch of {score_batch_devices} devices, best of 5):");
+        println!("  batch           {score_batch_ms:8.1} ms");
+        for (name, ms) in &score_stages {
+            println!("  {name:<16} {ms:8.2} ms");
+        }
+        if json {
+            println!("note: --score-only writes no BENCH_pipeline.json (needs the full stage set)");
+        }
+        #[cfg(feature = "count-alloc")]
+        {
+            let report = measure_steady_state_allocs();
+            println!("steady-state allocations:");
+            println!("  score_into          {:6}", report.score_into_rows);
+        }
+        return;
+    }
 
     // Warm-up run so allocator and page-cache effects don't bias the
     // single-threaded baseline.
@@ -194,14 +293,30 @@ fn main() {
                 .or_insert(ms);
         }
     }
+    // Merge the scoring-phase stages into the table: the committed
+    // baseline's stage set must match what a fresh default run produces,
+    // so the score.* entries are always present, not opt-in.
+    for (name, ms) in &score_stages {
+        stage_min
+            .entry(name.clone())
+            .and_modify(|m| *m = m.min(*ms))
+            .or_insert(*ms);
+    }
     let stages: Vec<(String, f64)> = stage_min.into_iter().collect();
 
     println!("pipeline (chips 12, mc 60, kde 8000), best of {reps}:");
     println!("  threads=1       {single_ms:8.1} ms");
     println!("  threads=auto({cores}) {pooled_ms:8.1} ms  ({resolved_threads} worker(s))");
     println!("  speedup         {speedup:8.2}x");
-    println!("stages (threads=1, per-stage min over {reps} reps):");
-    let accounted: f64 = stages.iter().map(|(_, ms)| ms).sum();
+    println!("scoring (batch of {score_batch_devices} devices, best of 5): {score_batch_ms:.1} ms");
+    println!("stages (threads=1, per-stage min over {reps} reps; score.* from the scoring phase):");
+    // The untimed remainder is a pipeline-run number: score.* stages are
+    // measured against the reused fitted model, outside `single_ms`.
+    let accounted: f64 = stages
+        .iter()
+        .filter(|(name, _)| !name.starts_with("score."))
+        .map(|(_, ms)| ms)
+        .sum();
     for (name, ms) in &stages {
         println!("  {name:<16} {ms:8.2} ms");
     }
@@ -215,6 +330,7 @@ fn main() {
         println!("steady-state allocations (8 batch-scoring calls each):");
         println!("  kde.density_rows    {:6}", report.kde_density_rows);
         println!("  ocsvm.decision_rows {:6}", report.ocsvm_decision_rows);
+        println!("  score_into          {:6}", report.score_into_rows);
     }
 
     if json {
@@ -226,8 +342,9 @@ fn main() {
             Some(report) => format!(
                 ",\n  \"steady_state_allocs\": {{\n    \
                  \"kde_density_rows\": {},\n    \
-                 \"ocsvm_decision_rows\": {}\n  }}",
-                report.kde_density_rows, report.ocsvm_decision_rows
+                 \"ocsvm_decision_rows\": {},\n    \
+                 \"score_into_rows\": {}\n  }}",
+                report.kde_density_rows, report.ocsvm_decision_rows, report.score_into_rows
             ),
             None => String::new(),
         };

@@ -1,0 +1,254 @@
+//! Renders a run's JSONL trace ring as a per-run span timeline.
+//!
+//! Usage:
+//!
+//! ```text
+//! trace-timeline <trace.jsonl> [--markdown] [--out PATH]
+//! trace-timeline --demo [--markdown] [--out PATH]
+//! ```
+//!
+//! The input is the JSONL produced by `RunContext::trace_jsonl()` (one
+//! record per line: `stage_start` / `stage_end` span brackets plus the
+//! point events — rescues, model fits, quarantines, lot decisions,
+//! scored batches). The timeline pairs the span brackets with a stack,
+//! indents by nesting depth, and annotates every point event at the
+//! depth it occurred, so a run reads top-to-bottom as the pipeline
+//! actually executed. `--demo` runs a small in-process experiment and
+//! renders its own trace, which makes the renderer self-checking
+//! without an input file.
+//!
+//! Ring-overflow tolerance: the trace ring drops its *oldest* records,
+//! so a file may open mid-span. Unmatched `stage_end` records are
+//! rendered (flagged `unmatched`) rather than rejected, and spans still
+//! open at end-of-file are listed as unclosed.
+
+use std::fmt::Write as _;
+
+use sidefp_core::{ExperimentConfig, PaperExperiment, RunContext};
+
+/// Extracts the string value of `"key":"..."` from one JSONL line,
+/// undoing the escapes our tracer emits.
+fn get_str(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts the numeric value of `"key":N` from one JSONL line.
+fn get_num(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// One rendered timeline row.
+struct Row {
+    seq: u64,
+    depth: usize,
+    /// "open" / "close" / "event".
+    kind: &'static str,
+    text: String,
+}
+
+/// Parses the JSONL trace into indented timeline rows plus the list of
+/// spans still open at end-of-input.
+fn build_rows(jsonl: &str) -> (Vec<Row>, Vec<String>) {
+    let mut rows = Vec::new();
+    let mut stack: Vec<String> = Vec::new();
+    for line in jsonl.lines().filter(|l| !l.trim().is_empty()) {
+        let seq = get_num(line, "seq").unwrap_or(0);
+        let ty = get_str(line, "type").unwrap_or_else(|| "?".into());
+        match ty.as_str() {
+            "stage_start" => {
+                let stage = get_str(line, "stage").unwrap_or_default();
+                rows.push(Row {
+                    seq,
+                    depth: stack.len(),
+                    kind: "open",
+                    text: stage.clone(),
+                });
+                stack.push(stage);
+            }
+            "stage_end" => {
+                let stage = get_str(line, "stage").unwrap_or_default();
+                let matched = stack.last().is_some_and(|s| *s == stage);
+                if matched {
+                    stack.pop();
+                }
+                rows.push(Row {
+                    seq,
+                    depth: stack.len(),
+                    kind: "close",
+                    text: if matched {
+                        stage
+                    } else {
+                        format!("{stage} (unmatched)")
+                    },
+                });
+            }
+            other => {
+                let text = match other {
+                    "rescue" => format!(
+                        "rescue: {} {} x{}",
+                        get_str(line, "solver").unwrap_or_default(),
+                        get_str(line, "kind").unwrap_or_default(),
+                        get_num(line, "count").unwrap_or(0)
+                    ),
+                    "model_fit" => format!(
+                        "model_fit: {} {}",
+                        get_str(line, "model").unwrap_or_default(),
+                        get_str(line, "detail").unwrap_or_default()
+                    ),
+                    "quarantine" => format!(
+                        "quarantine: device {} ({})",
+                        get_num(line, "device").unwrap_or(0),
+                        get_str(line, "reason").unwrap_or_default()
+                    ),
+                    "lot_decision" => format!(
+                        "lot {}: {} — {}",
+                        get_num(line, "lot").unwrap_or(0),
+                        get_str(line, "decision").unwrap_or_default(),
+                        get_str(line, "detail").unwrap_or_default()
+                    ),
+                    "batch_scored" => format!(
+                        "batch {}: {} devices, {} kept, {} flagged",
+                        get_num(line, "batch").unwrap_or(0),
+                        get_num(line, "devices").unwrap_or(0),
+                        get_num(line, "kept").unwrap_or(0),
+                        get_num(line, "flagged").unwrap_or(0)
+                    ),
+                    _ => format!("{ty}: {line}"),
+                };
+                rows.push(Row {
+                    seq,
+                    depth: stack.len(),
+                    kind: "event",
+                    text,
+                });
+            }
+        }
+    }
+    (rows, stack)
+}
+
+/// Renders the rows as a plain-text timeline.
+fn render_text(rows: &[Row], open: &[String]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>6}  timeline", "seq");
+    for r in rows {
+        let indent = "  ".repeat(r.depth);
+        let marker = match r.kind {
+            "open" => "+",
+            "close" => "-",
+            _ => ".",
+        };
+        let _ = writeln!(out, "{:>6}  {indent}{marker} {}", r.seq, r.text);
+    }
+    if !open.is_empty() {
+        let _ = writeln!(out, "unclosed at end of trace: {}", open.join(" > "));
+    }
+    out
+}
+
+/// Renders the rows as a nested markdown bullet list.
+fn render_markdown(rows: &[Row], open: &[String]) -> String {
+    let mut out = String::from("# Trace timeline\n\n");
+    for r in rows {
+        let indent = "  ".repeat(r.depth);
+        let line = match r.kind {
+            "open" => format!("**{}** (seq {})", r.text, r.seq),
+            "close" => format!("end **{}** (seq {})", r.text, r.seq),
+            _ => format!("{} (seq {})", r.text, r.seq),
+        };
+        let _ = writeln!(out, "{indent}- {line}");
+    }
+    if !open.is_empty() {
+        let _ = writeln!(out, "\nUnclosed at end of trace: `{}`", open.join(" > "));
+    }
+    out
+}
+
+/// Runs a small in-process experiment and returns its trace JSONL.
+fn demo_trace() -> String {
+    let cfg = ExperimentConfig {
+        chips: 10,
+        mc_samples: 40,
+        kde_samples: 1200,
+        ..Default::default()
+    };
+    let ctx = RunContext::new();
+    PaperExperiment::new(cfg)
+        .expect("valid demo config")
+        .run_in_context(&ctx)
+        .expect("demo run");
+    ctx.trace_jsonl()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let demo = args.iter().any(|a| a == "--demo");
+    let out_pos = args.iter().position(|a| a == "--out");
+    let out_path = out_pos.and_then(|i| args.get(i + 1)).cloned();
+    let input = args
+        .iter()
+        .enumerate()
+        .skip(1)
+        .find(|(i, a)| !a.starts_with("--") && out_pos != Some(i - 1))
+        .map(|(_, a)| a);
+
+    let jsonl = if demo {
+        eprintln!("running the demo pipeline ...");
+        demo_trace()
+    } else {
+        let Some(path) = input else {
+            eprintln!("usage: trace-timeline <trace.jsonl> [--markdown] [--out PATH]");
+            eprintln!("       trace-timeline --demo [--markdown] [--out PATH]");
+            std::process::exit(2);
+        };
+        match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("trace-timeline: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+
+    let (rows, open) = build_rows(&jsonl);
+    let rendered = if markdown {
+        render_markdown(&rows, &open)
+    } else {
+        render_text(&rows, &open)
+    };
+
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &rendered).expect("write timeline");
+            println!("wrote {path} ({} rows)", rows.len());
+        }
+        None => print!("{rendered}"),
+    }
+}

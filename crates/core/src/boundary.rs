@@ -163,6 +163,42 @@ impl TrustedBoundary {
         Ok((scaler, train, svm_config))
     }
 
+    /// Reassembles a boundary from a standardizer and a fitted SVM (the
+    /// artifact-load path): no training happens, the parts are adopted
+    /// as-is after a dimension cross-check.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the scaler and SVM were
+    /// fitted on different dimensions.
+    pub fn from_parts(
+        name: &'static str,
+        scaler: StandardScaler,
+        svm: OneClassSvm,
+    ) -> Result<Self, CoreError> {
+        if scaler.dim() != svm.input_dim() {
+            return Err(CoreError::InvalidConfig {
+                name: "boundary",
+                reason: format!(
+                    "scaler dimension {} vs SVM dimension {}",
+                    scaler.dim(),
+                    svm.input_dim()
+                ),
+            });
+        }
+        Ok(TrustedBoundary { name, scaler, svm })
+    }
+
+    /// The fitted standardizer (artifact-export path).
+    pub fn scaler(&self) -> &StandardScaler {
+        &self.scaler
+    }
+
+    /// The fitted one-class SVM (artifact-export path).
+    pub fn svm(&self) -> &OneClassSvm {
+        &self.svm
+    }
+
     /// Boundary label ("B1" … "B5", "golden").
     pub fn name(&self) -> &'static str {
         self.name
@@ -186,6 +222,25 @@ impl TrustedBoundary {
     pub fn decision(&self, fingerprint: &[f64]) -> Result<f64, CoreError> {
         let z = self.scaler.transform_sample(fingerprint)?;
         Ok(self.svm.decision_function(&z)?)
+    }
+
+    /// Allocation-free form of [`TrustedBoundary::decision`]: standardizes
+    /// the fingerprint into `scratch` (which must have the boundary's
+    /// dimension) and evaluates the SVM there. The value is bit-identical
+    /// to [`TrustedBoundary::decision`]; the steady state performs zero
+    /// heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension-mismatch error for wrong fingerprint or scratch
+    /// length, and rejects non-finite fingerprints.
+    pub fn decision_into(
+        &self,
+        fingerprint: &[f64],
+        scratch: &mut [f64],
+    ) -> Result<f64, CoreError> {
+        self.scaler.transform_sample_into(fingerprint, scratch)?;
+        Ok(self.svm.decision_function(scratch)?)
     }
 
     /// Classifies a fingerprint.

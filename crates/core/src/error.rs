@@ -31,6 +31,8 @@ pub enum CoreError {
     Chip(ChipError),
     /// Error from the fault-injection harness.
     Faults(FaultError),
+    /// Error from the fitted-model artifact codec.
+    Artifact(crate::artifact::ArtifactError),
 }
 
 impl fmt::Display for CoreError {
@@ -46,6 +48,7 @@ impl fmt::Display for CoreError {
             CoreError::Silicon(e) => write!(f, "silicon error: {e}"),
             CoreError::Chip(e) => write!(f, "chip error: {e}"),
             CoreError::Faults(e) => write!(f, "fault injection error: {e}"),
+            CoreError::Artifact(e) => write!(f, "artifact error: {e}"),
         }
     }
 }
@@ -57,6 +60,7 @@ impl Error for CoreError {
             CoreError::Silicon(e) => Some(e),
             CoreError::Chip(e) => Some(e),
             CoreError::Faults(e) => Some(e),
+            CoreError::Artifact(e) => Some(e),
             CoreError::InvalidConfig { .. } | CoreError::DataQuality { .. } => None,
         }
     }
@@ -83,6 +87,12 @@ impl From<SiliconError> for CoreError {
 impl From<ChipError> for CoreError {
     fn from(e: ChipError) -> Self {
         CoreError::Chip(e)
+    }
+}
+
+impl From<crate::artifact::ArtifactError> for CoreError {
+    fn from(e: crate::artifact::ArtifactError) -> Self {
+        CoreError::Artifact(e)
     }
 }
 

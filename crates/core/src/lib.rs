@@ -38,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod boundary;
 pub mod config;
 pub mod dataset;
@@ -47,16 +48,19 @@ pub mod golden_baseline;
 pub mod health;
 pub mod predictor;
 pub mod report;
+pub mod score;
 pub mod spc;
 pub mod stages;
 pub mod tuning;
 
+pub use artifact::{ArtifactError, FittedModel, ARTIFACT_MAGIC, ARTIFACT_VERSION};
 pub use boundary::TrustedBoundary;
 pub use config::{ExperimentConfig, ParallelismConfig};
 pub use error::CoreError;
 pub use experiment::PaperExperiment;
 pub use health::{MeasurementHealth, QuarantineReason, QuarantinedDevice, RecalHealth, RunHealth};
 pub use report::{ExperimentResult, Table1Row};
+pub use score::{BatchScorer, ScoredBatch};
 pub use sidefp_obs::{RunContext, SolverHealth, TraceEvent, TraceRecord};
 pub use stages::recalibrate::{LotAction, LotOutcome, LotStream};
 pub use stages::sanitize::{sanitize_measurements, SanitizedMeasurements, SanitizerConfig};

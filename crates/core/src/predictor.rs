@@ -8,7 +8,7 @@ use sidefp_linalg::Matrix;
 use sidefp_stats::knn::KnnRegressor;
 use sidefp_stats::mars::Mars;
 use sidefp_stats::ridge::PolynomialRidge;
-use sidefp_stats::Regressor;
+use sidefp_stats::{regressor_from_state, Regressor, RegressorState};
 
 use crate::config::{RegressionSpace, RegressorKind};
 use crate::CoreError;
@@ -148,6 +148,70 @@ impl FingerprintPredictor {
         Ok(FingerprintPredictor {
             models,
             input_dim: pcms.ncols(),
+            space,
+        })
+    }
+
+    /// Coordinate space the bank was fitted in.
+    pub fn space(&self) -> RegressionSpace {
+        self.space
+    }
+
+    /// Exports every per-column model as a persistable
+    /// [`RegressorState`] (artifact-export path);
+    /// [`FingerprintPredictor::from_states`] is the inverse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when a model is not one of the
+    /// workspace's persistable regressor families.
+    pub fn export_states(&self) -> Result<Vec<RegressorState>, CoreError> {
+        self.models
+            .iter()
+            .map(|m| {
+                m.export_state().ok_or(CoreError::InvalidConfig {
+                    name: "predictor",
+                    reason: "regressor family has no persistable state".into(),
+                })
+            })
+            .collect()
+    }
+
+    /// Reassembles a bank from exported per-column states — no fitting
+    /// happens, so predictions are bit-identical to the exporting bank's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an empty bank or a model
+    /// whose input dimension disagrees with `input_dim`, and propagates
+    /// per-model state validation errors.
+    pub fn from_states(
+        states: Vec<RegressorState>,
+        input_dim: usize,
+        space: RegressionSpace,
+    ) -> Result<Self, CoreError> {
+        if states.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                name: "predictor",
+                reason: "regressor bank must have at least one model".into(),
+            });
+        }
+        let models = states
+            .into_iter()
+            .map(|s| regressor_from_state(s).map_err(CoreError::from))
+            .collect::<Result<Vec<Box<dyn Regressor>>, CoreError>>()?;
+        if let Some(m) = models.iter().find(|m| m.input_dim() != input_dim) {
+            return Err(CoreError::InvalidConfig {
+                name: "predictor",
+                reason: format!(
+                    "model fitted on dimension {} vs bank dimension {input_dim}",
+                    m.input_dim()
+                ),
+            });
+        }
+        Ok(FingerprintPredictor {
+            models,
+            input_dim,
             space,
         })
     }

@@ -192,25 +192,38 @@ pub fn sanitize_measurements(
     // Pass 2 — quarantine exact duplicates among the survivors (keep the
     // first occurrence). Bit-level comparison: continuous measurement noise
     // makes accidental collisions impossible, so a match is a logging bug.
-    let row_bits = |i: usize| -> Vec<u64> {
-        fingerprints
-            .row(i)
-            .iter()
-            .chain(pcms.row(i).iter())
-            .map(|v| v.to_bits())
-            .collect()
+    // Rows are FNV-hashed over their bit patterns and the full comparison
+    // runs only within a hash bucket, so dedup stays O(n) at wafer-lot
+    // batch sizes instead of an all-pairs scan. Bucket membership is the
+    // only map operation — iteration order never matters — so results stay
+    // bit-deterministic.
+    let row_hash = |i: usize| -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for v in fingerprints.row(i).iter().chain(pcms.row(i).iter()) {
+            for b in v.to_bits().to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h
     };
-    let mut seen: Vec<(usize, Vec<u64>)> = Vec::with_capacity(alive.len());
+    let rows_equal = |a: usize, b: usize| -> bool {
+        let bits_eq =
+            |x: &[f64], y: &[f64]| x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits());
+        bits_eq(fingerprints.row(a), fingerprints.row(b)) && bits_eq(pcms.row(a), pcms.row(b))
+    };
+    let mut buckets: std::collections::HashMap<u64, Vec<usize>> =
+        std::collections::HashMap::with_capacity(alive.len());
     let mut kept: Vec<usize> = Vec::with_capacity(alive.len());
     for &i in &alive {
-        let bits = row_bits(i);
-        if seen.iter().any(|(_, b)| *b == bits) {
+        let bucket = buckets.entry(row_hash(i)).or_default();
+        if bucket.iter().any(|&j| rows_equal(j, i)) {
             health.quarantined.push(QuarantinedDevice {
                 index: i,
                 reason: QuarantineReason::DuplicateDevice,
             });
         } else {
-            seen.push((i, bits));
+            bucket.push(i);
             kept.push(i);
         }
     }

@@ -141,6 +141,17 @@ pub enum TraceEvent {
         /// statistic, or why an incremental update was escalated).
         detail: String,
     },
+    /// The batch scoring engine finished one device batch.
+    BatchScored {
+        /// Batch index in the scoring stream (0-based).
+        batch: usize,
+        /// Devices submitted in the batch.
+        devices: usize,
+        /// Devices that survived sanitization and were scored.
+        kept: usize,
+        /// Scored devices flagged outside at least one trusted boundary.
+        flagged: usize,
+    },
 }
 
 /// A trace event stamped with its position in the run's event sequence.
@@ -223,6 +234,17 @@ impl TraceRecord {
                 out.push_str("\",\"detail\":\"");
                 escape_json(detail, &mut out);
                 out.push('"');
+            }
+            TraceEvent::BatchScored {
+                batch,
+                devices,
+                kept,
+                flagged,
+            } => {
+                out.push_str(&format!(
+                    "\"type\":\"batch_scored\",\"batch\":{batch},\
+                     \"devices\":{devices},\"kept\":{kept},\"flagged\":{flagged}"
+                ));
             }
         }
         out.push('}');
@@ -502,6 +524,17 @@ impl RunContext {
             lot,
             decision,
             detail: detail.into(),
+        });
+    }
+
+    /// Convenience: records a [`TraceEvent::BatchScored`] with the given
+    /// fields.
+    pub fn trace_batch_scored(&self, batch: usize, devices: usize, kept: usize, flagged: usize) {
+        self.trace(TraceEvent::BatchScored {
+            batch,
+            devices,
+            kept,
+            flagged,
         });
     }
 

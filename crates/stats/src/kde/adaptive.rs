@@ -2,6 +2,7 @@ use rand::{Rng, SeedableRng};
 use sidefp_linalg::{Matrix, Workspace};
 
 use crate::kde::Epanechnikov;
+use crate::state::{KdeState, ScalerState};
 use crate::{check_finite_matrix, descriptive, StandardScaler, StatsError};
 
 /// Squared distance `‖(x − row)/h‖²` capped at the Epanechnikov support
@@ -396,6 +397,88 @@ impl AdaptiveKde {
         }
         out
     }
+
+    /// Exports the fitted estimator as a plain-data [`KdeState`] snapshot.
+    ///
+    /// Only the independent parameters are stored; the precomputed
+    /// `(h·λ_i)^d` table and the standardization Jacobian are recomputed
+    /// by [`AdaptiveKde::from_state`] with the identical arithmetic the
+    /// fit uses, so densities and samples round-trip bit-exactly.
+    pub fn export_state(&self) -> KdeState {
+        KdeState {
+            scaler: ScalerState {
+                means: self.scaler.means().to_vec(),
+                stds: self.scaler.stds().to_vec(),
+            },
+            z: self.z.clone(),
+            bandwidth: self.bandwidth,
+            lambdas: self.lambdas.clone(),
+        }
+    }
+
+    /// Reconstructs a fitted estimator from an exported [`KdeState`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] when the state is
+    /// internally inconsistent: scaler/observation dimensions disagree,
+    /// the bandwidth or a λ factor is not strictly positive and finite,
+    /// or an observation is non-finite.
+    pub fn from_state(state: KdeState) -> Result<Self, StatsError> {
+        let scaler = StandardScaler::from_parts(state.scaler.means, state.scaler.stds)?;
+        if state.z.nrows() < 2 || state.z.ncols() != scaler.dim() {
+            return Err(StatsError::InvalidParameter {
+                name: "kde.z",
+                reason: format!(
+                    "expected >= 2 rows of {} columns, got {}x{}",
+                    scaler.dim(),
+                    state.z.nrows(),
+                    state.z.ncols()
+                ),
+            });
+        }
+        check_finite_matrix("kde.z", &state.z)?;
+        if !(state.bandwidth > 0.0 && state.bandwidth.is_finite()) {
+            return Err(StatsError::InvalidParameter {
+                name: "kde.bandwidth",
+                reason: format!("must be positive and finite, got {}", state.bandwidth),
+            });
+        }
+        if state.lambdas.len() != state.z.nrows() {
+            return Err(StatsError::InvalidParameter {
+                name: "kde.lambdas",
+                reason: format!(
+                    "{} lambdas vs {} observations",
+                    state.lambdas.len(),
+                    state.z.nrows()
+                ),
+            });
+        }
+        if state.lambdas.iter().any(|l| !(l.is_finite() && *l > 0.0)) {
+            return Err(StatsError::InvalidParameter {
+                name: "kde.lambdas",
+                reason: "every lambda must be strictly positive and finite".into(),
+            });
+        }
+        let d = state.z.ncols();
+        // Recomputed exactly as in `fit_observed` / `refresh_bandwidth`,
+        // so the reconstructed estimator is bit-identical to the original.
+        let jacobian = scaler.stds().iter().product();
+        let hl_pow_d = state
+            .lambdas
+            .iter()
+            .map(|l| (state.bandwidth * l).powf(d as f64))
+            .collect();
+        Ok(AdaptiveKde {
+            scaler,
+            kernel: Epanechnikov::new(d),
+            z: state.z,
+            bandwidth: state.bandwidth,
+            lambdas: state.lambdas,
+            hl_pow_d,
+            jacobian,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -657,6 +740,51 @@ mod tests {
         let dm = data.column_means();
         assert!((sm[0] - dm[0]).abs() < 0.15);
         assert!((sm[1] - dm[1]).abs() < 0.3);
+    }
+
+    #[test]
+    fn state_round_trip_is_bit_identical() {
+        let data = gaussian_blob(120, 23);
+        let kde = AdaptiveKde::fit(&data, &KdeConfig::default()).unwrap();
+        let state = kde.export_state();
+        let rebuilt = AdaptiveKde::from_state(state.clone()).unwrap();
+        assert_eq!(rebuilt.export_state(), state);
+        assert_eq!(rebuilt.bandwidth(), kde.bandwidth());
+        assert_eq!(rebuilt.lambdas(), kde.lambdas());
+        for row in data.rows_iter() {
+            assert_eq!(
+                rebuilt.density(row).unwrap().to_bits(),
+                kde.density(row).unwrap().to_bits()
+            );
+        }
+        // Samples are a pure function of (state, seed), so they match too.
+        assert_eq!(
+            rebuilt.sample_matrix_streamed(5, 64).as_slice(),
+            kde.sample_matrix_streamed(5, 64).as_slice()
+        );
+    }
+
+    #[test]
+    fn corrupt_kde_states_are_rejected() {
+        let data = gaussian_blob(40, 24);
+        let kde = AdaptiveKde::fit(&data, &KdeConfig::default()).unwrap();
+        let good = kde.export_state();
+
+        let mut s = good.clone();
+        s.bandwidth = 0.0;
+        assert!(AdaptiveKde::from_state(s).is_err());
+
+        let mut s = good.clone();
+        s.lambdas.pop();
+        assert!(AdaptiveKde::from_state(s).is_err());
+
+        let mut s = good.clone();
+        s.lambdas[0] = -1.0;
+        assert!(AdaptiveKde::from_state(s).is_err());
+
+        let mut s = good;
+        s.scaler.stds[0] = 0.0;
+        assert!(AdaptiveKde::from_state(s).is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use sidefp_linalg::{vecops, Matrix};
 
+use crate::state::{KnnState, RegressorState};
 use crate::{Regressor, StatsError};
 
 /// Configuration for [`KnnRegressor`].
@@ -83,6 +84,51 @@ impl KnnRegressor {
     pub fn k(&self) -> usize {
         self.k
     }
+
+    /// Exports the fitted model as a plain-data [`KnnState`] snapshot;
+    /// [`KnnRegressor::from_state`] reconstructs a bit-identical predictor.
+    pub fn export_state(&self) -> KnnState {
+        KnnState {
+            x: self.x.clone(),
+            y: self.y.clone(),
+            k: self.k,
+        }
+    }
+
+    /// Reconstructs a fitted model from an exported [`KnnState`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] when target and sample
+    /// counts disagree, `k` is outside `[1, nrows]`, or a value is
+    /// non-finite.
+    pub fn from_state(state: KnnState) -> Result<Self, StatsError> {
+        if state.x.nrows() == 0 || state.x.ncols() == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "knn.x",
+                reason: "training matrix must be non-empty".into(),
+            });
+        }
+        if state.y.len() != state.x.nrows() {
+            return Err(StatsError::InvalidParameter {
+                name: "knn.y",
+                reason: format!("{} targets vs {} samples", state.y.len(), state.x.nrows()),
+            });
+        }
+        if state.k == 0 || state.k > state.x.nrows() {
+            return Err(StatsError::InvalidParameter {
+                name: "knn.k",
+                reason: format!("k = {} outside [1, {}]", state.k, state.x.nrows()),
+            });
+        }
+        crate::state::require_finite("knn.x", state.x.as_slice())?;
+        crate::state::require_finite("knn.y", &state.y)?;
+        Ok(KnnRegressor {
+            x: state.x,
+            y: state.y,
+            k: state.k,
+        })
+    }
 }
 
 impl Regressor for KnnRegressor {
@@ -119,6 +165,10 @@ impl Regressor for KnnRegressor {
 
     fn input_dim(&self) -> usize {
         self.x.ncols()
+    }
+
+    fn export_state(&self) -> Option<RegressorState> {
+        Some(RegressorState::Knn(KnnRegressor::export_state(self)))
     }
 }
 

@@ -69,6 +69,7 @@ mod regression;
 pub mod ridge;
 pub mod roc;
 mod scaler;
+pub mod state;
 
 pub use approx::{KernelApprox, KernelFeatureMap, LowRankQ};
 pub use error::StatsError;
@@ -85,6 +86,10 @@ pub use pca::Pca;
 pub use regression::Regressor;
 pub use scaler::StandardScaler;
 pub use sidefp_obs::{RunContext, SolverHealth};
+pub use state::{
+    regressor_from_state, KdeState, KnnState, MarsBasisState, MarsState, RegressorState,
+    RidgeState, ScalerState, SvmDecisionState, SvmState,
+};
 
 // Re-export the linalg error so `?` conversions read naturally downstream.
 pub use sidefp_linalg::LinalgError;

@@ -68,6 +68,13 @@ impl BasisFunction {
         }
     }
 
+    /// Rebuilds a basis from its factors — the reconstruction path for
+    /// persisted models, inverse of [`BasisFunction::hinges`] +
+    /// [`BasisFunction::linear_features`].
+    pub fn from_parts(hinges: Vec<Hinge>, linear: Vec<usize>) -> Self {
+        BasisFunction { hinges, linear }
+    }
+
     /// Extends this basis with one more hinge (the forward-pass child).
     pub fn with_hinge(&self, hinge: Hinge) -> Self {
         let mut out = self.clone();

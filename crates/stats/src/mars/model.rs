@@ -1,6 +1,7 @@
 use sidefp_linalg::Matrix;
 
 use crate::mars::{BasisFunction, Hinge, HingeDirection};
+use crate::state::{MarsBasisState, MarsState, RegressorState};
 use crate::{Regressor, StatsError};
 
 /// Borrow every design column as a slice (trial fits extend this cheap
@@ -362,6 +363,87 @@ impl Mars {
     pub fn gcv_score(&self) -> f64 {
         self.gcv
     }
+
+    /// Exports the fitted model as a plain-data [`MarsState`] snapshot;
+    /// [`Mars::from_state`] reconstructs a bit-identical predictor.
+    pub fn export_state(&self) -> MarsState {
+        MarsState {
+            bases: self
+                .bases
+                .iter()
+                .map(|b| MarsBasisState {
+                    hinges: b.hinges().to_vec(),
+                    linear: b.linear_features().to_vec(),
+                })
+                .collect(),
+            coefficients: self.coefficients.clone(),
+            input_dim: self.input_dim,
+            gcv: self.gcv,
+        }
+    }
+
+    /// Reconstructs a fitted model from an exported [`MarsState`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] when the state is
+    /// internally inconsistent: basis/coefficient counts disagree, a
+    /// feature index is out of range, or a value is non-finite.
+    pub fn from_state(state: MarsState) -> Result<Self, StatsError> {
+        if state.input_dim == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "mars.input_dim",
+                reason: "must be positive".into(),
+            });
+        }
+        if state.bases.is_empty() || state.bases.len() != state.coefficients.len() {
+            return Err(StatsError::InvalidParameter {
+                name: "mars.bases",
+                reason: format!(
+                    "{} bases vs {} coefficients",
+                    state.bases.len(),
+                    state.coefficients.len()
+                ),
+            });
+        }
+        crate::state::require_finite("mars.coefficients", &state.coefficients)?;
+        if !(state.gcv.is_finite() && state.gcv >= 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "mars.gcv",
+                reason: format!("must be finite and non-negative, got {}", state.gcv),
+            });
+        }
+        let mut bases = Vec::with_capacity(state.bases.len());
+        for b in state.bases {
+            for h in &b.hinges {
+                if h.feature >= state.input_dim || !h.knot.is_finite() {
+                    return Err(StatsError::InvalidParameter {
+                        name: "mars.hinges",
+                        reason: format!(
+                            "hinge on feature {} with knot {} is invalid for dim {}",
+                            h.feature, h.knot, state.input_dim
+                        ),
+                    });
+                }
+            }
+            if let Some(&j) = b.linear.iter().find(|&&j| j >= state.input_dim) {
+                return Err(StatsError::InvalidParameter {
+                    name: "mars.linear",
+                    reason: format!(
+                        "linear feature {j} out of range for dim {}",
+                        state.input_dim
+                    ),
+                });
+            }
+            bases.push(BasisFunction::from_parts(b.hinges, b.linear));
+        }
+        Ok(Mars {
+            bases,
+            coefficients: state.coefficients,
+            input_dim: state.input_dim,
+            gcv: state.gcv,
+        })
+    }
 }
 
 impl Regressor for Mars {
@@ -382,6 +464,10 @@ impl Regressor for Mars {
 
     fn input_dim(&self) -> usize {
         self.input_dim
+    }
+
+    fn export_state(&self) -> Option<RegressorState> {
+        Some(RegressorState::Mars(Mars::export_state(self)))
     }
 }
 

@@ -3,6 +3,7 @@ use sidefp_obs::RunContext;
 
 use crate::approx::{self, DecisionParts, KernelApprox, KernelFeatureMap};
 use crate::qp::{SmoConfig, SmoSolver};
+use crate::state::{SvmDecisionState, SvmState};
 use crate::{
     check_finite_matrix, check_finite_slice, GramMatrix, Kernel, KernelRowCache, StatsError,
 };
@@ -461,6 +462,147 @@ impl OneClassSvm {
     pub fn solve_iterations(&self) -> usize {
         self.solve_iterations
     }
+
+    /// Exports the fitted model as a plain-data [`SvmState`] snapshot for
+    /// persistence; [`OneClassSvm::from_state`] reconstructs a model whose
+    /// decision values are bit-identical.
+    pub fn export_state(&self) -> SvmState {
+        SvmState {
+            decision: match &self.model {
+                DecisionModel::KernelExpansion { points, coeffs } => SvmDecisionState::Expansion {
+                    points: points.clone(),
+                    coeffs: coeffs.clone(),
+                },
+                DecisionModel::RandomFeatures {
+                    omega,
+                    offsets,
+                    scale,
+                    w,
+                } => SvmDecisionState::RandomFeatures {
+                    omega: omega.clone(),
+                    offsets: offsets.clone(),
+                    scale: *scale,
+                    w: w.clone(),
+                },
+            },
+            rho: self.rho,
+            kernel: self.kernel,
+            input_dim: self.input_dim,
+            nu: self.trained_nu,
+            support_count: self.support_count,
+            dual_alpha: self.dual_alpha.clone(),
+            solve_iterations: self.solve_iterations,
+        }
+    }
+
+    /// Reconstructs a trained model from an exported [`SvmState`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] when the state is
+    /// internally inconsistent: kernel hyper-parameters invalid,
+    /// `ν ∉ (0, 1]`, non-finite values, or decision-representation shapes
+    /// that disagree with `input_dim`.
+    pub fn from_state(state: SvmState) -> Result<Self, StatsError> {
+        state.kernel.validate()?;
+        if !(state.nu > 0.0 && state.nu <= 1.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "svm.nu",
+                reason: format!("must be in (0, 1], got {}", state.nu),
+            });
+        }
+        if !state.rho.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "svm.rho",
+                reason: "must be finite".into(),
+            });
+        }
+        if state.input_dim == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "svm.input_dim",
+                reason: "must be positive".into(),
+            });
+        }
+        crate::state::require_finite("svm.dual_alpha", &state.dual_alpha)?;
+        let model = match state.decision {
+            SvmDecisionState::Expansion { points, coeffs } => {
+                if points.nrows() == 0 || points.ncols() != state.input_dim {
+                    return Err(StatsError::InvalidParameter {
+                        name: "svm.points",
+                        reason: format!(
+                            "expected non-empty {}-column matrix, got {}x{}",
+                            state.input_dim,
+                            points.nrows(),
+                            points.ncols()
+                        ),
+                    });
+                }
+                if coeffs.len() != points.nrows() {
+                    return Err(StatsError::InvalidParameter {
+                        name: "svm.coeffs",
+                        reason: format!("{} coeffs vs {} points", coeffs.len(), points.nrows()),
+                    });
+                }
+                check_finite_matrix("svm.points", &points)?;
+                crate::state::require_finite("svm.coeffs", &coeffs)?;
+                DecisionModel::KernelExpansion { points, coeffs }
+            }
+            SvmDecisionState::RandomFeatures {
+                omega,
+                offsets,
+                scale,
+                w,
+            } => {
+                if omega.nrows() == 0 || omega.ncols() != state.input_dim {
+                    return Err(StatsError::InvalidParameter {
+                        name: "svm.omega",
+                        reason: format!(
+                            "expected non-empty {}-column matrix, got {}x{}",
+                            state.input_dim,
+                            omega.nrows(),
+                            omega.ncols()
+                        ),
+                    });
+                }
+                if offsets.len() != omega.nrows() || w.len() != omega.nrows() {
+                    return Err(StatsError::InvalidParameter {
+                        name: "svm.offsets",
+                        reason: format!(
+                            "{} offsets / {} weights vs {} frequencies",
+                            offsets.len(),
+                            w.len(),
+                            omega.nrows()
+                        ),
+                    });
+                }
+                if !scale.is_finite() {
+                    return Err(StatsError::InvalidParameter {
+                        name: "svm.scale",
+                        reason: "must be finite".into(),
+                    });
+                }
+                check_finite_matrix("svm.omega", &omega)?;
+                crate::state::require_finite("svm.offsets", &offsets)?;
+                crate::state::require_finite("svm.w", &w)?;
+                DecisionModel::RandomFeatures {
+                    omega,
+                    offsets,
+                    scale,
+                    w,
+                }
+            }
+        };
+        Ok(OneClassSvm {
+            model,
+            rho: state.rho,
+            kernel: state.kernel,
+            input_dim: state.input_dim,
+            trained_nu: state.nu,
+            support_count: state.support_count,
+            dual_alpha: state.dual_alpha,
+            solve_iterations: state.solve_iterations,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -723,5 +865,62 @@ mod tests {
         assert_eq!(svm.nu(), 0.1);
         assert!(svm.rho().is_finite());
         assert!(svm.support_vector_count() > 0);
+    }
+
+    #[test]
+    fn state_round_trip_is_bit_identical_on_every_decision_path() {
+        let data = blob(120, 19);
+        let queries = blob(30, 20);
+        for approx in [
+            KernelApprox::Exact,
+            KernelApprox::Nystrom { rank: 32 },
+            KernelApprox::Rff { features: 256 },
+        ] {
+            let cfg = OneClassSvmConfig {
+                approx,
+                ..default_cfg()
+            };
+            let svm = OneClassSvm::fit(&data, &cfg).unwrap();
+            let state = svm.export_state();
+            let rebuilt = OneClassSvm::from_state(state.clone()).unwrap();
+            assert_eq!(rebuilt.export_state(), state, "{approx:?}");
+            assert_eq!(rebuilt.rho(), svm.rho());
+            assert_eq!(rebuilt.support_vector_count(), svm.support_vector_count());
+            for row in queries.rows_iter() {
+                let a = svm.decision_function(row).unwrap();
+                let b = rebuilt.decision_function(row).unwrap();
+                assert_eq!(a.to_bits(), b.to_bits(), "{approx:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_states_are_rejected() {
+        let svm = OneClassSvm::fit(&blob(40, 21), &default_cfg()).unwrap();
+        let good = svm.export_state();
+
+        let mut s = good.clone();
+        s.nu = 0.0;
+        assert!(OneClassSvm::from_state(s).is_err());
+
+        let mut s = good.clone();
+        s.rho = f64::NAN;
+        assert!(OneClassSvm::from_state(s).is_err());
+
+        let mut s = good.clone();
+        s.input_dim = 3; // disagrees with the 2-column support points
+        assert!(OneClassSvm::from_state(s).is_err());
+
+        let mut s = good.clone();
+        if let SvmDecisionState::Expansion { coeffs, .. } = &mut s.decision {
+            coeffs.pop();
+        }
+        assert!(OneClassSvm::from_state(s).is_err());
+
+        let mut s = good;
+        if let SvmDecisionState::Expansion { points, .. } = &mut s.decision {
+            points[(0, 0)] = f64::INFINITY;
+        }
+        assert!(OneClassSvm::from_state(s).is_err());
     }
 }

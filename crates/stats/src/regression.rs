@@ -1,5 +1,6 @@
 use sidefp_linalg::Matrix;
 
+use crate::state::RegressorState;
 use crate::StatsError;
 
 /// A fitted single-output regression model `g : ℝᵈ → ℝ`.
@@ -31,6 +32,14 @@ pub trait Regressor: std::fmt::Debug + Send + Sync {
     /// Propagates [`Regressor::predict`] errors.
     fn predict_rows(&self, x: &Matrix) -> Result<Vec<f64>, StatsError> {
         x.rows_iter().map(|row| self.predict(row)).collect()
+    }
+
+    /// Exports the fitted parameters as a persistable
+    /// [`RegressorState`](crate::state::RegressorState), or `None` for
+    /// implementations outside the workspace's persistable set (the
+    /// default). [`crate::state::regressor_from_state`] is the inverse.
+    fn export_state(&self) -> Option<RegressorState> {
+        None
     }
 }
 

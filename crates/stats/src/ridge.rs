@@ -7,6 +7,7 @@
 
 use sidefp_linalg::Matrix;
 
+use crate::state::{RegressorState, RidgeState};
 use crate::{Regressor, StatsError};
 
 /// Configuration for [`PolynomialRidge`].
@@ -159,6 +160,59 @@ impl PolynomialRidge {
     pub fn feature_count(&self) -> usize {
         self.exponents.len()
     }
+
+    /// Exports the fitted model as a plain-data [`RidgeState`] snapshot;
+    /// [`PolynomialRidge::from_state`] reconstructs a bit-identical
+    /// predictor.
+    pub fn export_state(&self) -> RidgeState {
+        RidgeState {
+            coefficients: self.coefficients.clone(),
+            exponents: self.exponents.clone(),
+            input_dim: self.input_dim,
+        }
+    }
+
+    /// Reconstructs a fitted model from an exported [`RidgeState`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] when coefficient and
+    /// exponent counts disagree, an exponent tuple has the wrong length,
+    /// or a coefficient is non-finite.
+    pub fn from_state(state: RidgeState) -> Result<Self, StatsError> {
+        if state.input_dim == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "ridge.input_dim",
+                reason: "must be positive".into(),
+            });
+        }
+        if state.coefficients.is_empty() || state.coefficients.len() != state.exponents.len() {
+            return Err(StatsError::InvalidParameter {
+                name: "ridge.coefficients",
+                reason: format!(
+                    "{} coefficients vs {} exponent tuples",
+                    state.coefficients.len(),
+                    state.exponents.len()
+                ),
+            });
+        }
+        crate::state::require_finite("ridge.coefficients", &state.coefficients)?;
+        if let Some(e) = state.exponents.iter().find(|e| e.len() != state.input_dim) {
+            return Err(StatsError::InvalidParameter {
+                name: "ridge.exponents",
+                reason: format!(
+                    "exponent tuple of length {} for dim {}",
+                    e.len(),
+                    state.input_dim
+                ),
+            });
+        }
+        Ok(PolynomialRidge {
+            coefficients: state.coefficients,
+            exponents: state.exponents,
+            input_dim: state.input_dim,
+        })
+    }
 }
 
 impl Regressor for PolynomialRidge {
@@ -179,6 +233,10 @@ impl Regressor for PolynomialRidge {
 
     fn input_dim(&self) -> usize {
         self.input_dim
+    }
+
+    fn export_state(&self) -> Option<RegressorState> {
+        Some(RegressorState::Ridge(PolynomialRidge::export_state(self)))
     }
 }
 

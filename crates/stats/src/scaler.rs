@@ -64,6 +64,38 @@ impl StandardScaler {
         Ok(StandardScaler { means, stds })
     }
 
+    /// Reconstructs a scaler from previously fitted parameters (see
+    /// [`StandardScaler::means`] / [`StandardScaler::stds`]), e.g. when
+    /// loading a persisted model artifact. Transforms of the rebuilt scaler
+    /// are bit-identical to the original.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] when the vectors are empty
+    /// or of different lengths, a mean is non-finite, or a standard
+    /// deviation is not strictly positive and finite.
+    pub fn from_parts(means: Vec<f64>, stds: Vec<f64>) -> Result<Self, StatsError> {
+        if means.is_empty() || means.len() != stds.len() {
+            return Err(StatsError::InvalidParameter {
+                name: "scaler",
+                reason: format!("{} means vs {} stds", means.len(), stds.len()),
+            });
+        }
+        if means.iter().any(|v| !v.is_finite()) {
+            return Err(StatsError::InvalidParameter {
+                name: "scaler.means",
+                reason: "contains a non-finite value".into(),
+            });
+        }
+        if stds.iter().any(|v| !(v.is_finite() && *v > 0.0)) {
+            return Err(StatsError::InvalidParameter {
+                name: "scaler.stds",
+                reason: "every std must be strictly positive and finite".into(),
+            });
+        }
+        Ok(StandardScaler { means, stds })
+    }
+
     /// Dimension the scaler was fitted on.
     pub fn dim(&self) -> usize {
         self.means.len()

@@ -100,6 +100,37 @@ if [[ -f BENCH_drift.json ]]; then
     ' BENCH_drift.json
 fi
 
+# The batch-scoring throughput bench (sidefp-bench --bin throughput
+# --json) commits BENCH_throughput.json. Validated statically: the
+# amortization ratio (full-pipeline classification cost per chip over
+# marginal artifact-scoring cost per chip) must stay at least
+# AMORTIZATION_FLOOR x, or the fit/score split has stopped paying for
+# itself and the baseline cannot land.
+AMORTIZATION_FLOOR=${AMORTIZATION_FLOOR:-100.0}
+if [[ -f BENCH_throughput.json ]]; then
+    awk -v floor="$AMORTIZATION_FLOOR" '
+        {
+            line = $0
+            gsub(/[",:]/, " ", line)
+            split(line, f, " ")
+            if (f[1] == "amortization_ratio") ratio = f[2]
+            if (f[1] == "chips_per_sec") cps = f[2]
+            if (f[1] == "p99_batch_ms") p99 = f[2]
+        }
+        END {
+            if (ratio == "" || cps == "" || p99 == "") {
+                print "bench_gate: BENCH_throughput.json missing amortization_ratio/chips_per_sec/p99_batch_ms; regenerate with: throughput --json"
+                exit 1
+            }
+            if (ratio + 0 < floor) {
+                printf "bench_gate: FAIL — committed BENCH_throughput.json amortization %.1fx below the %.0fx floor\n", ratio, floor
+                exit 1
+            }
+            printf "bench_gate: throughput baseline OK (%.0fx amortization, %.0f chips/sec, p99 %.1f ms)\n", ratio, cps, p99
+        }
+    ' BENCH_throughput.json
+fi
+
 if [[ ! -f "$BASELINE" ]]; then
     echo "bench_gate: no committed $BASELINE; run 'perf --json' and commit it" >&2
     exit 0

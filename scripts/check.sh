@@ -37,6 +37,23 @@ if ! awk '
     exit 1
 fi
 
+# Fit/score split: the scoring engine must never reach back into a
+# fit-only stage. A scoring path that refits (or re-runs the experiment)
+# silently destroys the fit-once amortization the artifact exists for.
+if ! awk '
+    FNR == 1 { in_tests = 0 }
+    /#\[cfg\(test\)\]/ { in_tests = 1 }
+    /^[[:space:]]*\/\// { next }  # doc examples may show the fit half
+    !in_tests && (/PremanufacturingStage/ || /SiliconStage/ || /PaperExperiment/ || /::fit\(/) {
+        found = 1
+        print FILENAME ":" FNR ": " $0
+    }
+    END { exit found }
+' crates/core/src/score.rs; then
+    echo "error: scoring entry point references a fit-only stage (refitting at score time is forbidden)" >&2
+    exit 1
+fi
+
 # Observability is per-run (RunContext); the pipeline crates must not
 # grow process-global mutable state.
 pattern='static[[:space:]]+[A-Z0-9_]+[[:space:]]*:[[:space:]]*[A-Za-z0-9_:]*(Mutex|RwLock|Atomic[A-Za-z0-9]+|OnceLock|OnceCell|LazyLock|RefCell|UnsafeCell)'
@@ -65,4 +82,8 @@ else
     # (Nyström / RFF / binned KDE) must stay inside their pinned
     # approx-vs-exact error bounds and thread-count bit-identity.
     cargo test -q -p sidefp-stats --test approx_accuracy
+    # Fit -> save -> load -> score smoke: the artifact codec must
+    # round-trip byte-exactly and the loaded model must score
+    # bit-identically to the in-process fit at any thread count.
+    cargo test -q -p sidefp-core --test fitted_model
 fi

@@ -9,23 +9,18 @@
 //! cargo run --release -p sidefp-bench --bin ablation_classifier
 //! ```
 
+use std::process::ExitCode;
+
 use sidefp_core::{ExperimentConfig, PaperExperiment};
 use sidefp_stats::kde::{DensityClassifier, KdeConfig};
 use sidefp_stats::DetectionLabel;
 
-fn main() {
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let config = ExperimentConfig {
         kde_samples: 20_000,
         ..Default::default()
     };
-    let artifacts = match PaperExperiment::new(config.clone()).and_then(|e| e.run_with_artifacts())
-    {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("experiment failed: {e}");
-            return;
-        }
-    };
+    let artifacts = PaperExperiment::new(config.clone())?.run_with_artifacts()?;
     let dutts = &artifacts.silicon.dutts;
 
     println!("Ablation: one-class classifier family on the S5 population");
@@ -33,11 +28,7 @@ fn main() {
     println!("classifier                      missed-Trojans  false-alarms");
 
     // Reference: the pipeline's 1-class SVM (B5).
-    let b5_counts = artifacts
-        .silicon
-        .b5
-        .evaluate(dutts)
-        .expect("evaluation succeeds");
+    let b5_counts = artifacts.silicon.b5.evaluate(dutts)?;
     println!(
         "1-class SVM (paper, B5)         {:>8}/{}     {:>8}/{}",
         b5_counts.false_positives(),
@@ -89,4 +80,15 @@ fn main() {
     println!("smoothed version of the density level set, so their verdicts should");
     println!("agree closely — evidence the result is about the S5 population, not");
     println!("the classifier choice (the paper's 'e.g.' is justified).");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
 }

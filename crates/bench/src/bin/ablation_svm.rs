@@ -72,9 +72,7 @@ fn main() {
                 config.seed,
             ) {
                 Ok((boundary, report)) => {
-                    let counts = boundary
-                        .evaluate(&artifacts.silicon.dutts)
-                        .expect("evaluation");
+                    let counts = sidefp_bench::or_die(boundary.evaluate(&artifacts.silicon.dutts));
                     println!(
                         "  selected gamma {} (hold-out acceptance {:.2}); tuned B5: FP {}/{} FN {}/{}",
                         report.gamma,

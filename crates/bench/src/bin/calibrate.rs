@@ -2,18 +2,17 @@
 //! full Table-1 row set per combination so the default configuration can be
 //! pinned where the paper's shape holds.
 
+use std::process::ExitCode;
+
 use sidefp_core::{ExperimentConfig, PaperExperiment};
 
-fn main() {
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     for bw in [0.3, 0.35, 0.4] {
         for noise in [0.004, 0.0045, 0.005, 0.006] {
             let mut config = ExperimentConfig::default();
             config.kde.bandwidth = Some(bw);
             config.meter.noise_relative = noise;
-            let result = PaperExperiment::new(config)
-                .expect("valid config")
-                .run()
-                .expect("experiment runs");
+            let result = PaperExperiment::new(config)?.run()?;
             let cells: Vec<String> = result
                 .table1
                 .iter()
@@ -32,6 +31,17 @@ fn main() {
                 result.golden_baseline.counts.false_positives(),
                 result.golden_baseline.counts.false_negatives()
             );
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
         }
     }
 }

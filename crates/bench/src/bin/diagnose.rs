@@ -2,12 +2,15 @@
 //! Trojan displacements and boundary decision statistics. Used to calibrate
 //! the synthetic fab against the paper's Table-1 shape.
 
+use std::process::ExitCode;
+
+use sidefp_bench::or_die;
 use sidefp_core::{ExperimentConfig, PaperExperiment};
 use sidefp_stats::descriptive;
 
 fn col_stats(name: &str, m: &sidefp_linalg::Matrix) {
     let means: Vec<f64> = (0..m.ncols())
-        .map(|j| descriptive::mean(&m.col(j)).unwrap())
+        .map(|j| or_die(descriptive::mean(&m.col(j))))
         .collect();
     let stds: Vec<f64> = (0..m.ncols())
         .map(|j| descriptive::std_dev(&m.col(j)).unwrap_or(0.0))
@@ -20,7 +23,7 @@ fn col_stats(name: &str, m: &sidefp_linalg::Matrix) {
     );
 }
 
-fn main() {
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let seed = std::env::args()
         .nth(1)
         .and_then(|s| s.parse::<u64>().ok())
@@ -29,10 +32,7 @@ fn main() {
         seed,
         ..Default::default()
     };
-    let artifacts = PaperExperiment::new(config)
-        .expect("valid config")
-        .run_with_artifacts()
-        .expect("experiment runs");
+    let artifacts = PaperExperiment::new(config)?.run_with_artifacts()?;
     let pre = &artifacts.premanufacturing;
     let si = &artifacts.silicon;
 
@@ -70,13 +70,13 @@ fn main() {
     }
     println!(
         "amplitude trojan: mean {:+.4} std {:.4}",
-        descriptive::mean(&rel_amp).unwrap(),
-        descriptive::std_dev(&rel_amp).unwrap()
+        descriptive::mean(&rel_amp)?,
+        descriptive::std_dev(&rel_amp)?
     );
     println!(
         "frequency trojan: mean {:+.4} std {:.4}",
-        descriptive::mean(&rel_freq).unwrap(),
-        descriptive::std_dev(&rel_freq).unwrap()
+        descriptive::mean(&rel_freq)?,
+        descriptive::std_dev(&rel_freq)?
     );
 
     println!("\n== boundary decision values on measured devices ==");
@@ -90,7 +90,7 @@ fn main() {
         let mut free_d = Vec::new();
         let mut inf_d = Vec::new();
         for (i, row) in fp.rows_iter().enumerate() {
-            let d = b.decision(row).unwrap();
+            let d = b.decision(row)?;
             if si.dutts.variants()[i] == "free" {
                 free_d.push(d);
             } else {
@@ -99,17 +99,28 @@ fn main() {
         }
         println!(
             "{name}: free mean {:+.4} (min {:+.4}) | infested mean {:+.4} (max {:+.4})",
-            descriptive::mean(&free_d).unwrap(),
-            descriptive::min(&free_d).unwrap(),
-            descriptive::mean(&inf_d).unwrap(),
-            descriptive::max(&inf_d).unwrap()
+            descriptive::mean(&free_d)?,
+            descriptive::min(&free_d)?,
+            descriptive::mean(&inf_d)?,
+            descriptive::max(&inf_d)?
         );
     }
 
     println!("\n== regression quality on MC training data ==");
-    let preds = pre.predictor.predict_rows(&pre.pcms).unwrap();
+    let preds = pre.predictor.predict_rows(&pre.pcms)?;
     for j in 0..preds.ncols() {
-        let r2 = descriptive::r_squared(&pre.s1.fingerprints().col(j), &preds.col(j)).unwrap();
+        let r2 = descriptive::r_squared(&pre.s1.fingerprints().col(j), &preds.col(j))?;
         println!("fingerprint {j}: R^2 = {r2:.3}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
     }
 }

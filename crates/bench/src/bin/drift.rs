@@ -75,45 +75,43 @@ struct PolicyReport {
 
 /// Streams `LOTS` drifted lots under one policy, returning the health
 /// counters and the accumulated recalibration-span time.
-fn run_policy(refit_limit: f64, span_key: &str) -> PolicyReport {
+fn run_policy(refit_limit: f64, span_key: &str) -> Result<PolicyReport, sidefp_core::CoreError> {
     let obs = RunContext::new();
-    let experiment = PaperExperiment::new(config(refit_limit)).expect("valid config");
-    let mut stream = experiment
-        .stream_observed(drift(), &obs)
-        .expect("stream setup");
+    let experiment = PaperExperiment::new(config(refit_limit))?;
+    let mut stream = experiment.stream_observed(drift(), &obs)?;
     let start = Instant::now();
     for _ in 0..=LOTS {
-        stream.advance().expect("lot advance");
+        stream.advance()?;
     }
     let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
-    PolicyReport {
+    Ok(PolicyReport {
         health: stream.health(),
         span_ms: timing_ms(&obs, span_key),
         wall_ms,
-    }
+    })
 }
 
-fn main() {
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let json = std::env::args().any(|a| a == "--json");
 
     eprintln!("streaming {} drifted lots under each policy ...", LOTS + 1);
-    let incremental = run_policy(1e6, "recalibrate.incremental");
-    let full = run_policy(0.0, "recalibrate.full_refit");
+    let incremental = run_policy(1e6, "recalibrate.incremental")?;
+    let full = run_policy(0.0, "recalibrate.full_refit")?;
 
     let recals = incremental.health.recalibrated;
     // The calibration lot is itself a full refit under the same span, so
     // it contributes one representative sample to the per-refit mean.
     let refits = full.health.refitted;
-    assert!(
-        recals >= 3,
-        "drift plan did not exercise the incremental tier: {:?}",
-        incremental.health
-    );
-    assert!(
-        refits >= 3,
-        "drift plan did not force full refits: {:?}",
-        full.health
-    );
+    if recals < 3 {
+        return Err(format!(
+            "drift plan did not exercise the incremental tier: {:?}",
+            incremental.health
+        )
+        .into());
+    }
+    if refits < 3 {
+        return Err(format!("drift plan did not force full refits: {:?}", full.health).into());
+    }
 
     let inc_ms = incremental.span_ms / recals as f64;
     let refit_ms = full.span_ms / refits as f64;
@@ -142,7 +140,18 @@ fn main() {
             refit_ms,
             ratio,
         );
-        std::fs::write("BENCH_drift.json", payload).expect("write BENCH_drift.json");
+        std::fs::write("BENCH_drift.json", payload)?;
         println!("wrote BENCH_drift.json");
+    }
+    Ok(())
+}
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::ExitCode::FAILURE
+        }
     }
 }

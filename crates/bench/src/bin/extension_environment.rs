@@ -9,16 +9,18 @@
 //! cargo run --release -p sidefp-bench --bin extension_environment
 //! ```
 
+use std::process::ExitCode;
+
 use sidefp_core::{ExperimentConfig, PaperExperiment};
 use sidefp_silicon::environment::Environment;
 
-fn main() {
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     println!("Environment mismatch: simulation at 25 C, tester floor swept");
     println!();
     println!("tester      B3(FP|FN)  B4(FP|FN)  B5(FP|FN)  golden(FP|FN)");
     for temp in [25.0, 35.0, 50.0, 70.0, 85.0] {
         let config = ExperimentConfig {
-            test_environment: Environment::at_temperature(temp).expect("temperature in range"),
+            test_environment: Environment::at_temperature(temp)?,
             kde_samples: 20_000,
             ..Default::default()
         };
@@ -57,4 +59,15 @@ fn main() {
     println!("by construction. Residual degradation comes from the temperature");
     println!("path (vth + mobility jointly) bending the delay-to-power relationship");
     println!("differently than process variation does.");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -53,34 +53,29 @@ fn run_variant(
     with_iddt: bool,
     payload_trojan: bool,
     config: &ExperimentConfig,
-) -> (usize, usize, usize, usize) {
+) -> Result<(usize, usize, usize, usize), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let key: [u8; 16] = core::array::from_fn(|_| rng.random());
-    let plan = FingerprintPlan::random(&mut rng, 6).expect("6 blocks");
+    let plan = FingerprintPlan::random(&mut rng, 6)?;
     let meter = config.meter.clone();
     let supply = SupplyCurrentMeter::default();
     let iddt = with_iddt.then_some(&supply);
     let suite = config.pcm_suite.clone();
 
     // Pre-manufacturing: MC simulation, regression, (B1/B2 skipped here).
-    let model = Foundry::nominal()
-        .with_sigma_scale(config.model_sigma_scale)
-        .expect("valid scale");
-    let engine = MonteCarloEngine::new(model, config.mc_samples).expect("samples > 0");
-    let (_, sim_pcms, sim_fps) = engine
-        .run_paired(
-            &mut rng,
-            |die, rng| suite.measure(die.process(), rng),
-            |die, rng| fingerprint(die.process(), Trojan::None, key, &plan, &meter, iddt, rng),
-        )
-        .expect("simulation runs");
+    let model = Foundry::nominal().with_sigma_scale(config.model_sigma_scale)?;
+    let engine = MonteCarloEngine::new(model, config.mc_samples)?;
+    let (_, sim_pcms, sim_fps) = engine.run_paired(
+        &mut rng,
+        |die, rng| suite.measure(die.process(), rng),
+        |die, rng| fingerprint(die.process(), Trojan::None, key, &plan, &meter, iddt, rng),
+    )?;
     let predictor = FingerprintPredictor::fit_in_space(
         &sim_pcms,
         &sim_fps,
         &config.regressor,
         RegressionSpace::Log,
-    )
-    .expect("regression fits");
+    )?;
 
     // Silicon: fabricate the DUTT lot, measure fingerprints + PCMs.
     let foundry = Foundry::with_shift(config.process_shift);
@@ -136,9 +131,9 @@ fn run_variant(
             tags.push(tag);
         }
     }
-    let fps = Matrix::from_samples(&fps).expect("uniform rows");
-    let pcms = Matrix::from_samples(&pcms).expect("uniform rows");
-    let dutts = DuttPopulation::new(fps, pcms, labels, tags).expect("consistent population");
+    let fps = Matrix::from_samples(&fps)?;
+    let pcms = Matrix::from_samples(&pcms)?;
+    let dutts = DuttPopulation::new(fps, pcms, labels, tags)?;
 
     // Golden-free boundary B5: mean-shift calibration + KDE enhancement.
     let log = |m: &Matrix| Matrix::from_fn(m.nrows(), m.ncols(), |i, j| m[(i, j)].ln());
@@ -147,13 +142,12 @@ fn run_variant(
         &log(dutts.pcms()),
         &config.kmm,
         config.kmm_iterations,
-    )
-    .expect("mean shift converges");
+    )?;
     let shifted = Matrix::from_fn(shifted.nrows(), shifted.ncols(), |i, j| {
         shifted[(i, j)].exp()
     });
-    let s4 = predictor.predict_rows(&shifted).expect("predictions");
-    let kde = AdaptiveKde::fit(&s4, &config.kde).expect("kde fits");
+    let s4 = predictor.predict_rows(&shifted)?;
+    let kde = AdaptiveKde::fit(&s4, &config.kde)?;
     let s5 = kde.sample_matrix(&mut rng, config.kde_samples);
     let b5 = TrustedBoundary::fit(
         "B5",
@@ -164,25 +158,23 @@ fn run_variant(
             ..config.enhanced_boundary
         },
         config.seed,
-    )
-    .expect("boundary trains");
+    )?;
 
-    let counts = b5.evaluate(&dutts).expect("evaluation");
-    (
+    let counts = b5.evaluate(&dutts)?;
+    Ok((
         counts.false_positives(),
         counts.infested_total(),
         counts.false_negatives(),
         counts.free_total(),
-    )
+    ))
 }
 
-fn main() {
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let base = ExperimentConfig {
         kde_samples: 20_000,
         ..Default::default()
     };
-    let rich_suite = PcmSuite::new(vec![PcmKind::PathDelay, PcmKind::CapacitorMonitor], 0.002)
-        .expect("valid suite");
+    let rich_suite = PcmSuite::new(vec![PcmKind::PathDelay, PcmKind::CapacitorMonitor], 0.002)?;
     println!("Multi-parameter extension: transmission power vs power + supply current");
     println!();
     println!("fingerprint / PCM suite                        B5 missed  B5 false-alarms");
@@ -200,7 +192,7 @@ fn main() {
             pcm_suite: suite,
             ..base.clone()
         };
-        let (fp, fp_total, fn_, fn_total) = run_variant(with_iddt, false, &config);
+        let (fp, fp_total, fn_, fn_total) = run_variant(with_iddt, false, &config)?;
         println!("{label:<46} {fp:>5}/{fp_total} {fn_:>10}/{fn_total}");
     }
 
@@ -210,8 +202,7 @@ fn main() {
     println!();
     println!("Trojan III (dormant 1000-gate payload):");
     println!("fingerprint / PCM suite                        B5 missed  B5 false-alarms");
-    let rich = PcmSuite::new(vec![PcmKind::PathDelay, PcmKind::CapacitorMonitor], 0.002)
-        .expect("valid suite");
+    let rich = PcmSuite::new(vec![PcmKind::PathDelay, PcmKind::CapacitorMonitor], 0.002)?;
     let payload_cases: [(&str, bool, PcmSuite); 2] = [
         ("6x power, delay PCM (paper)", false, base.pcm_suite.clone()),
         ("6x power + 2x IDDT, delay+capacitor PCMs", true, rich),
@@ -221,7 +212,7 @@ fn main() {
             pcm_suite: suite,
             ..base.clone()
         };
-        let (fp, fp_total, fn_, fn_total) = run_variant(with_iddt, true, &config);
+        let (fp, fp_total, fn_, fn_total) = run_variant(with_iddt, true, &config)?;
         println!("{label:<46} {fp:>5}/{fp_total} {fn_:>10}/{fn_total}");
     }
     println!();
@@ -236,4 +227,15 @@ fn main() {
     println!("   the supply-current channel exposes the payload's static leakage and");
     println!("   catches most. Multi-parameter fingerprints widen the detectable");
     println!("   Trojan class, exactly as the multimodal literature argues.");
+    Ok(())
+}
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::ExitCode::FAILURE
+        }
+    }
 }

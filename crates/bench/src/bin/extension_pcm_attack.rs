@@ -19,11 +19,13 @@
 //! cargo run --release -p sidefp-bench --bin extension_pcm_attack
 //! ```
 
+use std::process::ExitCode;
+
 use sidefp_core::spc::paired_check;
 use sidefp_core::{ExperimentConfig, PaperExperiment};
 use sidefp_silicon::pcm::{PcmKind, PcmTamper};
 
-fn main() {
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let base_config = ExperimentConfig {
         kde_samples: 20_000,
         ..Default::default()
@@ -55,9 +57,8 @@ fn main() {
             artifacts.silicon.dutts.pcms(),
             artifacts.silicon.dutts.kerf_pcms(),
             3.0,
-        )
-        .expect("paired shapes match");
-        let b5 = artifacts.result.row("B5").expect("B5 row present").counts;
+        )?;
+        let b5 = artifacts.result.row("B5").ok_or("B5 row missing")?.counts;
         println!(
             "{scale:<8} {:>10.1}  {:<5} {:>10}/80 {:>14}/40",
             spc.worst_zscore(),
@@ -72,4 +73,15 @@ fn main() {
     println!("also reject the entire Trojan-free population — a glaring anomaly.");
     println!("This is the paper's argument that golden PCMs are a far weaker");
     println!("assumption than golden chips, made quantitative.");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
 }

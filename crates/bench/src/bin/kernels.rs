@@ -21,6 +21,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use sidefp_bench::or_die;
 use sidefp_linalg::Matrix;
 use sidefp_stats::kde::{AdaptiveKde, KdeConfig};
 use sidefp_stats::{
@@ -42,15 +43,15 @@ fn population(n: usize, d: usize, salt: u64) -> Matrix {
 /// Minimum wall-clock over `reps` runs, in milliseconds (load noise on a
 /// shared box is one-sided).
 fn time_min_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
-    let mut best = f64::INFINITY;
-    let mut last = None;
-    for _ in 0..reps.max(1) {
+    let start = Instant::now();
+    let mut value = f();
+    let mut best = start.elapsed().as_secs_f64() * 1000.0;
+    for _ in 1..reps.max(1) {
         let start = Instant::now();
-        let value = f();
+        value = f();
         best = best.min(start.elapsed().as_secs_f64() * 1000.0);
-        last = Some(value);
     }
-    (best, last.expect("at least one rep"))
+    (best, value)
 }
 
 /// One population size's measurements (`None` = path skipped at this n).
@@ -81,7 +82,7 @@ fn json_opt(v: Option<f64>) -> String {
     }
 }
 
-fn bench_size(n: usize, reps: usize) -> SizeReport {
+fn bench_size(n: usize, reps: usize) -> Result<SizeReport, Box<dyn std::error::Error>> {
     const SVM_DIM: usize = 6;
     const KDE_DIM: usize = 3;
     const QUERIES: usize = 200;
@@ -97,17 +98,21 @@ fn bench_size(n: usize, reps: usize) -> SizeReport {
 
     let ocsvm_exact_ms = (n <= 10_000).then(|| {
         time_min_ms(reps, || {
-            OneClassSvm::fit(&data, &svm_cfg(KernelApprox::Exact)).expect("exact OCSVM fits")
+            or_die(OneClassSvm::fit(&data, &svm_cfg(KernelApprox::Exact)))
         })
         .0
     });
     let (ocsvm_nystrom_ms, _) = time_min_ms(reps, || {
-        OneClassSvm::fit(&data, &svm_cfg(KernelApprox::Nystrom { rank: 128 }))
-            .expect("Nyström OCSVM fits")
+        or_die(OneClassSvm::fit(
+            &data,
+            &svm_cfg(KernelApprox::Nystrom { rank: 128 }),
+        ))
     });
     let (ocsvm_rff_ms, _) = time_min_ms(reps, || {
-        OneClassSvm::fit(&data, &svm_cfg(KernelApprox::Rff { features: 256 }))
-            .expect("RFF OCSVM fits")
+        or_die(OneClassSvm::fit(
+            &data,
+            &svm_cfg(KernelApprox::Rff { features: 256 }),
+        ))
     });
 
     let test = population(n / 2, SVM_DIM, 2);
@@ -119,14 +124,20 @@ fn bench_size(n: usize, reps: usize) -> SizeReport {
     };
     let kmm_exact_ms = (n <= 1_000).then(|| {
         time_min_ms(reps, || {
-            KernelMeanMatching::fit(&data, &test, &kmm_cfg(KernelApprox::Exact))
-                .expect("exact KMM fits")
+            or_die(KernelMeanMatching::fit(
+                &data,
+                &test,
+                &kmm_cfg(KernelApprox::Exact),
+            ))
         })
         .0
     });
     let (kmm_lowrank_ms, _) = time_min_ms(reps, || {
-        KernelMeanMatching::fit(&data, &test, &kmm_cfg(KernelApprox::Nystrom { rank: 128 }))
-            .expect("low-rank KMM fits")
+        or_die(KernelMeanMatching::fit(
+            &data,
+            &test,
+            &kmm_cfg(KernelApprox::Nystrom { rank: 128 }),
+        ))
     });
 
     // KDE: the pipeline's production bandwidth (0.35) on a compact query
@@ -138,25 +149,24 @@ fn bench_size(n: usize, reps: usize) -> SizeReport {
         bandwidth: Some(0.35),
         alpha: 0.5,
     };
-    let (kde_fit_ms, kde) = time_min_ms(1, || AdaptiveKde::fit(&kde_data, &kde_cfg).expect("kde"));
-    let kde_dense_eval_ms = (n <= 10_000)
-        .then(|| time_min_ms(reps, || kde.density_rows(&queries).expect("dense eval")).0);
+    let (kde_fit_ms, kde) = time_min_ms(1, || or_die(AdaptiveKde::fit(&kde_data, &kde_cfg)));
+    let kde_dense_eval_ms =
+        (n <= 10_000).then(|| time_min_ms(reps, || or_die(kde.density_rows(&queries))).0);
     let (kde_binned_build_ms, binned) = time_min_ms(reps, || kde.binned());
     let (kde_binned_eval_ms, binned_rows) =
-        time_min_ms(reps, || binned.density_rows(&queries).expect("binned eval"));
+        time_min_ms(reps, || or_die(binned.density_rows(&queries)));
     // Guard against a silently wrong index: binned densities must track the
     // dense ones whenever both were computed.
     if n <= 10_000 {
-        let dense_rows = kde.density_rows(&queries).expect("dense eval");
+        let dense_rows = kde.density_rows(&queries)?;
         for (i, (a, b)) in dense_rows.iter().zip(&binned_rows).enumerate() {
-            assert!(
-                (a - b).abs() <= 1e-9 * a.abs().max(1e-300),
-                "binned KDE diverged at query {i}: {a} vs {b}"
-            );
+            if (a - b).abs() > 1e-9 * a.abs().max(1e-300) {
+                return Err(format!("binned KDE diverged at query {i}: {a} vs {b}").into());
+            }
         }
     }
 
-    SizeReport {
+    Ok(SizeReport {
         n,
         ocsvm_exact_ms,
         ocsvm_nystrom_ms,
@@ -167,10 +177,10 @@ fn bench_size(n: usize, reps: usize) -> SizeReport {
         kde_dense_eval_ms,
         kde_binned_build_ms,
         kde_binned_eval_ms,
-    }
+    })
 }
 
-fn main() {
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let json = std::env::args().any(|a| a == "--json");
     // Bare numeric args override the default size sweep (handy for quick
     // single-size runs while tuning); the committed BENCH_kernels.json is
@@ -187,7 +197,7 @@ fn main() {
             eprintln!("benchmarking n = {n} ...");
             bench_size(n, reps)
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
 
     println!("kernel layer scaling (ms, min over reps; '-' = skipped):");
     println!(
@@ -259,7 +269,18 @@ fn main() {
             );
         }
         let payload = format!("{{\n  \"bench\": \"kernels\",\n  \"sizes\": [\n{entries}  ]\n}}\n");
-        std::fs::write("BENCH_kernels.json", payload).expect("write BENCH_kernels.json");
+        std::fs::write("BENCH_kernels.json", payload)?;
         println!("wrote BENCH_kernels.json");
+    }
+    Ok(())
+}
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::ExitCode::FAILURE
+        }
     }
 }

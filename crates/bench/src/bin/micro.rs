@@ -8,6 +8,7 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use sidefp_bench::or_die;
 use sidefp_linalg::Matrix;
 use sidefp_stats::{GramMatrix, Kernel, OneClassSvm, OneClassSvmConfig};
 
@@ -44,9 +45,8 @@ fn main() {
                 kernel,
                 ..Default::default()
             },
-        )
-        .expect("svm fits");
-        std::hint::black_box(&svm);
+        );
+        std::hint::black_box(&or_die(svm));
     });
     println!("ocsvm fit {n} (incl gram) {fit_ms:8.2} ms");
 
@@ -59,7 +59,7 @@ fn main() {
     let mut iterations = 0;
     let mut distinct = std::collections::BTreeSet::new();
     let smo_ms = time_ms(|| {
-        let sol = smo.solve(q.matrix()).expect("smo solves");
+        let sol = or_die(smo.solve(q.matrix()));
         iterations = sol.iterations;
         for (i, a) in sol.alpha.iter().enumerate() {
             if *a > 1e-9 {

@@ -100,36 +100,31 @@ fn measure_steady_state_allocs() -> AllocReport {
     let data = Matrix::from_fn(200, 6, |_, _| rng.random_range(-1.0..1.0));
     let queries = Matrix::from_fn(64, 6, |_, _| rng.random_range(-1.0..1.0));
 
-    let kde = AdaptiveKde::fit(&data, &KdeConfig::default()).expect("kde fits");
-    let svm = OneClassSvm::fit(
+    let kde = sidefp_bench::or_die(AdaptiveKde::fit(&data, &KdeConfig::default()));
+    let svm = sidefp_bench::or_die(OneClassSvm::fit(
         &data,
         &OneClassSvmConfig {
             nu: 0.1,
             kernel: Kernel::Rbf { gamma: 0.5 },
             ..Default::default()
         },
-    )
-    .expect("svm fits");
+    ));
 
     let mut ws = Workspace::new();
     let mut out = vec![0.0; queries.nrows()];
 
     // Warm the workspace pool: the first call may allocate its scratch.
-    kde.density_rows_into(&queries, &mut ws, &mut out)
-        .expect("kde scores");
-    svm.decision_rows_into(&queries, &mut out)
-        .expect("svm scores");
+    sidefp_bench::or_die(kde.density_rows_into(&queries, &mut ws, &mut out));
+    sidefp_bench::or_die(svm.decision_rows_into(&queries, &mut out));
 
     let (_, kde_allocs) = alloc_count::count_in(|| {
         for _ in 0..8 {
-            kde.density_rows_into(&queries, &mut ws, &mut out)
-                .expect("kde scores");
+            sidefp_bench::or_die(kde.density_rows_into(&queries, &mut ws, &mut out));
         }
     });
     let (_, svm_allocs) = alloc_count::count_in(|| {
         for _ in 0..8 {
-            svm.decision_rows_into(&queries, &mut out)
-                .expect("svm scores");
+            sidefp_bench::or_die(svm.decision_rows_into(&queries, &mut out));
         }
     });
 
@@ -140,19 +135,15 @@ fn measure_steady_state_allocs() -> AllocReport {
         mc_samples: 40,
         kde_samples: 1200,
         ..Default::default()
-    })
-    .expect("model fits");
+    });
+    let model = sidefp_bench::or_die(model);
     let mut scorer = BatchScorer::new(&model);
     let (fps, _) = model.synthesize_batch(1, 64);
     let mut decisions = vec![0.0; scorer.boundaries().len()];
-    scorer
-        .score_into(fps.row(0), &mut decisions)
-        .expect("scorer scores");
+    sidefp_bench::or_die(scorer.score_into(fps.row(0), &mut decisions));
     let (_, score_allocs) = alloc_count::count_in(|| {
         for i in 0..fps.nrows() {
-            scorer
-                .score_into(fps.row(i), &mut decisions)
-                .expect("scorer scores");
+            sidefp_bench::or_die(scorer.score_into(fps.row(i), &mut decisions));
         }
     });
 
@@ -178,13 +169,19 @@ fn time_run(threads: usize, seed: u64) -> (f64, usize, RunContext) {
         },
         ..Default::default()
     };
-    let experiment = PaperExperiment::new(config).expect("valid config");
+    let experiment = sidefp_bench::or_die(PaperExperiment::new(config));
     let ctx = RunContext::new();
     let start = Instant::now();
-    let artifacts = experiment.run_in_context(&ctx).expect("experiment runs");
+    let artifacts = sidefp_bench::or_die(experiment.run_in_context(&ctx));
     let elapsed = start.elapsed().as_secs_f64() * 1000.0;
     let result = &artifacts.result;
-    assert_eq!(result.table1.len(), 5);
+    if result.table1.len() != 5 {
+        eprintln!(
+            "error: expected 5 Table-1 rows, got {}",
+            result.table1.len()
+        );
+        std::process::exit(1);
+    }
     if !result.health.is_clean() {
         eprintln!("note: run degraded\n{}", result.health.render());
     }
@@ -194,7 +191,12 @@ fn time_run(threads: usize, seed: u64) -> (f64, usize, RunContext) {
 /// Fits one model and times `reps` batch scores against it (threads=1,
 /// one warm-up batch). Returns the per-stage minima of the `score.*`
 /// spans and the best whole-batch wall-clock.
-fn time_scoring(reps: usize, batch_devices: usize) -> (Vec<(String, f64)>, f64) {
+type ScoringReport = (Vec<(String, f64)>, f64);
+
+fn time_scoring(
+    reps: usize,
+    batch_devices: usize,
+) -> Result<ScoringReport, Box<dyn std::error::Error>> {
     let config = ExperimentConfig {
         seed: 2,
         chips: 12,
@@ -206,19 +208,17 @@ fn time_scoring(reps: usize, batch_devices: usize) -> (Vec<(String, f64)>, f64) 
         },
         ..Default::default()
     };
-    let model = FittedModel::fit(&config).expect("model fits");
+    let model = FittedModel::fit(&config)?;
     let mut scorer = BatchScorer::new(&model);
     let (fps, pcms) = model.synthesize_batch(99, batch_devices);
     // Warm-up batch: first call grows the workspace pool.
-    scorer
-        .score_batch(&fps, &pcms, &RunContext::new())
-        .expect("batch scores");
+    scorer.score_batch(&fps, &pcms, &RunContext::new())?;
     let mut stage_min: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
     let mut best_ms = f64::INFINITY;
     for _ in 0..reps {
         let ctx = RunContext::new();
         let start = Instant::now();
-        scorer.score_batch(&fps, &pcms, &ctx).expect("batch scores");
+        scorer.score_batch(&fps, &pcms, &ctx)?;
         best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1000.0);
         for (name, ms) in ctx.timing_snapshot() {
             stage_min
@@ -227,10 +227,10 @@ fn time_scoring(reps: usize, batch_devices: usize) -> (Vec<(String, f64)>, f64) 
                 .or_insert(ms);
         }
     }
-    (stage_min.into_iter().collect(), best_ms)
+    Ok((stage_min.into_iter().collect(), best_ms))
 }
 
-fn main() {
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let json = std::env::args().any(|a| a == "--json");
     let trace = std::env::args().any(|a| a == "--trace");
     let score_only = std::env::args().any(|a| a == "--score-only");
@@ -241,7 +241,7 @@ fn main() {
     // The scoring phase reuses ONE fitted model across all reps: the
     // score.* stage minima measure pure scoring, never refit noise.
     let score_batch_devices = 20_000;
-    let (score_stages, score_batch_ms) = time_scoring(5, score_batch_devices);
+    let (score_stages, score_batch_ms) = time_scoring(5, score_batch_devices)?;
 
     if score_only {
         println!("scoring (batch of {score_batch_devices} devices, best of 5):");
@@ -258,7 +258,7 @@ fn main() {
             println!("steady-state allocations:");
             println!("  score_into          {:6}", report.score_into_rows);
         }
-        return;
+        return Ok(());
     }
 
     // Warm-up run so allocator and page-cache effects don't bias the
@@ -274,11 +274,11 @@ fn main() {
         .iter()
         .min_by(|a, b| a.0.total_cmp(&b.0))
         .map(|(ms, threads, ctx)| (*ms, *threads, ctx))
-        .expect("at least one rep");
+        .ok_or("at least one rep")?;
     let (pooled_ms, resolved_threads, _) = (0..reps)
         .map(|r| time_run(0, 2 + r))
         .min_by(|a, b| a.0.total_cmp(&b.0))
-        .expect("at least one rep");
+        .ok_or("at least one rep")?;
     let speedup = single_ms / pooled_ms;
     // Per-stage minimum across ALL single-threaded reps, not the stages
     // of the best-total rep: a rep that wins on total wall-clock can
@@ -355,17 +355,27 @@ fn main() {
              \"speedup\": {speedup:.3},\n  \"stages_ms\": {{\n{}\n  }}{alloc_block}\n}}\n",
             stage_lines.join(",\n")
         );
-        std::fs::write("BENCH_pipeline.json", payload).expect("write BENCH_pipeline.json");
+        std::fs::write("BENCH_pipeline.json", payload)?;
         println!("wrote BENCH_pipeline.json");
     }
 
     if trace {
-        std::fs::write("BENCH_pipeline_trace.jsonl", single_ctx.trace_jsonl())
-            .expect("write BENCH_pipeline_trace.jsonl");
+        std::fs::write("BENCH_pipeline_trace.jsonl", single_ctx.trace_jsonl())?;
         println!(
             "wrote BENCH_pipeline_trace.jsonl ({} events, {} dropped)",
             single_ctx.trace_len(),
             single_ctx.trace_dropped()
         );
+    }
+    Ok(())
+}
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::ExitCode::FAILURE
+        }
     }
 }

@@ -87,9 +87,9 @@ fn main() {
     } else {
         println!("no artifact at {artifact}; fitting once at paper scale ...");
         let start = Instant::now();
-        let model = FittedModel::fit(&ExperimentConfig::default()).expect("paper-scale fit");
+        let model = sidefp_bench::or_die(FittedModel::fit(&ExperimentConfig::default()));
         println!("fitted in {:.1} ms", start.elapsed().as_secs_f64() * 1000.0);
-        model.save(&artifact).expect("save artifact");
+        sidefp_bench::or_die(model.save(&artifact));
         println!(
             "saved {artifact} ({} bytes); restarts are now load-only",
             model.to_bytes().len()
@@ -105,7 +105,7 @@ fn main() {
             let ctx = RunContext::new();
             let (fps, pcms) = model.synthesize_batch(fork_seed(seed, b as u64), batch_size);
             let start = Instant::now();
-            let scored = scorer.score_batch(&fps, &pcms, &ctx).expect("score batch");
+            let scored = sidefp_bench::or_die(scorer.score_batch(&fps, &pcms, &ctx));
             let ms = start.elapsed().as_secs_f64() * 1000.0;
             let quarantined = ctx
                 .trace_events()

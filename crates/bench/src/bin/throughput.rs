@@ -35,7 +35,7 @@ const BATCHES: usize = 12;
 /// Default devices per synthesized batch (wafer-lot scale).
 const BATCH_DEVICES: usize = 25_000;
 
-fn main() {
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let json = args.iter().any(|a| a == "--json");
     let flag = |name: &str, default: usize| -> usize {
@@ -53,7 +53,7 @@ fn main() {
 
     eprintln!("fitting the paper-scale model once ...");
     let fit_start = Instant::now();
-    let model = FittedModel::fit(&cfg).expect("paper-scale fit");
+    let model = FittedModel::fit(&cfg)?;
     let fit_ms = fit_start.elapsed().as_secs_f64() * 1000.0;
     let artifact_bytes = model.to_bytes().len();
 
@@ -63,9 +63,7 @@ fn main() {
     // Warm-up batch: pulls the workspace buffers into their steady-state
     // sizes so the timed batches measure the pooled path.
     let (fps, pcms) = model.synthesize_batch(1, batch_devices);
-    scorer
-        .score_batch(&fps, &pcms, &ctx)
-        .expect("warm-up batch");
+    scorer.score_batch(&fps, &pcms, &ctx)?;
 
     eprintln!("scoring {batches} batches of {batch_devices} devices ...");
     let mut batch_ms: Vec<f64> = Vec::with_capacity(batches);
@@ -75,7 +73,7 @@ fn main() {
     for b in 0..batches {
         let (fps, pcms) = model.synthesize_batch(100 + b as u64, batch_devices);
         let start = Instant::now();
-        let result = scorer.score_batch(&fps, &pcms, &ctx).expect("score batch");
+        let result = scorer.score_batch(&fps, &pcms, &ctx)?;
         batch_ms.push(start.elapsed().as_secs_f64() * 1000.0);
         scored += result.kept.len();
         flagged += result.flagged();
@@ -125,7 +123,18 @@ fn main() {
              \"amortization_ratio\": {amortization:.1},\n  \
              \"bytes_per_chip\": {bytes_per_chip:.3}\n}}\n"
         );
-        std::fs::write("BENCH_throughput.json", payload).expect("write BENCH_throughput.json");
+        std::fs::write("BENCH_throughput.json", payload)?;
         println!("wrote BENCH_throughput.json");
+    }
+    Ok(())
+}
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::ExitCode::FAILURE
+        }
     }
 }

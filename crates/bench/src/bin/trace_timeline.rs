@@ -191,7 +191,7 @@ fn render_markdown(rows: &[Row], open: &[String]) -> String {
 }
 
 /// Runs a small in-process experiment and returns its trace JSONL.
-fn demo_trace() -> String {
+fn demo_trace() -> Result<String, sidefp_core::CoreError> {
     let cfg = ExperimentConfig {
         chips: 10,
         mc_samples: 40,
@@ -199,11 +199,8 @@ fn demo_trace() -> String {
         ..Default::default()
     };
     let ctx = RunContext::new();
-    PaperExperiment::new(cfg)
-        .expect("valid demo config")
-        .run_in_context(&ctx)
-        .expect("demo run");
-    ctx.trace_jsonl()
+    PaperExperiment::new(cfg)?.run_in_context(&ctx)?;
+    Ok(ctx.trace_jsonl())
 }
 
 fn main() {
@@ -221,7 +218,13 @@ fn main() {
 
     let jsonl = if demo {
         eprintln!("running the demo pipeline ...");
-        demo_trace()
+        match demo_trace() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("trace-timeline: demo pipeline failed: {e}");
+                std::process::exit(1);
+            }
+        }
     } else {
         let Some(path) = input else {
             eprintln!("usage: trace-timeline <trace.jsonl> [--markdown] [--out PATH]");
@@ -246,7 +249,10 @@ fn main() {
 
     match out_path {
         Some(path) => {
-            std::fs::write(&path, &rendered).expect("write timeline");
+            if let Err(e) = std::fs::write(&path, &rendered) {
+                eprintln!("trace-timeline: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
             println!("wrote {path} ({} rows)", rows.len());
         }
         None => print!("{rendered}"),

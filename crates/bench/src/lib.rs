@@ -36,6 +36,24 @@ pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
     out
 }
 
+/// Unwraps a `Result`, printing the error and exiting with status 1
+/// instead of panicking.
+///
+/// Bench binaries are user-facing tools: a failed fit or a bad config
+/// should produce one readable error line and a nonzero exit code, not
+/// a panic backtrace. Use `?` where the caller already returns a
+/// `Result`; this helper covers closures (timing loops, iterator
+/// chains) where `?` cannot propagate.
+pub fn or_die<T, E: std::fmt::Display>(result: Result<T, E>) -> T {
+    match result {
+        Ok(value) => value,
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Formats a float series as a compact comma-separated string.
 pub fn format_series(values: &[f64]) -> String {
     values
@@ -52,6 +70,12 @@ mod tests {
     #[test]
     fn timed_returns_closure_value() {
         assert_eq!(timed("t", || 41 + 1), 42);
+    }
+
+    #[test]
+    fn or_die_passes_ok_values_through() {
+        let ok: Result<i32, String> = Ok(7);
+        assert_eq!(or_die(ok), 7);
     }
 
     #[test]

@@ -90,7 +90,7 @@ impl KeyRecoveryAttack {
         // and split at the largest adjacent gap (the Trojan's modulation
         // depth dwarfs the per-position noise, so the gap is unambiguous).
         let mut values: Vec<f64> = observed.iter().flatten().copied().collect();
-        values.sort_by(|a, b| a.partial_cmp(b).expect("finite pulse parameters"));
+        values.sort_by(f64::total_cmp);
         let threshold = match values.len() {
             0 => f64::INFINITY,
             1 => values[0],

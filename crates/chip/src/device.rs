@@ -26,6 +26,7 @@ pub struct WirelessCryptoIc {
     key_bits: Vec<bool>,
     transmitter: UwbTransmitter,
     trojan: Trojan,
+    environment: Environment,
 }
 
 impl WirelessCryptoIc {
@@ -47,12 +48,19 @@ impl WirelessCryptoIc {
             key_bits,
             transmitter,
             trojan,
+            environment: *env,
         }
     }
 
     /// The die's process parameters.
     pub fn process(&self) -> &ProcessPoint {
         &self.process
+    }
+
+    /// The operating conditions the device was instantiated under (the
+    /// test-floor environment used by condition-dependent side channels).
+    pub fn environment(&self) -> &Environment {
+        &self.environment
     }
 
     /// The Trojan configuration.
@@ -141,6 +149,10 @@ mod tests {
         let device = WirelessCryptoIc::new(ProcessPoint::nominal(), KEY, Trojan::amplitude_leak());
         assert!(device.trojan().is_infested());
         assert_eq!(device.process(), &ProcessPoint::nominal());
+        assert_eq!(device.environment(), &Environment::nominal());
+        let hot = Environment::at_temperature(85.0).unwrap();
+        let hot_dev = WirelessCryptoIc::new_at(ProcessPoint::nominal(), KEY, Trojan::None, &hot);
+        assert_eq!(hot_dev.environment().temperature_c(), 85.0);
     }
 
     #[test]

@@ -51,6 +51,7 @@
 pub mod aes;
 pub mod attacker;
 pub mod buffer;
+pub mod channel;
 pub mod device;
 mod error;
 pub mod measurement;
@@ -59,7 +60,8 @@ pub mod supply;
 pub mod trojan;
 pub mod uwb;
 
+pub use channel::{ChannelSpec, ChannelStack, SideChannel};
 pub use device::WirelessCryptoIc;
 pub use error::ChipError;
 pub use measurement::{FingerprintPlan, SideChannelMeter};
-pub use trojan::Trojan;
+pub use trojan::{Trojan, TrojanClass, TrojanSuite};

@@ -8,6 +8,36 @@
 //! slightly increased, hiding well inside the margins left for process
 //! variation (paper §3.1).
 
+use crate::ChipError;
+
+/// Coarse taxonomy of Trojan behaviour, the axis the scenario matrix sweeps.
+///
+/// The paper's two RF leaks are *always-on parametric* Trojans: they
+/// continuously modulate an analog parameter and never change digital
+/// function. The dormant payload is a *triggered* Trojan measured in its
+/// dormant state: no air-interface effect at all, only parasitic supply /
+/// timing side effects of the extra gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrojanClass {
+    /// No Trojan present.
+    Genuine,
+    /// Continuously active analog modulation (Trojans I and II).
+    AlwaysOnParametric,
+    /// Dormant digital payload awaiting a trigger (Trojan III).
+    TriggeredDormant,
+}
+
+impl TrojanClass {
+    /// Short identifier used in scenario reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrojanClass::Genuine => "genuine",
+            TrojanClass::AlwaysOnParametric => "always-on",
+            TrojanClass::TriggeredDormant => "dormant",
+        }
+    }
+}
+
 /// A hardware Trojan configuration of the wireless IC.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
@@ -75,6 +105,28 @@ impl Trojan {
         }
     }
 
+    /// Extra gate-load factor the payload adds to the digital core's
+    /// critical path (multiplicative, ≥ 1): the dormant gates hang off
+    /// existing nets as parasitic fan-out. ~1 % per 1000 gate equivalents —
+    /// inside timing margin, but resolvable by a precise delay tester.
+    pub fn payload_delay_factor(&self) -> f64 {
+        match self {
+            Trojan::DormantPayload { gates } => 1.0 + 1e-5 * *gates as f64,
+            _ => 1.0,
+        }
+    }
+
+    /// The behavioural class of this configuration.
+    pub fn class(&self) -> TrojanClass {
+        match self {
+            Trojan::None => TrojanClass::Genuine,
+            Trojan::AmplitudeLeak { .. } | Trojan::FrequencyLeak { .. } => {
+                TrojanClass::AlwaysOnParametric
+            }
+            Trojan::DormantPayload { .. } => TrojanClass::TriggeredDormant,
+        }
+    }
+
     /// `true` for an infested configuration.
     pub fn is_infested(&self) -> bool {
         !matches!(self, Trojan::None)
@@ -107,6 +159,102 @@ impl Trojan {
             Trojan::FrequencyLeak { .. } => "frequency",
             Trojan::DormantPayload { .. } => "payload",
         }
+    }
+}
+
+/// The set of device variants fabricated per die in a Trojan-test
+/// experiment: one entry per version of the die, always including at least
+/// one Trojan-free reference.
+///
+/// The paper fabricates three versions of every die — genuine, Trojan I,
+/// Trojan II ([`TrojanSuite::paper`]). Scenario-matrix experiments swap in
+/// other suites (e.g. genuine + dormant payload) without touching the
+/// pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrojanSuite {
+    variants: Vec<Trojan>,
+}
+
+impl TrojanSuite {
+    /// Builds a suite from explicit variants.
+    ///
+    /// # Errors
+    ///
+    /// - [`ChipError::Empty`] for an empty list.
+    /// - [`ChipError::InvalidParameter`] if no variant is [`Trojan::None`]
+    ///   (every experiment needs genuine devices to calibrate against).
+    pub fn new(variants: Vec<Trojan>) -> Result<Self, ChipError> {
+        if variants.is_empty() {
+            return Err(ChipError::Empty { what: "variants" });
+        }
+        if !variants.iter().any(|t| !t.is_infested()) {
+            return Err(ChipError::InvalidParameter {
+                name: "variants",
+                reason: "suite must contain at least one Trojan-free variant".into(),
+            });
+        }
+        Ok(TrojanSuite { variants })
+    }
+
+    /// The paper's suite: genuine + amplitude leak + frequency leak, with
+    /// explicit modulation depths.
+    pub fn rf_leaks(amplitude_delta: f64, frequency_delta: f64) -> Self {
+        TrojanSuite {
+            variants: vec![
+                Trojan::None,
+                Trojan::AmplitudeLeak {
+                    delta: amplitude_delta,
+                },
+                Trojan::FrequencyLeak {
+                    delta: frequency_delta,
+                },
+            ],
+        }
+    }
+
+    /// The paper's suite at the silicon-calibrated default depths.
+    pub fn paper() -> Self {
+        TrojanSuite {
+            variants: vec![
+                Trojan::None,
+                Trojan::amplitude_leak(),
+                Trojan::frequency_leak(),
+            ],
+        }
+    }
+
+    /// Genuine + dormant-payload suite: the triggered-Trojan scenario.
+    pub fn dormant(gates: usize) -> Self {
+        TrojanSuite {
+            variants: vec![Trojan::None, Trojan::DormantPayload { gates }],
+        }
+    }
+
+    /// The variants, in fabrication order.
+    pub fn variants(&self) -> &[Trojan] {
+        &self.variants
+    }
+
+    /// Number of device versions per die.
+    pub fn len(&self) -> usize {
+        self.variants.len()
+    }
+
+    /// Always `false` (constructors reject empty suites).
+    pub fn is_empty(&self) -> bool {
+        self.variants.is_empty()
+    }
+
+    /// The distinct behavioural classes present, excluding `Genuine`.
+    pub fn infested_classes(&self) -> Vec<TrojanClass> {
+        let mut classes = Vec::new();
+        for t in &self.variants {
+            let c = t.class();
+            if c != TrojanClass::Genuine && !classes.contains(&c) {
+                classes.push(c);
+            }
+        }
+        classes
     }
 }
 
@@ -159,6 +307,62 @@ mod tests {
         // Leak Trojans have no payload effects.
         assert_eq!(Trojan::amplitude_leak().payload_leakage_units(), 0.0);
         assert_eq!(Trojan::frequency_leak().payload_amplitude_derate(), 1.0);
+    }
+
+    #[test]
+    fn classes_partition_the_variants() {
+        assert_eq!(Trojan::None.class(), TrojanClass::Genuine);
+        assert_eq!(
+            Trojan::amplitude_leak().class(),
+            TrojanClass::AlwaysOnParametric
+        );
+        assert_eq!(
+            Trojan::frequency_leak().class(),
+            TrojanClass::AlwaysOnParametric
+        );
+        assert_eq!(
+            Trojan::dormant_payload().class(),
+            TrojanClass::TriggeredDormant
+        );
+        assert_eq!(TrojanClass::Genuine.label(), "genuine");
+        assert_eq!(TrojanClass::AlwaysOnParametric.label(), "always-on");
+        assert_eq!(TrojanClass::TriggeredDormant.label(), "dormant");
+    }
+
+    #[test]
+    fn payload_loads_the_critical_path() {
+        let t = Trojan::dormant_payload();
+        assert!((t.payload_delay_factor() - 1.01).abs() < 1e-12);
+        // The RF-leak Trojans add no digital load.
+        assert_eq!(Trojan::amplitude_leak().payload_delay_factor(), 1.0);
+        assert_eq!(Trojan::None.payload_delay_factor(), 1.0);
+    }
+
+    #[test]
+    fn suite_constructors_and_validation() {
+        let paper = TrojanSuite::paper();
+        assert_eq!(paper.len(), 3);
+        assert!(!paper.is_empty());
+        assert_eq!(paper.variants()[0], Trojan::None);
+        assert_eq!(
+            paper.infested_classes(),
+            vec![TrojanClass::AlwaysOnParametric]
+        );
+
+        let rf = TrojanSuite::rf_leaks(0.26, 0.20);
+        assert_eq!(rf.variants()[1], Trojan::AmplitudeLeak { delta: 0.26 });
+        assert_eq!(rf.variants()[2], Trojan::FrequencyLeak { delta: 0.20 });
+
+        let dormant = TrojanSuite::dormant(500);
+        assert_eq!(dormant.len(), 2);
+        assert_eq!(
+            dormant.infested_classes(),
+            vec![TrojanClass::TriggeredDormant]
+        );
+
+        assert!(TrojanSuite::new(vec![]).is_err());
+        assert!(TrojanSuite::new(vec![Trojan::amplitude_leak()]).is_err());
+        assert!(TrojanSuite::new(vec![Trojan::None, Trojan::dormant_payload()]).is_ok());
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Experiment configuration.
 
+use sidefp_chip::channel::ChannelStack;
 use sidefp_chip::measurement::SideChannelMeter;
+use sidefp_chip::trojan::{Trojan, TrojanSuite};
 use sidefp_faults::FaultPlan;
 use sidefp_silicon::environment::Environment;
 use sidefp_silicon::foundry::ProcessShift;
@@ -10,6 +12,7 @@ use sidefp_stats::kde::KdeConfig;
 use sidefp_stats::knn::KnnConfig;
 use sidefp_stats::mars::MarsConfig;
 use sidefp_stats::ridge::RidgeConfig;
+use sidefp_stats::DetectionLabel;
 use sidefp_stats::{KernelApprox, KmmConfig};
 
 use crate::stages::sanitize::SanitizerConfig;
@@ -228,6 +231,11 @@ pub struct ExperimentConfig {
     pub pcm_suite: PcmSuite,
     /// The tester's power meter (receiver model + per-block repeatability).
     pub meter: SideChannelMeter,
+    /// The tester's side-channel stack. `None` (default) measures the
+    /// paper's single power channel through [`ExperimentConfig::meter`];
+    /// multi-parameter scenarios supply a wider stack (power + supply
+    /// current + delay + spectral probes).
+    pub channels: Option<ChannelStack>,
     /// Foundry drift relative to the trusted simulation model.
     pub process_shift: ProcessShift,
     /// Adversarial modification of the DUTTs' PCM structures (none by
@@ -240,6 +248,11 @@ pub struct ExperimentConfig {
     pub amplitude_delta: f64,
     /// Trojan II frequency modulation depth.
     pub frequency_delta: f64,
+    /// The Trojan variants fabricated per die. `None` (default) selects the
+    /// paper's suite — genuine + amplitude leak + frequency leak at the
+    /// configured deltas; scenario experiments swap in other suites (e.g.
+    /// genuine + dormant payload).
+    pub trojan_suite: Option<TrojanSuite>,
     /// PCM→fingerprint regression family.
     pub regressor: RegressorKind,
     /// Coordinate space for the regression.
@@ -263,6 +276,9 @@ pub struct ExperimentConfig {
     /// How much of the true process spread the simulation model captures
     /// (stale SPICE decks typically understate variation; 1.0 = exact).
     pub model_sigma_scale: f64,
+    /// Sigma scaling of the fab's actual statistics (1.0 = the nominal
+    /// spread; an early process ramp runs wider).
+    pub fab_sigma_scale: f64,
     /// Worker-pool settings for the parallel hot paths.
     pub parallelism: ParallelismConfig,
     /// Tester-fault injection into the raw DUTT measurements (none by
@@ -290,6 +306,7 @@ impl Default for ExperimentConfig {
             fingerprint_blocks: 6,
             pcm_suite: PcmSuite::paper_default(),
             meter: SideChannelMeter::default(),
+            channels: None,
             // The drift between the stale simulation model and the current
             // foundry operating point: strong implant/oxide/litho movement
             // (visible to the delay PCM) plus a back-end passives drift
@@ -303,6 +320,7 @@ impl Default for ExperimentConfig {
             test_environment: Environment::nominal(),
             amplitude_delta: 0.26,
             frequency_delta: 0.20,
+            trojan_suite: None,
             regressor: RegressorKind::default(),
             regression_space: RegressionSpace::default(),
             boundary: BoundaryConfig {
@@ -325,6 +343,7 @@ impl Default for ExperimentConfig {
             kmm_jitter: 0.05,
             kmm_iterations: 12,
             model_sigma_scale: 0.8,
+            fab_sigma_scale: 1.0,
             parallelism: ParallelismConfig::default(),
             faults: FaultPlan::none(),
             sanitizer: SanitizerConfig::default(),
@@ -427,15 +446,48 @@ impl ExperimentConfig {
                 ),
             });
         }
+        if !(self.fab_sigma_scale > 0.0 && self.fab_sigma_scale.is_finite()) {
+            return Err(CoreError::InvalidConfig {
+                name: "fab_sigma_scale",
+                reason: format!("must be positive and finite, got {}", self.fab_sigma_scale),
+            });
+        }
         self.faults.validate()?;
         self.sanitizer.validate()?;
         self.recalibration.validate()?;
         Ok(())
     }
 
-    /// Total devices under Trojan test (`chips × 3` versions).
+    /// The Trojan variants fabricated for each die, with their ground-truth
+    /// detection labels and report tags.
+    ///
+    /// `None` reproduces the paper's lineup: a genuine version plus the two
+    /// RF-leak Trojans at the configured modulation depths.
+    pub fn trojan_variants(&self) -> Vec<(Trojan, DetectionLabel, &'static str)> {
+        let variants: Vec<Trojan> = match &self.trojan_suite {
+            Some(suite) => suite.variants().to_vec(),
+            None => TrojanSuite::rf_leaks(self.amplitude_delta, self.frequency_delta)
+                .variants()
+                .to_vec(),
+        };
+        variants
+            .into_iter()
+            .map(|t| {
+                let label = if t.is_infested() {
+                    DetectionLabel::TrojanInfested
+                } else {
+                    DetectionLabel::TrojanFree
+                };
+                let tag = t.label();
+                (t, label, tag)
+            })
+            .collect()
+    }
+
+    /// Total devices under Trojan test (`chips × variants`; 3 versions per
+    /// chip in the paper's suite).
     pub fn device_count(&self) -> usize {
-        self.chips * 3
+        self.chips * self.trojan_variants().len()
     }
 }
 

@@ -161,12 +161,15 @@ impl PaperExperiment {
         resolved_threads: usize,
     ) -> Result<RunArtifacts, CoreError> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let bench = Testbench::random(
+        let mut bench = Testbench::random(
             &mut rng,
             self.config.fingerprint_blocks,
             self.config.pcm_suite.clone(),
         )?
         .with_meter(self.config.meter.clone());
+        if let Some(channels) = &self.config.channels {
+            bench = bench.with_channels(channels.clone());
+        }
 
         let pre = PremanufacturingStage::run_observed(&self.config, &bench, &mut rng, obs)?;
         let silicon = SiliconStage::run_observed(&self.config, &bench, &pre, &mut rng, obs)?;

@@ -48,6 +48,7 @@ pub mod golden_baseline;
 pub mod health;
 pub mod predictor;
 pub mod report;
+pub mod scenario;
 pub mod score;
 pub mod spc;
 pub mod stages;
@@ -60,6 +61,7 @@ pub use error::CoreError;
 pub use experiment::PaperExperiment;
 pub use health::{MeasurementHealth, QuarantineReason, QuarantinedDevice, RecalHealth, RunHealth};
 pub use report::{ExperimentResult, Table1Row};
+pub use scenario::{Scenario, ScenarioOutcome};
 pub use score::{BatchScorer, ScoredBatch};
 pub use sidefp_obs::{RunContext, SolverHealth, TraceEvent, TraceRecord};
 pub use stages::recalibrate::{LotAction, LotOutcome, LotStream};

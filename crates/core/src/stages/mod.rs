@@ -12,21 +12,26 @@ pub use sanitize::{sanitize_measurements, SanitizedMeasurements, SanitizerConfig
 pub use silicon_stage::SiliconStage;
 
 use rand::Rng;
+use sidefp_chip::channel::ChannelStack;
 use sidefp_chip::measurement::{FingerprintPlan, SideChannelMeter};
 use sidefp_silicon::pcm::PcmSuite;
 
 use crate::CoreError;
 
 /// The shared test setup: on-chip key, fingerprint measurement plan, the
-/// tester's power meter and the PCM suite.
+/// tester's side-channel stack and the PCM suite.
 ///
 /// The same bench is applied to simulated golden devices and fabricated
-/// DUTTs so fingerprint coordinates are comparable across stages.
+/// DUTTs so fingerprint coordinates are comparable across stages. The
+/// default stack is the paper's single power channel; multi-parameter
+/// scenarios swap in a wider [`ChannelStack`] via
+/// [`Testbench::with_channels`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Testbench {
     key: [u8; 16],
     plan: FingerprintPlan,
     meter: SideChannelMeter,
+    channels: ChannelStack,
     pcm_suite: PcmSuite,
 }
 
@@ -45,17 +50,28 @@ impl Testbench {
     ) -> Result<Self, CoreError> {
         let key: [u8; 16] = core::array::from_fn(|_| rng.random());
         let plan = FingerprintPlan::random(rng, blocks)?;
+        let meter = SideChannelMeter::default();
         Ok(Testbench {
             key,
             plan,
-            meter: SideChannelMeter::default(),
+            channels: ChannelStack::power_only(meter.clone()),
+            meter,
             pcm_suite,
         })
     }
 
-    /// Replaces the tester's power meter (builder style).
+    /// Replaces the tester's power meter (builder style). Resets the
+    /// channel stack to power-only through the new meter, preserving the
+    /// historical contract that `with_meter` fully describes the tester.
     pub fn with_meter(mut self, meter: SideChannelMeter) -> Self {
+        self.channels = ChannelStack::power_only(meter.clone());
         self.meter = meter;
+        self
+    }
+
+    /// Replaces the tester's side-channel stack (builder style).
+    pub fn with_channels(mut self, channels: ChannelStack) -> Self {
+        self.channels = channels;
         self
     }
 
@@ -69,9 +85,24 @@ impl Testbench {
         &self.plan
     }
 
-    /// The tester's power meter.
+    /// The tester's power meter (the first/primary receiver).
     pub fn meter(&self) -> &SideChannelMeter {
         &self.meter
+    }
+
+    /// The tester's side-channel stack.
+    pub fn channels(&self) -> &ChannelStack {
+        &self.channels
+    }
+
+    /// Total fingerprint width under this bench's plan and stack.
+    pub fn fingerprint_width(&self) -> usize {
+        self.channels.width(&self.plan)
+    }
+
+    /// Names of all fingerprint columns, in layout order.
+    pub fn fingerprint_columns(&self) -> Vec<String> {
+        self.channels.column_names(&self.plan)
     }
 
     /// The PCM suite.
@@ -97,6 +128,28 @@ mod tests {
         assert_eq!(a.pcm_suite().len(), 1);
         assert_eq!(a.key().len(), 16);
         let _ = a.meter();
+        // Default stack: the paper's single power channel, 6 columns.
+        assert_eq!(a.channels().channel_names(), vec!["power"]);
+        assert_eq!(a.fingerprint_width(), 6);
+        assert_eq!(a.fingerprint_columns()[0], "power[0]");
+    }
+
+    #[test]
+    fn with_channels_swaps_the_stack() {
+        use sidefp_chip::channel::{ChannelSpec, DelayChannel, PowerChannel};
+        let bench =
+            Testbench::random(&mut StdRng::seed_from_u64(3), 6, PcmSuite::paper_default()).unwrap();
+        let stack = ChannelStack::new(vec![
+            ChannelSpec::Power(PowerChannel::default()),
+            ChannelSpec::Delay(DelayChannel::default()),
+        ])
+        .unwrap();
+        let bench = bench.with_channels(stack);
+        assert_eq!(bench.fingerprint_width(), 7);
+        assert_eq!(bench.channels().channel_names(), vec!["power", "delay"]);
+        // with_meter resets to power-only through the new meter.
+        let bench = bench.with_meter(SideChannelMeter::default());
+        assert_eq!(bench.fingerprint_width(), 6);
     }
 
     #[test]

@@ -75,19 +75,21 @@ impl PremanufacturingStage {
         let engine = MonteCarloEngine::new(model, config.mc_samples)?;
         let key = bench.key();
         let suite = bench.pcm_suite().clone();
-        let meter = bench.meter().clone();
+        let channels = bench.channels().clone();
         let plan = bench.plan().clone();
 
         // Parallel fan-out: each Monte Carlo sample runs on its own RNG
         // stream forked from a seed drawn here, so the stage stays a pure
-        // function of the caller's rng state at any thread count.
+        // function of the caller's rng state at any thread count. The
+        // power-only channel stack draws exactly the meter's sequence, so
+        // the paper scenario is unchanged by the stack indirection.
         let mc_span = obs.span("mc");
         let (_dies, pcms, fingerprints) = engine.run_paired_streamed(
             rng.next_u64(),
             |die, rng| suite.measure(die.process(), rng),
             |die, rng| {
                 let device = WirelessCryptoIc::new(die.process().clone(), key, Trojan::None);
-                meter.fingerprint(&device, &plan, rng)
+                channels.fingerprint(&device, &plan, rng)
             },
         )?;
         drop(mc_span);

@@ -205,12 +205,15 @@ impl LotStream {
         config.validate()?;
         drift.validate().map_err(CoreError::from)?;
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let bench = Testbench::random(
+        let mut bench = Testbench::random(
             &mut rng,
             config.fingerprint_blocks,
             config.pcm_suite.clone(),
         )?
         .with_meter(config.meter.clone());
+        if let Some(channels) = &config.channels {
+            bench = bench.with_channels(channels.clone());
+        }
         let pre = PremanufacturingStage::run_observed(&config, &bench, &mut rng, obs)?;
         let sample_rng = StdRng::seed_from_u64(sidefp_parallel::fork_seed(config.seed, 0x5a17));
         Ok(LotStream {

@@ -1,9 +1,10 @@
 //! Stage 2: silicon measurement (paper §2.2).
 //!
 //! Fabricates the DUTT lot at the *shifted* foundry operating point (each
-//! chip hosting a Trojan-free and two Trojan-infested versions of the
-//! design), measures every device's PCMs and fingerprints, and constructs
-//! the silicon-anchored datasets and boundaries:
+//! chip hosting every configured Trojan variant — by default a Trojan-free
+//! and two Trojan-infested versions of the design), measures every
+//! device's PCMs and fingerprints, and constructs the silicon-anchored
+//! datasets and boundaries:
 //!
 //! - **S3 / B3**: fingerprints predicted from the DUTTs' measured PCMs,
 //! - **S4 / B4**: fingerprints predicted from the KMM-calibrated simulated
@@ -13,7 +14,6 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sidefp_chip::device::WirelessCryptoIc;
-use sidefp_chip::trojan::Trojan;
 use sidefp_linalg::Matrix;
 use sidefp_silicon::foundry::{Die, Foundry};
 use sidefp_silicon::wafer::WaferMap;
@@ -69,7 +69,7 @@ pub(crate) struct RawLotMeasurement {
     pub kerf_pcms: Matrix,
     /// Ground-truth Trojan labels, by raw row.
     pub labels: Vec<DetectionLabel>,
-    /// Variant tags ("free"/"amplitude"/"frequency"), by raw row.
+    /// Variant tags (e.g. "free"/"amplitude"/"frequency"), by raw row.
     pub tags: Vec<&'static str>,
     /// Die positions, by raw row.
     pub positions: Vec<sidefp_silicon::wafer::DiePosition>,
@@ -194,7 +194,7 @@ impl SiliconStage {
         })
     }
 
-    /// Fabricates the DUTT lot and measures all `chips × 3` devices.
+    /// Fabricates the DUTT lot and measures all `chips × variants` devices.
     ///
     /// The raw tester matrices pass through the configured fault injector
     /// (a no-op by default) and then the measurement sanitizer before the
@@ -210,14 +210,15 @@ impl SiliconStage {
         Self::assemble_lot(config, raw, obs)
     }
 
-    /// Fabricates one lot and measures all `chips × 3` raw devices,
+    /// Fabricates one lot and measures all `chips × variants` raw devices,
     /// without any fault injection or sanitization.
     pub(crate) fn measure_raw_lot<R: Rng>(
         config: &ExperimentConfig,
         bench: &Testbench,
         rng: &mut R,
     ) -> Result<RawLotMeasurement, CoreError> {
-        let foundry = Foundry::with_shift(config.process_shift);
+        let foundry =
+            Foundry::with_shift(config.process_shift).with_sigma_scale(config.fab_sigma_scale)?;
         let map = WaferMap::grid(8);
         let lot = foundry.fabricate_lot(rng, config.wafers_per_lot, &map);
         if lot.len() < config.chips {
@@ -237,40 +238,27 @@ impl SiliconStage {
             .map(|i| &lot[(i as f64 * stride) as usize])
             .collect();
 
-        let variants: [(Trojan, DetectionLabel, &'static str); 3] = [
-            (Trojan::None, DetectionLabel::TrojanFree, "free"),
-            (
-                Trojan::AmplitudeLeak {
-                    delta: config.amplitude_delta,
-                },
-                DetectionLabel::TrojanInfested,
-                "amplitude",
-            ),
-            (
-                Trojan::FrequencyLeak {
-                    delta: config.frequency_delta,
-                },
-                DetectionLabel::TrojanInfested,
-                "frequency",
-            ),
-        ];
+        let variants = config.trojan_variants();
+        let k = variants.len();
 
         let n = config.device_count();
-        let nm = bench.plan().len();
+        let nm = bench.fingerprint_width();
         let np = bench.pcm_suite().len();
         let env = config.test_environment;
 
         // Tester-floor measurements fan out across devices, each on its
         // own RNG stream forked from a seed drawn here — the lot keeps a
-        // single fabrication stream, but the `chips × 3` device
+        // single fabrication stream, but the `chips × variants` device
         // measurements are independent and embarrassingly parallel.
         let meas_seed = rng.next_u64();
         let measured = sidefp_parallel::map_indexed(n, |row| {
-            let die = dies[row / 3];
-            let (trojan, _, _) = variants[row % 3];
+            let die = dies[row / k];
+            let (trojan, _, _) = variants[row % k];
             let mut rng = StdRng::seed_from_u64(sidefp_parallel::fork_seed(meas_seed, row as u64));
             let device = WirelessCryptoIc::new_at(die.process().clone(), bench.key(), trojan, &env);
-            let fp = bench.meter().fingerprint(&device, bench.plan(), &mut rng);
+            let fp = bench
+                .channels()
+                .fingerprint(&device, bench.plan(), &mut rng);
             // On-die PCM structure: same die, fresh measurement noise,
             // same tester environment, possibly through adversarially
             // modified monitors.
@@ -298,8 +286,8 @@ impl SiliconStage {
         let mut tags = Vec::with_capacity(n);
         let mut positions = Vec::with_capacity(n);
         for (row, (fp, pcm, kerf)) in measured.iter().enumerate() {
-            let die = dies[row / 3];
-            let (_, label, tag) = variants[row % 3];
+            let die = dies[row / k];
+            let (_, label, tag) = variants[row % k];
             fingerprints.row_mut(row).copy_from_slice(fp);
             pcms.row_mut(row).copy_from_slice(pcm);
             kerf_pcms.row_mut(row).copy_from_slice(kerf);

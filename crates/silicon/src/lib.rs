@@ -51,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub mod corner;
 pub mod device_models;
 pub mod environment;
 mod error;
@@ -61,6 +62,7 @@ pub mod pcm;
 pub mod variation;
 pub mod wafer;
 
+pub use corner::{ProcessCorner, TechnologyPreset};
 pub use environment::Environment;
 pub use error::SiliconError;
 pub use foundry::{Die, Foundry, ProcessShift};

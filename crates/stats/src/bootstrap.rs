@@ -73,7 +73,7 @@ pub fn proportion_interval(
             hits as f64 / n as f64
         })
         .collect();
-    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite proportions"));
+    stats.sort_by(f64::total_cmp);
 
     let alpha = 1.0 - confidence;
     let lo_idx = ((alpha / 2.0) * (resamples - 1) as f64).round() as usize;
@@ -107,6 +107,25 @@ mod tests {
         assert_eq!(ci.estimate, 0.0);
         assert_eq!(ci.lower, 0.0);
         assert_eq!(ci.upper, 0.0);
+    }
+
+    #[test]
+    fn percentile_sort_is_nan_safe() {
+        // Regression: the percentile sort used
+        // partial_cmp().expect("finite proportions"). Resampled proportions
+        // are finite by construction today, but the comparator must stay
+        // panic-free if that ever changes: total_cmp orders NaN after every
+        // finite value instead of aborting.
+        let mut stats = [0.5, f64::NAN, 0.25, -0.0, 0.0];
+        stats.sort_by(f64::total_cmp);
+        assert_eq!(stats[0], -0.0);
+        assert_eq!(stats[2], 0.25);
+        assert_eq!(stats[3], 0.5);
+        assert!(stats[4].is_nan());
+        // And the public path still works on a large resample count.
+        let outcomes: Vec<bool> = (0..64).map(|i| i % 8 == 0).collect();
+        let ci = proportion_interval(&outcomes, 0.99, 3000, 9).unwrap();
+        assert!(ci.lower.is_finite() && ci.upper.is_finite());
         let all_true = vec![true; 50];
         let ci = proportion_interval(&all_true, 0.9, 500, 3).unwrap();
         assert_eq!((ci.lower, ci.upper), (1.0, 1.0));

@@ -94,7 +94,10 @@ pub fn quantile(data: &[f64], q: f64) -> Result<f64, StatsError> {
         });
     }
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    // total_cmp gives NaNs a total order (they sort to the end) instead of
+    // panicking; a NaN that slips past upstream sanitization degrades the
+    // estimate rather than aborting the pipeline.
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -311,5 +314,19 @@ mod tests {
         assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]).unwrap() - (12.5_f64).sqrt()).abs() < 1e-12);
         assert!(rmse(&[], &[]).is_err());
         assert!(rmse(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn quantile_does_not_panic_on_nan() {
+        // Regression: the sort used partial_cmp().expect("finite values")
+        // and panicked on NaN input. NaNs now order last, so low quantiles
+        // of mostly-finite data stay finite.
+        let data = [3.0, f64::NAN, 1.0, 2.0];
+        let q = quantile(&data, 0.0).unwrap();
+        assert_eq!(q, 1.0);
+        let m = median(&data).unwrap();
+        assert!(m.is_finite(), "median of 3 finite + 1 NaN: {m}");
+        // All-NaN input degrades to NaN rather than panicking.
+        assert!(median(&[f64::NAN, f64::NAN]).unwrap().is_nan());
     }
 }

@@ -1,0 +1,449 @@
+//! Composable scalar and joint distributions for process-model sampling.
+//!
+//! The Monte Carlo process model draws latent factor values from simple
+//! distributions; scenario experiments need to *transform* those draws —
+//! shift a corner, widen a sigma, mix two populations — without rewriting
+//! the sampler. [`Dist`] is a small closed algebra of scalar distributions
+//! with shift/scale/mixture combinators, and [`JointNormal`] adds
+//! correlated multivariate draws via a Cholesky factor, for process models
+//! where factors co-vary (e.g. n- and p-implant dose tracking).
+
+use rand::Rng;
+
+use crate::{MultivariateNormal, StatsError};
+
+/// A scalar sampling distribution, closed under shift, scale and mixture.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sidefp_stats::dist::Dist;
+///
+/// let skewed = Dist::normal(0.0, 1.0).shift(1.5).scale(0.5);
+/// assert!((skewed.mean() - 0.75).abs() < 1e-12);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let x = skewed.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Dist {
+    /// Gaussian with the given mean and standard deviation.
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation (≥ 0).
+        sd: f64,
+    },
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Degenerate distribution: always `value`.
+    Point {
+        /// The constant value.
+        value: f64,
+    },
+    /// Two-component mixture: draw from `a` with probability `weight_a`,
+    /// else from `b`.
+    Mixture {
+        /// First component.
+        a: Box<Dist>,
+        /// Second component.
+        b: Box<Dist>,
+        /// Probability of the first component, in `[0, 1]`.
+        weight_a: f64,
+    },
+}
+
+impl Dist {
+    /// Gaussian constructor.
+    pub fn normal(mean: f64, sd: f64) -> Self {
+        Dist::Normal { mean, sd }
+    }
+
+    /// Uniform constructor.
+    pub fn uniform(lo: f64, hi: f64) -> Self {
+        Dist::Uniform { lo, hi }
+    }
+
+    /// Point-mass constructor.
+    pub fn point(value: f64) -> Self {
+        Dist::Point { value }
+    }
+
+    /// Two-component mixture constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] for `weight_a ∉ [0, 1]`.
+    pub fn mixture(a: Dist, b: Dist, weight_a: f64) -> Result<Self, StatsError> {
+        if !(0.0..=1.0).contains(&weight_a) {
+            return Err(StatsError::InvalidParameter {
+                name: "weight_a",
+                reason: format!("mixture weight must be in [0, 1], got {weight_a}"),
+            });
+        }
+        Ok(Dist::Mixture {
+            a: Box::new(a),
+            b: Box::new(b),
+            weight_a,
+        })
+    }
+
+    /// The distribution translated by `by` (models a process-corner
+    /// offset).
+    pub fn shift(self, by: f64) -> Self {
+        match self {
+            Dist::Normal { mean, sd } => Dist::Normal {
+                mean: mean + by,
+                sd,
+            },
+            Dist::Uniform { lo, hi } => Dist::Uniform {
+                lo: lo + by,
+                hi: hi + by,
+            },
+            Dist::Point { value } => Dist::Point { value: value + by },
+            Dist::Mixture { a, b, weight_a } => Dist::Mixture {
+                a: Box::new(a.shift(by)),
+                b: Box::new(b.shift(by)),
+                weight_a,
+            },
+        }
+    }
+
+    /// The distribution scaled by `by` about zero (models a sigma
+    /// widening / tightening; `by` may be negative, flipping the sign).
+    pub fn scale(self, by: f64) -> Self {
+        match self {
+            Dist::Normal { mean, sd } => Dist::Normal {
+                mean: mean * by,
+                sd: sd * by.abs(),
+            },
+            Dist::Uniform { lo, hi } => {
+                let (a, b) = (lo * by, hi * by);
+                Dist::Uniform {
+                    lo: a.min(b),
+                    hi: a.max(b),
+                }
+            }
+            Dist::Point { value } => Dist::Point { value: value * by },
+            Dist::Mixture { a, b, weight_a } => Dist::Mixture {
+                a: Box::new(a.scale(by)),
+                b: Box::new(b.scale(by)),
+                weight_a,
+            },
+        }
+    }
+
+    /// Analytic mean.
+    pub fn mean(&self) -> f64 {
+        match self {
+            Dist::Normal { mean, .. } => *mean,
+            Dist::Uniform { lo, hi } => 0.5 * (lo + hi),
+            Dist::Point { value } => *value,
+            Dist::Mixture { a, b, weight_a } => weight_a * a.mean() + (1.0 - weight_a) * b.mean(),
+        }
+    }
+
+    /// Analytic variance.
+    pub fn variance(&self) -> f64 {
+        match self {
+            Dist::Normal { sd, .. } => sd * sd,
+            Dist::Uniform { lo, hi } => (hi - lo) * (hi - lo) / 12.0,
+            Dist::Point { .. } => 0.0,
+            Dist::Mixture { a, b, weight_a } => {
+                // Law of total variance.
+                let m = self.mean();
+                let wa = *weight_a;
+                let wb = 1.0 - wa;
+                wa * (a.variance() + (a.mean() - m).powi(2))
+                    + wb * (b.variance() + (b.mean() - m).powi(2))
+            }
+        }
+    }
+
+    /// Draws one value.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        match self {
+            Dist::Normal { mean, sd } => mean + sd * MultivariateNormal::standard_normal(rng),
+            Dist::Uniform { lo, hi } => lo + (hi - lo) * rng.random::<f64>(),
+            Dist::Point { value } => *value,
+            Dist::Mixture { a, b, weight_a } => {
+                // Draw the component selector first so the stream layout is
+                // stable regardless of which branch wins.
+                let u = rng.random::<f64>();
+                if u < *weight_a {
+                    a.sample(rng)
+                } else {
+                    b.sample(rng)
+                }
+            }
+        }
+    }
+}
+
+/// A correlated multivariate normal over a small factor vector: means plus
+/// a covariance matrix, sampled through its Cholesky factor.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sidefp_stats::dist::JointNormal;
+///
+/// # fn main() -> Result<(), sidefp_stats::StatsError> {
+/// // Two factors, strongly co-varying.
+/// let joint = JointNormal::new(
+///     vec![0.0, 0.0],
+///     vec![vec![1.0, 0.9], vec![0.9, 1.0]],
+/// )?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let draw = joint.sample(&mut rng);
+/// assert_eq!(draw.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct JointNormal {
+    means: Vec<f64>,
+    /// Lower-triangular Cholesky factor of the covariance, row-major.
+    chol: Vec<Vec<f64>>,
+}
+
+impl JointNormal {
+    /// Builds the joint from means and a symmetric positive-definite
+    /// covariance matrix (given as rows).
+    ///
+    /// # Errors
+    ///
+    /// - [`StatsError::DimensionMismatch`] if the covariance is not
+    ///   `d × d` for `d = means.len()`.
+    /// - [`StatsError::InvalidParameter`] for an empty mean vector, a
+    ///   non-finite entry, an asymmetric covariance, or one that is not
+    ///   positive definite (Cholesky breakdown).
+    pub fn new(means: Vec<f64>, covariance: Vec<Vec<f64>>) -> Result<Self, StatsError> {
+        let d = means.len();
+        if d == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "means",
+                reason: "joint normal needs at least one dimension".into(),
+            });
+        }
+        crate::check_finite_slice("means", &means)?;
+        if covariance.len() != d || covariance.iter().any(|row| row.len() != d) {
+            return Err(StatsError::DimensionMismatch {
+                expected: d,
+                got: covariance.len(),
+            });
+        }
+        for (i, row) in covariance.iter().enumerate() {
+            crate::check_finite_slice("covariance", row)?;
+            for (j, &v) in row.iter().enumerate() {
+                if (v - covariance[j][i]).abs() > 1e-9 {
+                    return Err(StatsError::InvalidParameter {
+                        name: "covariance",
+                        reason: format!("asymmetric at ({i}, {j}): {v} vs {}", covariance[j][i]),
+                    });
+                }
+            }
+        }
+        // In-place Cholesky: covariance = L·Lᵀ.
+        let mut chol = vec![vec![0.0; d]; d];
+        for i in 0..d {
+            for j in 0..=i {
+                let mut sum = covariance[i][j];
+                sum -= chol[i]
+                    .iter()
+                    .zip(&chol[j])
+                    .take(j)
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>();
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(StatsError::InvalidParameter {
+                            name: "covariance",
+                            reason: format!("not positive definite (pivot {sum} at {i})"),
+                        });
+                    }
+                    chol[i][j] = sum.sqrt();
+                } else {
+                    chol[i][j] = sum / chol[j][j];
+                }
+            }
+        }
+        Ok(JointNormal { means, chol })
+    }
+
+    /// Independent standard-normal factors (identity covariance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] for `dim == 0`.
+    pub fn standard(dim: usize) -> Result<Self, StatsError> {
+        let mut cov = vec![vec![0.0; dim]; dim];
+        for (i, row) in cov.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        Self::new(vec![0.0; dim], cov)
+    }
+
+    /// Number of dimensions.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Draws one correlated vector: `means + L·z` for standard-normal `z`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Vec<f64> {
+        let d = self.dim();
+        let z: Vec<f64> = (0..d)
+            .map(|_| MultivariateNormal::standard_normal(rng))
+            .collect();
+        (0..d)
+            .map(|i| {
+                self.means[i]
+                    + self.chol[i][..=i]
+                        .iter()
+                        .zip(&z)
+                        .map(|(l, zk)| l * zk)
+                        .sum::<f64>()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_stats(d: &Dist, n: usize, seed: u64) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let m = xs.iter().sum::<f64>() / n as f64;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n - 1) as f64;
+        (m, v)
+    }
+
+    #[test]
+    fn normal_moments_match_samples() {
+        let d = Dist::normal(2.0, 0.5);
+        assert_eq!(d.mean(), 2.0);
+        assert_eq!(d.variance(), 0.25);
+        let (m, v) = sample_stats(&d, 20_000, 1);
+        assert!((m - 2.0).abs() < 0.02, "mean {m}");
+        assert!((v - 0.25).abs() < 0.02, "var {v}");
+    }
+
+    #[test]
+    fn uniform_moments() {
+        let d = Dist::uniform(-1.0, 3.0);
+        assert_eq!(d.mean(), 1.0);
+        assert!((d.variance() - 4.0 / 3.0).abs() < 1e-12);
+        let (m, _) = sample_stats(&d, 20_000, 2);
+        assert!((m - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn point_is_degenerate() {
+        let d = Dist::point(7.0);
+        assert_eq!(d.mean(), 7.0);
+        assert_eq!(d.variance(), 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(d.sample(&mut rng), 7.0);
+    }
+
+    #[test]
+    fn shift_and_scale_compose() {
+        let d = Dist::normal(1.0, 2.0).shift(3.0).scale(0.5);
+        assert_eq!(d.mean(), 2.0);
+        assert_eq!(d.variance(), 1.0);
+        // Negative scale flips the mean but keeps sd positive.
+        let flipped = Dist::normal(1.0, 2.0).scale(-1.0);
+        assert_eq!(flipped.mean(), -1.0);
+        assert_eq!(flipped.variance(), 4.0);
+        // Uniform bounds stay ordered under negative scale.
+        let u = Dist::uniform(1.0, 2.0).scale(-1.0);
+        assert_eq!(u, Dist::uniform(-2.0, -1.0));
+        // Combinators distribute over mixtures.
+        let mix = Dist::mixture(Dist::point(0.0), Dist::point(1.0), 0.5)
+            .unwrap()
+            .shift(1.0);
+        assert_eq!(mix.mean(), 1.5);
+    }
+
+    #[test]
+    fn mixture_moments_follow_total_variance() {
+        let d = Dist::mixture(Dist::normal(-1.0, 0.1), Dist::normal(1.0, 0.1), 0.5).unwrap();
+        assert_eq!(d.mean(), 0.0);
+        // Var = E[var] + var[mean] = 0.01 + 1.0.
+        assert!((d.variance() - 1.01).abs() < 1e-12);
+        let (m, v) = sample_stats(&d, 20_000, 4);
+        assert!(m.abs() < 0.03, "mean {m}");
+        assert!((v - 1.01).abs() < 0.05, "var {v}");
+        assert!(Dist::mixture(Dist::point(0.0), Dist::point(1.0), 1.5).is_err());
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let d = Dist::mixture(Dist::normal(0.0, 1.0), Dist::uniform(0.0, 1.0), 0.3).unwrap();
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..64).map(|_| d.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..64).map(|_| d.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn joint_normal_correlation_is_realized() {
+        let joint =
+            JointNormal::new(vec![1.0, -1.0], vec![vec![1.0, 0.8], vec![0.8, 1.0]]).unwrap();
+        assert_eq!(joint.dim(), 2);
+        let mut rng = StdRng::seed_from_u64(6);
+        let draws: Vec<Vec<f64>> = (0..20_000).map(|_| joint.sample(&mut rng)).collect();
+        let mx = draws.iter().map(|d| d[0]).sum::<f64>() / draws.len() as f64;
+        let my = draws.iter().map(|d| d[1]).sum::<f64>() / draws.len() as f64;
+        assert!((mx - 1.0).abs() < 0.03);
+        assert!((my + 1.0).abs() < 0.03);
+        let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+        for d in &draws {
+            let (dx, dy) = (d[0] - mx, d[1] - my);
+            sxy += dx * dy;
+            sxx += dx * dx;
+            syy += dy * dy;
+        }
+        let corr = sxy / (sxx * syy).sqrt();
+        assert!((corr - 0.8).abs() < 0.02, "corr {corr}");
+    }
+
+    #[test]
+    fn joint_normal_rejects_bad_covariance() {
+        assert!(JointNormal::new(vec![], vec![]).is_err());
+        // Wrong shape.
+        assert!(JointNormal::new(vec![0.0, 0.0], vec![vec![1.0]]).is_err());
+        // Asymmetric.
+        assert!(JointNormal::new(vec![0.0, 0.0], vec![vec![1.0, 0.5], vec![0.1, 1.0]]).is_err());
+        // Not positive definite (correlation > 1).
+        assert!(JointNormal::new(vec![0.0, 0.0], vec![vec![1.0, 1.5], vec![1.5, 1.0]]).is_err());
+        // NaN.
+        assert!(JointNormal::new(vec![f64::NAN], vec![vec![1.0]]).is_err());
+    }
+
+    #[test]
+    fn standard_joint_is_uncorrelated_identity() {
+        let joint = JointNormal::standard(3).unwrap();
+        assert_eq!(joint.dim(), 3);
+        let mut rng = StdRng::seed_from_u64(8);
+        let d = joint.sample(&mut rng);
+        assert_eq!(d.len(), 3);
+        assert!(JointNormal::standard(0).is_err());
+    }
+}

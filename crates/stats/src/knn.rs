@@ -146,7 +146,9 @@ impl Regressor for KnnRegressor {
             .zip(&self.y)
             .map(|(row, &t)| (vecops::distance(row, x), t))
             .collect();
-        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        // NaN distances (a NaN query coordinate) order last under total_cmp
+        // instead of panicking, so the k nearest finite neighbours still win.
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
         let nearest = &pairs[..self.k];
 
         // Exact hit → return that target (infinite weight).
@@ -224,5 +226,19 @@ mod tests {
         let m = KnnRegressor::fit(&x, &[1.0], &KnnConfig::default()).unwrap();
         assert!(m.predict(&[0.0, 1.0]).is_err());
         assert_eq!(m.input_dim(), 1);
+    }
+
+    #[test]
+    fn predict_does_not_panic_on_nan_query() {
+        // Regression: the distance sort used partial_cmp().expect("finite
+        // distances") and panicked when a query coordinate was NaN. The
+        // training set is validated finite at fit time, so NaN distances can
+        // only come from the query; they now order last without panicking.
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]).unwrap();
+        let m = KnnRegressor::fit(&x, &[0.0, 1.0, 2.0], &KnnConfig { k: 2 }).unwrap();
+        let p = m.predict(&[f64::NAN]).unwrap();
+        assert!(p.is_nan(), "NaN query propagates as NaN, got {p}");
+        // A finite query on the same model is unaffected.
+        assert!(m.predict(&[1.0]).unwrap().is_finite());
     }
 }

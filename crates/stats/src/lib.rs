@@ -51,6 +51,7 @@
 mod approx;
 pub mod bootstrap;
 pub mod descriptive;
+pub mod dist;
 mod error;
 mod gram;
 pub mod kde;
@@ -72,6 +73,7 @@ mod scaler;
 pub mod state;
 
 pub use approx::{KernelApprox, KernelFeatureMap, LowRankQ};
+pub use dist::{Dist, JointNormal};
 pub use error::StatsError;
 // Re-export the per-run observability handle the `*_observed` solver entry
 // points take, so downstream crates need no direct sidefp-obs dependency.

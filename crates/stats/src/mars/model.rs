@@ -305,7 +305,10 @@ impl Mars {
             .filter(|(_, p)| **p != 0.0)
             .map(|(row, _)| row[feature])
             .collect();
-        values.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
+        // NaN features must not panic the knot search: drop them up front
+        // (a NaN knot would poison every hinge), then total-order the rest.
+        values.retain(|v| !v.is_nan());
+        values.sort_by(f64::total_cmp);
         values.dedup();
         if values.len() <= 2 {
             return values;
@@ -638,5 +641,22 @@ mod tests {
         let m = Mars::fit(&x, &y, &MarsConfig::default()).unwrap();
         assert!(m.bases()[0].is_intercept());
         assert_eq!(m.bases().len(), m.coefficients().len());
+    }
+
+    #[test]
+    fn candidate_knots_skip_nan_features_without_panic() {
+        // Regression: the knot sort used partial_cmp().expect("finite
+        // data") and panicked when a NaN slipped past the sanitizer. NaNs
+        // are now dropped before sorting, so the knot list stays finite.
+        let x = Matrix::from_fn(6, 1, |i, _| if i == 2 { f64::NAN } else { i as f64 });
+        let parent = vec![1.0; 6];
+        let knots = Mars::candidate_knots(&x, &parent, 0, 10);
+        assert!(!knots.is_empty());
+        assert!(knots.iter().all(|k| k.is_finite()), "{knots:?}");
+
+        // The full fit on NaN-bearing data must not panic either; a typed
+        // error (from the downstream least-squares) is acceptable.
+        let y: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let _ = Mars::fit(&x, &y, &MarsConfig::default());
     }
 }

@@ -69,7 +69,9 @@ impl RocCurve {
         }
 
         // Sweep thresholds from high to low: start at (0, 0), end at (1, 1).
-        pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+        // Scores are validated finite above; total_cmp keeps the sort
+        // panic-free even if that invariant is ever relaxed.
+        pairs.sort_by(|a, b| b.0.total_cmp(&a.0));
         let mut points = Vec::with_capacity(pairs.len() + 1);
         let mut tp = 0usize;
         let mut fp = 0usize;
@@ -193,5 +195,21 @@ mod tests {
         assert!(RocCurve::from_scores([(1.0, Infested)]).is_err());
         assert!(RocCurve::from_scores([(f64::NAN, Free), (0.0, Infested)]).is_err());
         assert!(RocCurve::from_scores(std::iter::empty()).is_err());
+    }
+
+    #[test]
+    fn nan_scores_return_typed_error_not_panic() {
+        // Regression: the threshold-sweep sort previously relied on
+        // partial_cmp().expect("finite scores"). NaN input must surface the
+        // typed DegenerateData error from pre-validation — and even if the
+        // validation were bypassed, total_cmp keeps the sort panic-free.
+        let err = RocCurve::from_scores([
+            (0.4, Free),
+            (f64::NAN, Infested),
+            (0.6, Free),
+            (0.1, Infested),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, StatsError::DegenerateData(_)), "{err:?}");
     }
 }

@@ -131,6 +131,61 @@ if [[ -f BENCH_throughput.json ]]; then
     ' BENCH_throughput.json
 fi
 
+# The scenario matrix (sidefp-bench --bin scenario-matrix --json) commits
+# BENCH_scenarios.json: one record per (channel stack x Trojan class x
+# corner x preset) cell with flattened per-boundary counts. Validated
+# statically: the grid must keep at least SCENARIO_MIN cells, every cell
+# must carry the B5 counts, the paper cell must hold the Table-1 shape,
+# and the Trojan-III story must stay intact — the dormant payload is
+# invisible to the power-only tester but caught by the full multi-
+# parameter stack. A regenerated report that loses any of these cannot
+# land without this gate naming the broken cell.
+SCENARIO_MIN=${SCENARIO_MIN:-12}
+if [[ -f BENCH_scenarios.json ]]; then
+    awk -v min="$SCENARIO_MIN" '
+        {
+            line = $0
+            gsub(/[",:]/, " ", line)
+            split(line, f, " ")
+            if (f[1] == "name") { cur = f[2]; count++ }
+            if (f[1] == "b5_fp") { fp[cur] = f[2]; rows++ }
+            if (f[1] == "b5_fn") fn_[cur] = f[2]
+            if (f[1] == "b5_infested") inf[cur] = f[2]
+        }
+        END {
+            if (count < min) {
+                print "bench_gate: FAIL — BENCH_scenarios.json has " count " scenarios, need >= " min "; regenerate with: scenario-matrix --json"
+                exit 1
+            }
+            if (rows != count) {
+                print "bench_gate: FAIL — BENCH_scenarios.json: " count " scenarios but " rows " b5_fp entries; regenerate with: scenario-matrix --json"
+                exit 1
+            }
+            paper = "power/always-on/tt/paper"
+            if (!(paper in fp)) {
+                print "bench_gate: FAIL — BENCH_scenarios.json is missing the paper cell " paper
+                exit 1
+            }
+            if (fp[paper] + 0 > 2 || fn_[paper] + 0 > 8) {
+                printf "bench_gate: FAIL — paper cell B5 out of the Table-1 band: FP %d (<= 2), FN %d (<= 8)\n", fp[paper], fn_[paper]
+                exit 1
+            }
+            blind = "power/dormant/tt/paper"
+            if ((blind in fp) && fp[blind] + 0 < 0.9 * inf[blind]) {
+                printf "bench_gate: FAIL — dormant payload no longer invisible to power-only (B5 FP %d/%d); the Trojan-III physics changed\n", fp[blind], inf[blind]
+                exit 1
+            }
+            wide = "power+iddt+delay+spectral/dormant/tt/paper"
+            if ((wide in fp) && fp[wide] + 0 > 0.3 * inf[wide]) {
+                printf "bench_gate: FAIL — full stack misses the dormant payload (B5 FP %d/%d, floor 30%%)\n", fp[wide], inf[wide]
+                exit 1
+            }
+            printf "bench_gate: scenario baseline OK (%d cells; paper B5 %d/%d, power-blind dormant %d/%d, full-stack dormant %d/%d)\n", \
+                count, fp[paper], fn_[paper], fp[blind], inf[blind], fp[wide], inf[wide]
+        }
+    ' BENCH_scenarios.json
+fi
+
 if [[ ! -f "$BASELINE" ]]; then
     echo "bench_gate: no committed $BASELINE; run 'perf --json' and commit it" >&2
     exit 0

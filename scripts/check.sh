@@ -37,6 +37,23 @@ if ! awk '
     exit 1
 fi
 
+# Bench binaries are user-facing tools: a bad config or failed fit must
+# surface as one readable error line and a nonzero exit code, never a
+# panic backtrace. Return errors from run()/main, or use
+# sidefp_bench::or_die inside timing closures where ? cannot propagate.
+if ! awk '
+    FNR == 1 { in_tests = 0 }
+    /#\[cfg\(test\)\]/ { in_tests = 1 }
+    !in_tests && (/\.unwrap\(\)/ || /\.expect\(/) {
+        found = 1
+        print FILENAME ":" FNR ": " $0
+    }
+    END { exit found }
+' crates/bench/src/bin/*.rs; then
+    echo "error: unwrap()/expect() in a bench binary (return an error or use sidefp_bench::or_die)" >&2
+    exit 1
+fi
+
 # Fit/score split: the scoring engine must never reach back into a
 # fit-only stage. A scoring path that refits (or re-runs the experiment)
 # silently destroys the fit-once amortization the artifact exists for.
@@ -86,4 +103,9 @@ else
     # round-trip byte-exactly and the loaded model must score
     # bit-identically to the in-process fit at any thread count.
     cargo test -q -p sidefp-core --test fitted_model
+    # Scenario-matrix smoke: a reduced grid (<= 4 cells) through the full
+    # B1-B5 flow; catches a channel/Trojan/corner wiring break without
+    # paying for the committed full-size matrix.
+    cargo build --release -q -p sidefp-bench --bin scenario-matrix
+    ./target/release/scenario-matrix --smoke >/dev/null
 fi

@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks for the packed-panel GEMM layer: the plain
+//! product, the transposed-B path, and the fused Gram/distance epilogues
+//! that the kernel methods (KMM, OCSVM, KDE, MMD) are built on.
+//!
+//! The shapes mirror the pipeline's hot call sites: tall-skinny
+//! fingerprint matrices (many devices, few features) driving `X Xᵀ`-style
+//! symmetric kernels, plus one square product for the generic path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sidefp_linalg::gemm::{self, Epilogue};
+use sidefp_linalg::Matrix;
+use sidefp_stats::{GramMatrix, Kernel};
+
+fn filled(rows: usize, cols: usize, seed: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| {
+        let x = (i as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add((j as u64).wrapping_mul(1442695040888963407))
+            .wrapping_add(seed);
+        ((x >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+    })
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let a = filled(256, 256, 1);
+    let b = filled(256, 256, 2);
+    c.bench_function("gemm_nn_256", |bench| {
+        let mut out = Matrix::zeros(256, 256);
+        bench.iter(|| {
+            gemm::gemm_nn(&a, &b, &mut out);
+            std::hint::black_box(out.row(0)[0])
+        })
+    });
+
+    let x = filled(600, 8, 3);
+    let y = filled(400, 8, 4);
+    c.bench_function("gemm_nt_600x8_400x8", |bench| {
+        let mut out = Matrix::zeros(600, 400);
+        bench.iter(|| {
+            gemm::gemm_nt_fused(&x, &y, &Epilogue::None, &mut out);
+            std::hint::black_box(out.row(0)[0])
+        })
+    });
+}
+
+fn bench_fused_epilogues(c: &mut Criterion) {
+    let x = filled(600, 8, 5);
+    let norms: Vec<f64> = (0..x.nrows())
+        .map(|i| gemm::self_dot_fold(x.row(i)))
+        .collect();
+
+    c.bench_function("syrk_sqdist_600x8", |bench| {
+        let mut out = Matrix::zeros(600, 600);
+        bench.iter(|| {
+            out.as_mut_slice().fill(0.0);
+            gemm::syrk_fused(
+                &x,
+                &Epilogue::SquaredDistance {
+                    a_norms: &norms,
+                    b_norms: &norms,
+                },
+                &mut out,
+            );
+            std::hint::black_box(out.row(0)[1])
+        })
+    });
+
+    c.bench_function("syrk_rbf_600x8", |bench| {
+        let mut out = Matrix::zeros(600, 600);
+        bench.iter(|| {
+            out.as_mut_slice().fill(0.0);
+            gemm::syrk_fused(
+                &x,
+                &Epilogue::Rbf {
+                    gamma: 0.5,
+                    a_norms: &norms,
+                    b_norms: &norms,
+                },
+                &mut out,
+            );
+            std::hint::black_box(out.row(0)[1])
+        })
+    });
+
+    // End-to-end fused RBF Gram through the stats entry point (includes
+    // the lower-triangle mirror the consumers see).
+    c.bench_function("gram_rbf_600x8", |bench| {
+        bench.iter(|| {
+            let g = GramMatrix::symmetric(Kernel::Rbf { gamma: 0.5 }, &x);
+            std::hint::black_box(g.matrix().row(0)[1])
+        })
+    });
+}
+
+criterion_group!(benches, bench_gemm, bench_fused_epilogues);
+criterion_main!(benches);

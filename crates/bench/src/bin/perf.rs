@@ -9,7 +9,16 @@
 //! perf --json       # additionally dump BENCH_pipeline.json
 //! perf --trace      # additionally dump BENCH_pipeline_trace.jsonl
 //! perf --score-only # only the scoring phase (one fit, no refit noise)
+//! perf --scaling    # per-stage speedup curves over a worker ladder
+//!                   # (writes BENCH_scaling.json)
 //! ```
+//!
+//! On a single-core host the pooled run is the same configuration as the
+//! threads=1 run, so `--json` records `"speedup": null` with an
+//! explanatory `"speedup_note"` instead of publishing load noise as a
+//! parallel speedup, and `--scaling`'s ladder collapses to `[1]` — which
+//! still pins the guided scheduler's zero-overhead threads=1 delegation
+//! (every committed speedup curve must open at exactly 1.0).
 //!
 //! Each timed run records into its own [`sidefp_core::RunContext`], not
 //! process-global state. The per-stage breakdown is the per-stage
@@ -84,6 +93,7 @@ struct AllocReport {
     kde_density_rows: u64,
     ocsvm_decision_rows: u64,
     score_into_rows: u64,
+    packed_gemm: u64,
 }
 
 /// Measures heap blocks requested by the KDE density and OCSVM decision
@@ -147,10 +157,25 @@ fn measure_steady_state_allocs() -> AllocReport {
         }
     });
 
+    // The packed-GEMM panel buffers live in a thread-local workspace:
+    // once a shape has been through it, repeated products request zero
+    // heap blocks (the output matrix is caller-owned here, so the whole
+    // steady-state loop must count 0).
+    let ga = Matrix::from_fn(96, 80, |i, j| (i as f64 - j as f64) * 0.01);
+    let gb = Matrix::from_fn(80, 72, |i, j| (i + 2 * j) as f64 * 0.005);
+    let mut gout = Matrix::zeros(96, 72);
+    sidefp_linalg::gemm::gemm_nn(&ga, &gb, &mut gout);
+    let (_, gemm_allocs) = alloc_count::count_in(|| {
+        for _ in 0..8 {
+            sidefp_linalg::gemm::gemm_nn(&ga, &gb, &mut gout);
+        }
+    });
+
     AllocReport {
         kde_density_rows: kde_allocs,
         ocsvm_decision_rows: svm_allocs,
         score_into_rows: score_allocs,
+        packed_gemm: gemm_allocs,
     }
 }
 
@@ -230,13 +255,108 @@ fn time_scoring(
     Ok((stage_min.into_iter().collect(), best_ms))
 }
 
+/// `--scaling`: times the reduced pipeline at a ladder of worker counts
+/// and writes per-stage speedup curves (relative to threads=1) into
+/// `BENCH_scaling.json`. The ladder is `[1, 2, 4, 8]` clamped to the
+/// host's core count; on a single-core box it collapses to `[1]`, which
+/// still pins the guided scheduler's zero-overhead sequential delegation
+/// — the committed curve must open at exactly 1.0 for every stage.
+fn run_scaling(cores: usize) -> Result<(), Box<dyn std::error::Error>> {
+    let reps = 3;
+    let ladder: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&t| t == 1 || t <= cores)
+        .collect();
+
+    // Warm-up run so allocator and page-cache effects don't bias the
+    // threads=1 reference rung.
+    let _ = time_run(1, 1);
+
+    let mut totals: Vec<f64> = Vec::with_capacity(ladder.len());
+    let mut tables: Vec<std::collections::BTreeMap<String, f64>> = Vec::with_capacity(ladder.len());
+    for (li, &t) in ladder.iter().enumerate() {
+        println!(
+            "scaling rung {}/{}: threads={t} ({reps} reps)",
+            li + 1,
+            ladder.len()
+        );
+        let mut best = f64::INFINITY;
+        let mut stage_min: std::collections::BTreeMap<String, f64> =
+            std::collections::BTreeMap::new();
+        for r in 0..reps {
+            let (ms, _, ctx) = time_run(t, 2 + r as u64);
+            best = best.min(ms);
+            for (name, stage_ms) in ctx.timing_snapshot() {
+                stage_min
+                    .entry(name)
+                    .and_modify(|m| *m = m.min(stage_ms))
+                    .or_insert(stage_ms);
+            }
+        }
+        totals.push(best);
+        tables.push(stage_min);
+    }
+
+    // Only stages timed at every rung get a curve — the stage set is
+    // thread-count-independent in practice, so a divergence would mean
+    // the instrumentation itself changed mid-sweep.
+    let stage_names: Vec<String> = tables[0]
+        .keys()
+        .filter(|name| tables.iter().all(|tbl| tbl.contains_key(*name)))
+        .cloned()
+        .collect();
+
+    let fmt = |v: &[f64]| -> String {
+        let parts: Vec<String> = v.iter().map(|x| format!("{x:.3}")).collect();
+        format!("[{}]", parts.join(", "))
+    };
+    let counts_str = {
+        let parts: Vec<String> = ladder.iter().map(|t| t.to_string()).collect();
+        format!("[{}]", parts.join(", "))
+    };
+    let total_speedup: Vec<f64> = totals.iter().map(|ms| totals[0] / ms).collect();
+
+    println!("scaling (chips 12, mc 60, kde 8000; per-rung min over {reps} reps):");
+    println!("  threads      {counts_str}");
+    println!("  total ms     {}", fmt(&totals));
+    println!("  total x      {}", fmt(&total_speedup));
+    let mut stage_ms_lines: Vec<String> = Vec::with_capacity(stage_names.len());
+    let mut stage_speedup_lines: Vec<String> = Vec::with_capacity(stage_names.len());
+    for name in &stage_names {
+        let ms: Vec<f64> = tables.iter().map(|tbl| tbl[name]).collect();
+        let speedup: Vec<f64> = ms.iter().map(|v| ms[0] / v).collect();
+        println!("  {name:<16} {}  {}", fmt(&ms), fmt(&speedup));
+        stage_ms_lines.push(format!("    \"{name}\": {}", fmt(&ms)));
+        stage_speedup_lines.push(format!("    \"{name}\": {}", fmt(&speedup)));
+    }
+
+    let payload = format!(
+        "{{\n  \"bench\": \"scaling\",\n  \"cores\": {cores},\n  \"reps\": {reps},\n  \
+         \"thread_counts\": {counts_str},\n  \
+         \"total_ms\": {},\n  \"total_speedup\": {},\n  \
+         \"stages_ms\": {{\n{}\n  }},\n  \"stages_speedup\": {{\n{}\n  }}\n}}\n",
+        fmt(&totals),
+        fmt(&total_speedup),
+        stage_ms_lines.join(",\n"),
+        stage_speedup_lines.join(",\n"),
+    );
+    std::fs::write("BENCH_scaling.json", payload)?;
+    println!("wrote BENCH_scaling.json");
+    Ok(())
+}
+
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let json = std::env::args().any(|a| a == "--json");
     let trace = std::env::args().any(|a| a == "--trace");
     let score_only = std::env::args().any(|a| a == "--score-only");
+    let scaling = std::env::args().any(|a| a == "--scaling");
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+
+    if scaling {
+        return run_scaling(cores);
+    }
 
     // The scoring phase reuses ONE fitted model across all reps: the
     // score.* stage minima measure pure scoring, never refit noise.
@@ -307,7 +427,11 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     println!("pipeline (chips 12, mc 60, kde 8000), best of {reps}:");
     println!("  threads=1       {single_ms:8.1} ms");
     println!("  threads=auto({cores}) {pooled_ms:8.1} ms  ({resolved_threads} worker(s))");
-    println!("  speedup         {speedup:8.2}x");
+    if cores == 1 {
+        println!("  speedup         n/a (single-core host)");
+    } else {
+        println!("  speedup         {speedup:8.2}x");
+    }
     println!("scoring (batch of {score_batch_devices} devices, best of 5): {score_batch_ms:.1} ms");
     println!("stages (threads=1, per-stage min over {reps} reps; score.* from the scoring phase):");
     // The untimed remainder is a pipeline-run number: score.* stages are
@@ -331,6 +455,14 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         println!("  kde.density_rows    {:6}", report.kde_density_rows);
         println!("  ocsvm.decision_rows {:6}", report.ocsvm_decision_rows);
         println!("  score_into          {:6}", report.score_into_rows);
+        println!("  packed_gemm         {:6}", report.packed_gemm);
+        if report.packed_gemm != 0 {
+            return Err(format!(
+                "steady-state packed GEMM requested {} heap blocks (expected 0)",
+                report.packed_gemm
+            )
+            .into());
+        }
     }
 
     if json {
@@ -343,16 +475,30 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 ",\n  \"steady_state_allocs\": {{\n    \
                  \"kde_density_rows\": {},\n    \
                  \"ocsvm_decision_rows\": {},\n    \
-                 \"score_into_rows\": {}\n  }}",
-                report.kde_density_rows, report.ocsvm_decision_rows, report.score_into_rows
+                 \"score_into_rows\": {},\n    \
+                 \"packed_gemm\": {}\n  }}",
+                report.kde_density_rows,
+                report.ocsvm_decision_rows,
+                report.score_into_rows,
+                report.packed_gemm
             ),
             None => String::new(),
+        };
+        // On a single-core host the pooled run is the same configuration
+        // as the threads=1 run; publishing their ratio would record load
+        // noise as a parallel speedup, so the field is null with a note.
+        let speedup_field = if cores == 1 {
+            "\"speedup\": null,\n  \"speedup_note\": \"single-core host: pooled run equals \
+             threads=1, no parallel speedup is measurable\","
+                .to_string()
+        } else {
+            format!("\"speedup\": {speedup:.3},")
         };
         let payload = format!(
             "{{\n  \"bench\": \"pipeline\",\n  \"cores\": {cores},\n  \
              \"resolved_threads\": {resolved_threads},\n  \
              \"threads1_ms\": {single_ms:.2},\n  \"default_ms\": {pooled_ms:.2},\n  \
-             \"speedup\": {speedup:.3},\n  \"stages_ms\": {{\n{}\n  }}{alloc_block}\n}}\n",
+             {speedup_field}\n  \"stages_ms\": {{\n{}\n  }}{alloc_block}\n}}\n",
             stage_lines.join(",\n")
         );
         std::fs::write("BENCH_pipeline.json", payload)?;

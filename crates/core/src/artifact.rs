@@ -13,20 +13,21 @@
 //! artifact and score wafer lots without ever re-running a fit stage
 //! (see [`crate::score::BatchScorer`]).
 //!
-//! # Binary format (version 1)
+//! # Binary format (version 2)
 //!
 //! All integers are little-endian; floats are IEEE-754 bit patterns.
 //!
 //! ```text
 //! magic   4 bytes  "SFPA"
-//! version u32      1
+//! version u32      2
 //! len     u64      payload byte count
 //! payload len bytes
 //! check   u64      FNV-1a 64 of payload
 //! ```
 //!
 //! The payload is a fixed field sequence (seed, dimensions, regression
-//! space, sanitizer thresholds, regressor bank, boundaries, KMM weights,
+//! space, sanitizer config and pinned thresholds, regressor bank,
+//! boundaries, KMM weights,
 //! KDE state, PCM medians); see the `encode_payload` / `decode_payload`
 //! pair for the exact layout. Every load path re-validates the decoded
 //! state through the same constructors the fit path uses
@@ -57,14 +58,16 @@ use crate::boundary::TrustedBoundary;
 use crate::config::{ExperimentConfig, RegressionSpace};
 use crate::experiment::RunArtifacts;
 use crate::predictor::FingerprintPredictor;
-use crate::stages::sanitize::SanitizerConfig;
+use crate::stages::sanitize::{SanitizerConfig, SanitizerThresholds};
 use crate::CoreError;
 
 /// File magic of a fitted-model artifact.
 pub const ARTIFACT_MAGIC: [u8; 4] = *b"SFPA";
 
-/// Current artifact format version.
-pub const ARTIFACT_VERSION: u32 = 1;
+/// Current artifact format version. Version 2 added the pinned
+/// [`SanitizerThresholds`] so batch scoring repairs against the fit-time
+/// reference population instead of re-deriving per-batch medians.
+pub const ARTIFACT_VERSION: u32 = 2;
 
 /// Byte count of the fixed header (magic + version + payload length).
 const HEADER_LEN: usize = 4 + 4 + 8;
@@ -158,6 +161,7 @@ pub struct FittedModel {
     pcm_dim: usize,
     space: RegressionSpace,
     sanitizer: SanitizerConfig,
+    sanitizer_thresholds: SanitizerThresholds,
     predictor: FingerprintPredictor,
     boundaries: Vec<TrustedBoundary>,
     kmm_weights: Vec<f64>,
@@ -223,12 +227,21 @@ impl FittedModel {
         let pcm_medians = (0..pcms.ncols())
             .map(|j| descriptive::median(&pcms.col(j)).map_err(CoreError::from))
             .collect::<Result<Vec<f64>, CoreError>>()?;
+        // Pin the sanitizer's repair/winsorization statistics to the
+        // silicon reference population, so production scoring never
+        // re-derives them from (possibly corrupted) batches.
+        let sanitizer_thresholds = SanitizerThresholds::derive(
+            arts.silicon.dutts.fingerprints(),
+            pcms,
+            &config.sanitizer,
+        )?;
         Ok(FittedModel {
             seed: config.seed,
             fingerprint_dim: config.fingerprint_blocks,
             pcm_dim: pcms.ncols(),
             space: config.regression_space,
             sanitizer: config.sanitizer,
+            sanitizer_thresholds,
             predictor,
             boundaries,
             kmm_weights: arts.silicon.kmm_weights.clone(),
@@ -277,9 +290,15 @@ impl FittedModel {
         &self.kde
     }
 
-    /// Sanitizer thresholds the scoring phase must apply.
+    /// Sanitizer configuration the scoring phase must apply.
     pub fn sanitizer(&self) -> SanitizerConfig {
         self.sanitizer
+    }
+
+    /// Pinned sanitizer statistics (repair targets, winsorization bounds)
+    /// derived from the fitting run's silicon reference population.
+    pub fn sanitizer_thresholds(&self) -> &SanitizerThresholds {
+        &self.sanitizer_thresholds
     }
 
     /// Per-column medians of the fitting run's silicon PCMs.
@@ -438,6 +457,10 @@ impl FittedModel {
         w.f64(self.sanitizer.mad_k);
         w.f64(self.sanitizer.max_bad_fraction);
         w.usize(self.sanitizer.min_devices);
+        w.f64s(&self.sanitizer_thresholds.fp_repair);
+        w.f64s(&self.sanitizer_thresholds.pcm_repair);
+        w.f64s(&self.sanitizer_thresholds.winsor_lo);
+        w.f64s(&self.sanitizer_thresholds.winsor_hi);
         let states = self
             .predictor
             .export_states()
@@ -482,6 +505,15 @@ impl FittedModel {
             min_devices: r.usize()?,
         };
         sanitizer.validate().map_err(invalid)?;
+        let sanitizer_thresholds = SanitizerThresholds {
+            fp_repair: r.f64s()?,
+            pcm_repair: r.f64s()?,
+            winsor_lo: r.f64s()?,
+            winsor_hi: r.f64s()?,
+        };
+        sanitizer_thresholds
+            .validate(fingerprint_dim, pcm_dim)
+            .map_err(invalid)?;
         let n_models = r.usize()?;
         let states = (0..n_models)
             .map(|_| decode_regressor(r))
@@ -562,6 +594,7 @@ impl FittedModel {
             pcm_dim,
             space,
             sanitizer,
+            sanitizer_thresholds,
             predictor,
             boundaries,
             kmm_weights,

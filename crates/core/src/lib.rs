@@ -65,4 +65,7 @@ pub use scenario::{Scenario, ScenarioOutcome};
 pub use score::{BatchScorer, ScoredBatch};
 pub use sidefp_obs::{RunContext, SolverHealth, TraceEvent, TraceRecord};
 pub use stages::recalibrate::{LotAction, LotOutcome, LotStream};
-pub use stages::sanitize::{sanitize_measurements, SanitizedMeasurements, SanitizerConfig};
+pub use stages::sanitize::{
+    sanitize_measurements, sanitize_measurements_pinned, SanitizedMeasurements, SanitizerConfig,
+    SanitizerThresholds,
+};

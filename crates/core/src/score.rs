@@ -20,7 +20,7 @@ use sidefp_stats::DetectionLabel;
 use crate::artifact::FittedModel;
 use crate::boundary::TrustedBoundary;
 use crate::health::MeasurementHealth;
-use crate::stages::sanitize::{sanitize_measurements, SanitizerConfig};
+use crate::stages::sanitize::{sanitize_measurements_pinned, SanitizerConfig, SanitizerThresholds};
 use crate::CoreError;
 
 /// One scored batch: per-device decision values for every boundary, the
@@ -76,6 +76,7 @@ impl ScoredBatch {
 pub struct BatchScorer {
     boundaries: Vec<TrustedBoundary>,
     sanitizer: SanitizerConfig,
+    thresholds: SanitizerThresholds,
     fingerprint_dim: usize,
     ws: Workspace,
     /// Persistent standardization scratch for the per-device path.
@@ -91,6 +92,7 @@ impl BatchScorer {
         BatchScorer {
             boundaries: model.boundaries().to_vec(),
             sanitizer: model.sanitizer(),
+            thresholds: model.sanitizer_thresholds().clone(),
             fingerprint_dim: model.fingerprint_dim(),
             ws: Workspace::new(),
             row_scratch: vec![0.0; model.fingerprint_dim()],
@@ -109,9 +111,11 @@ impl BatchScorer {
         self.batches_scored
     }
 
-    /// Scores one raw batch: sanitizes exactly like the fit pipeline's
-    /// measurement stage (same thresholds, same quarantine trace events,
-    /// same [`MeasurementHealth`] accounting), then evaluates every
+    /// Scores one raw batch: sanitizes with the artifact's *pinned*
+    /// repair targets and winsorization bounds (quarantine and dedup are
+    /// identical to the fit pipeline's measurement stage; repairs land on
+    /// the fit-time reference medians instead of per-batch statistics,
+    /// which also drops the per-batch column sorts), then evaluates every
     /// boundary on the surviving rows through the pooled `*_into` scoring
     /// paths. Emits `score.sanitize` / `score.boundaries` spans and one
     /// [`TraceEvent::BatchScored`] summary per call into `obs`.
@@ -129,7 +133,8 @@ impl BatchScorer {
     ) -> Result<ScoredBatch, CoreError> {
         let devices_in = fingerprints.nrows();
         let sanitize_span = obs.span("score.sanitize");
-        let sanitized = sanitize_measurements(fingerprints, pcms, &self.sanitizer)?;
+        let sanitized =
+            sanitize_measurements_pinned(fingerprints, pcms, &self.sanitizer, &self.thresholds)?;
         for q in &sanitized.health.quarantined {
             obs.trace(TraceEvent::Quarantine {
                 device: q.index,
@@ -265,6 +270,27 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn pinned_scoring_survives_artifact_round_trip_bitwise() {
+        let model = tiny_model();
+        let loaded = FittedModel::from_bytes(&model.to_bytes()).unwrap();
+        let mut fresh = BatchScorer::new(&model);
+        let mut thawed = BatchScorer::new(&loaded);
+        // Inject a repairable NaN so the pinned repair targets are
+        // actually exercised, not just carried along.
+        let (mut fps, pcms) = model.synthesize_batch(11, 24);
+        fps[(5, 0)] = f64::NAN;
+        let ctx = RunContext::new();
+        let a = fresh.score_batch(&fps, &pcms, &ctx).unwrap();
+        let b = thawed.score_batch(&fps, &pcms, &ctx).unwrap();
+        assert_eq!(a.health.repaired_readings, 1);
+        assert_eq!(a.health, b.health);
+        assert_eq!(a.kept, b.kept);
+        let bits: Vec<u64> = a.decisions.as_slice().iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u64> = b.decisions.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, bits_b, "decisions drifted through the artifact codec");
     }
 
     #[test]

@@ -8,7 +8,10 @@ pub mod trojan_test;
 
 pub use premanufacturing::PremanufacturingStage;
 pub use recalibrate::{LotAction, LotOutcome, LotStream};
-pub use sanitize::{sanitize_measurements, SanitizedMeasurements, SanitizerConfig};
+pub use sanitize::{
+    sanitize_measurements, sanitize_measurements_pinned, SanitizedMeasurements, SanitizerConfig,
+    SanitizerThresholds,
+};
 pub use silicon_stage::SiliconStage;
 
 use rand::Rng;

@@ -132,23 +132,141 @@ fn repair_targets(
         .collect()
 }
 
-/// Screens, repairs and quarantines one measurement campaign.
+/// Fit-time sanitizer thresholds, pinned into the model artifact so batch
+/// scoring repairs and winsorizes against the *reference* population
+/// instead of re-deriving per-column medians from every batch.
 ///
-/// The returned matrices are value-identical to the input when the campaign
-/// is already clean. See the module docs for the exact policy.
-///
-/// # Errors
-///
-/// - [`CoreError::InvalidConfig`] if `config` fails validation or the
-///   matrices disagree on the device count.
-/// - [`CoreError::DataQuality`] if fewer than `config.min_devices` devices
-///   survive quarantine.
-pub fn sanitize_measurements(
-    fingerprints: &Matrix,
-    pcms: &Matrix,
-    config: &SanitizerConfig,
-) -> Result<SanitizedMeasurements, CoreError> {
-    config.validate()?;
+/// Two wins: scoring drops the per-batch column sorts (the dominant cost
+/// of `score.sanitize`), and repair targets stop depending on batch
+/// composition — a corrupted batch can no longer shift its own repair
+/// medians. [`sanitize_measurements_pinned`] applies these numbers with
+/// the exact arithmetic of the dynamic path, so pinning thresholds
+/// derived from a batch reproduces [`sanitize_measurements`] on that
+/// batch bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SanitizerThresholds {
+    /// Per-fingerprint-column repair target (median of the reference
+    /// population's good readings).
+    pub fp_repair: Vec<f64>,
+    /// Per-PCM-column repair target.
+    pub pcm_repair: Vec<f64>,
+    /// Per-fingerprint-column winsorization lower clamp (`−∞` disables
+    /// clamping, mirroring the dynamic path's zero-MAD skip).
+    pub winsor_lo: Vec<f64>,
+    /// Per-fingerprint-column winsorization upper clamp (`+∞` disables).
+    pub winsor_hi: Vec<f64>,
+}
+
+impl SanitizerThresholds {
+    /// Derives thresholds from a reference population with exactly the
+    /// statistics the dynamic sanitizer would compute on it: quarantine
+    /// and dedup first, repair targets over the kept rows' good readings,
+    /// then winsorization bounds from the median/MAD of the *repaired*
+    /// fingerprint columns.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`sanitize_measurements`] on the reference
+    /// population: config validation, row-count agreement, minimum
+    /// survivor count, and unrecoverable (no-valid-reading) columns.
+    pub fn derive(
+        fingerprints: &Matrix,
+        pcms: &Matrix,
+        config: &SanitizerConfig,
+    ) -> Result<Self, CoreError> {
+        config.validate()?;
+        check_row_agreement(fingerprints, pcms)?;
+        let (kept, _health) = screen_and_dedup(fingerprints, pcms, config)?;
+        let fp_repair = repair_targets(fingerprints, &kept, bad_fingerprint, f64::NAN);
+        let pcm_repair = repair_targets(pcms, &kept, bad_pcm, f64::NAN);
+        if let Some(j) = fp_repair.iter().position(|t| !t.is_finite()) {
+            return Err(CoreError::DataQuality {
+                reason: format!("fingerprint column {j} has no valid reading on any device"),
+            });
+        }
+        if let Some(j) = pcm_repair.iter().position(|t| !t.is_finite()) {
+            return Err(CoreError::DataQuality {
+                reason: format!("PCM column {j} has no valid (positive) reading on any device"),
+            });
+        }
+        let nm = fingerprints.ncols();
+        let mut winsor_lo = vec![f64::NEG_INFINITY; nm];
+        let mut winsor_hi = vec![f64::INFINITY; nm];
+        for j in 0..nm {
+            // The winsor statistics see the column as pass 4 would: kept
+            // rows with bad readings already repaired to the target.
+            let col: Vec<f64> = kept
+                .iter()
+                .map(|&i| {
+                    let v = fingerprints[(i, j)];
+                    if bad_fingerprint(v) {
+                        fp_repair[j]
+                    } else {
+                        v
+                    }
+                })
+                .collect();
+            let med = median_of(col.clone()).unwrap_or(0.0);
+            let mad = median_of(col.iter().map(|v| (v - med).abs()).collect()).unwrap_or(0.0);
+            let sigma = MAD_SIGMA * mad;
+            if sigma > 0.0 {
+                winsor_lo[j] = med - config.mad_k * sigma;
+                winsor_hi[j] = med + config.mad_k * sigma;
+            }
+        }
+        Ok(SanitizerThresholds {
+            fp_repair,
+            pcm_repair,
+            winsor_lo,
+            winsor_hi,
+        })
+    }
+
+    /// Validates internal consistency against the model's dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] on length mismatches,
+    /// non-finite repair targets, NaN bounds, or inverted clamp ranges.
+    pub fn validate(&self, fingerprint_dim: usize, pcm_dim: usize) -> Result<(), CoreError> {
+        if self.fp_repair.len() != fingerprint_dim
+            || self.winsor_lo.len() != fingerprint_dim
+            || self.winsor_hi.len() != fingerprint_dim
+            || self.pcm_repair.len() != pcm_dim
+        {
+            return Err(CoreError::InvalidConfig {
+                name: "sanitizer_thresholds",
+                reason: format!(
+                    "threshold lengths ({}, {}, {}, {}) disagree with dims ({fingerprint_dim}, {pcm_dim})",
+                    self.fp_repair.len(),
+                    self.pcm_repair.len(),
+                    self.winsor_lo.len(),
+                    self.winsor_hi.len(),
+                ),
+            });
+        }
+        if self.fp_repair.iter().any(|v| !v.is_finite())
+            || self.pcm_repair.iter().any(|v| !v.is_finite())
+        {
+            return Err(CoreError::InvalidConfig {
+                name: "sanitizer_thresholds",
+                reason: "repair targets must be finite".into(),
+            });
+        }
+        for (lo, hi) in self.winsor_lo.iter().zip(&self.winsor_hi) {
+            if lo.is_nan() || hi.is_nan() || lo > hi {
+                return Err(CoreError::InvalidConfig {
+                    name: "sanitizer_thresholds",
+                    reason: format!("invalid winsorization bounds [{lo}, {hi}]"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Shared row-count agreement check.
+fn check_row_agreement(fingerprints: &Matrix, pcms: &Matrix) -> Result<(), CoreError> {
     let n = fingerprints.nrows();
     if pcms.nrows() != n {
         return Err(CoreError::InvalidConfig {
@@ -159,6 +277,19 @@ pub fn sanitize_measurements(
             ),
         });
     }
+    Ok(())
+}
+
+/// Passes 1–2 of the sanitizer (dead-device quarantine, bit-exact dedup)
+/// plus the minimum-survivor check, shared by the dynamic and pinned
+/// entry points. Returns the kept raw row indices and the health ledger
+/// with quarantine accounting filled in.
+fn screen_and_dedup(
+    fingerprints: &Matrix,
+    pcms: &Matrix,
+    config: &SanitizerConfig,
+) -> Result<(Vec<usize>, MeasurementHealth), CoreError> {
+    let n = fingerprints.nrows();
     let nm = fingerprints.ncols();
     let np = pcms.ncols();
     let readings_per_device = nm + np;
@@ -239,6 +370,30 @@ pub fn sanitize_measurements(
             ),
         });
     }
+    Ok((kept, health))
+}
+
+/// Screens, repairs and quarantines one measurement campaign.
+///
+/// The returned matrices are value-identical to the input when the campaign
+/// is already clean. See the module docs for the exact policy.
+///
+/// # Errors
+///
+/// - [`CoreError::InvalidConfig`] if `config` fails validation or the
+///   matrices disagree on the device count.
+/// - [`CoreError::DataQuality`] if fewer than `config.min_devices` devices
+///   survive quarantine.
+pub fn sanitize_measurements(
+    fingerprints: &Matrix,
+    pcms: &Matrix,
+    config: &SanitizerConfig,
+) -> Result<SanitizedMeasurements, CoreError> {
+    config.validate()?;
+    check_row_agreement(fingerprints, pcms)?;
+    let nm = fingerprints.ncols();
+    let np = pcms.ncols();
+    let (kept, mut health) = screen_and_dedup(fingerprints, pcms, config)?;
 
     // Pass 3 — repair remaining bad readings to the column median of the
     // good readings. A column with no good reading at all is unrecoverable.
@@ -284,6 +439,74 @@ pub fn sanitize_measurements(
             continue;
         }
         let (lo, hi) = (med - config.mad_k * sigma, med + config.mad_k * sigma);
+        for i in 0..fp_out.nrows() {
+            let v = fp_out[(i, j)];
+            if v < lo || v > hi {
+                fp_out[(i, j)] = v.clamp(lo, hi);
+                health.winsorized_readings += 1;
+            }
+        }
+    }
+
+    Ok(SanitizedMeasurements {
+        fingerprints: fp_out,
+        pcms: pcm_out,
+        kept,
+        health,
+    })
+}
+
+/// [`sanitize_measurements`] with fit-time thresholds instead of batch
+/// statistics: passes 1–2 (quarantine, dedup) are identical, pass 3
+/// repairs to the pinned targets, and pass 4 clamps to the pinned bounds
+/// — no per-batch column sorts anywhere.
+///
+/// Applying thresholds [`SanitizerThresholds::derive`]d from the same
+/// batch reproduces the dynamic path bit-for-bit; in production the
+/// thresholds come from the fit-time reference population, making
+/// repairs independent of batch composition.
+///
+/// # Errors
+///
+/// - [`CoreError::InvalidConfig`] if `config` or `thresholds` fail
+///   validation or the matrices disagree on the device count.
+/// - [`CoreError::DataQuality`] if fewer than `config.min_devices`
+///   devices survive quarantine.
+pub fn sanitize_measurements_pinned(
+    fingerprints: &Matrix,
+    pcms: &Matrix,
+    config: &SanitizerConfig,
+    thresholds: &SanitizerThresholds,
+) -> Result<SanitizedMeasurements, CoreError> {
+    config.validate()?;
+    check_row_agreement(fingerprints, pcms)?;
+    let nm = fingerprints.ncols();
+    let np = pcms.ncols();
+    thresholds.validate(nm, np)?;
+    let (kept, mut health) = screen_and_dedup(fingerprints, pcms, config)?;
+
+    // Pass 3 — repair to the pinned targets (already validated finite).
+    let mut fp_out = fingerprints.select_rows(&kept);
+    let mut pcm_out = pcms.select_rows(&kept);
+    for i in 0..kept.len() {
+        for j in 0..nm {
+            if bad_fingerprint(fp_out[(i, j)]) {
+                fp_out[(i, j)] = thresholds.fp_repair[j];
+                health.repaired_readings += 1;
+            }
+        }
+        for j in 0..np {
+            if bad_pcm(pcm_out[(i, j)]) {
+                pcm_out[(i, j)] = thresholds.pcm_repair[j];
+                health.repaired_readings += 1;
+            }
+        }
+    }
+
+    // Pass 4 — winsorize against the pinned bounds. Disabled columns
+    // carry infinite bounds, which no finite reading can cross.
+    for j in 0..nm {
+        let (lo, hi) = (thresholds.winsor_lo[j], thresholds.winsor_hi[j]);
         for i in 0..fp_out.nrows() {
             let v = fp_out[(i, j)];
             if v < lo || v > hi {
@@ -455,5 +678,77 @@ mod tests {
             sanitize_measurements(&fp, &pcm, &SanitizerConfig::default()),
             Err(CoreError::InvalidConfig { name: "pcms", .. })
         ));
+    }
+
+    /// A batch with every corruption class at once: NaN fingerprints,
+    /// stuck PCMs, a dead device, a duplicate, and a saturation spike.
+    fn dirty(n: usize) -> (Matrix, Matrix) {
+        let (mut fp, mut pcm) = clean(n);
+        fp[(1, 0)] = f64::NAN;
+        fp[(3, 2)] = f64::INFINITY;
+        fp[(8, 1)] = 500.0;
+        pcm[(2, 0)] = 0.0;
+        pcm[(6, 1)] = -1.0;
+        fp.row_mut(4).fill(f64::NAN);
+        pcm.row_mut(4).fill(f64::NAN);
+        let fp_src = fp.row(5).to_vec();
+        fp.row_mut(9).copy_from_slice(&fp_src);
+        let pcm_src = pcm.row(5).to_vec();
+        pcm.row_mut(9).copy_from_slice(&pcm_src);
+        (fp, pcm)
+    }
+
+    #[test]
+    fn pinned_path_with_batch_derived_thresholds_is_bit_identical_to_dynamic() {
+        let (fp, pcm) = dirty(20);
+        let config = SanitizerConfig::default();
+        let dynamic = sanitize_measurements(&fp, &pcm, &config).unwrap();
+        let thresholds = SanitizerThresholds::derive(&fp, &pcm, &config).unwrap();
+        let pinned = sanitize_measurements_pinned(&fp, &pcm, &config, &thresholds).unwrap();
+        assert_eq!(pinned.kept, dynamic.kept);
+        assert_eq!(pinned.health, dynamic.health);
+        let bits = |m: &Matrix| -> Vec<u64> { m.as_slice().iter().map(|v| v.to_bits()).collect() };
+        assert_eq!(bits(&pinned.fingerprints), bits(&dynamic.fingerprints));
+        assert_eq!(bits(&pinned.pcms), bits(&dynamic.pcms));
+    }
+
+    #[test]
+    fn pinned_repairs_use_reference_not_batch_statistics() {
+        let (ref_fp, ref_pcm) = clean(20);
+        let config = SanitizerConfig::default();
+        let thresholds = SanitizerThresholds::derive(&ref_fp, &ref_pcm, &config).unwrap();
+        // A batch whose own column 0 median is shifted far from the
+        // reference: the pinned repair must land on the reference median.
+        let (mut fp, pcm) = clean(12);
+        for i in 0..12 {
+            fp[(i, 0)] += 100.0;
+        }
+        fp[(3, 0)] = f64::NAN;
+        let out = sanitize_measurements_pinned(&fp, &pcm, &config, &thresholds).unwrap();
+        let repaired = out.fingerprints[(3, 0)];
+        assert_eq!(repaired, thresholds.fp_repair[0]);
+        assert!(
+            repaired < 50.0,
+            "repair target came from the batch: {repaired}"
+        );
+    }
+
+    #[test]
+    fn thresholds_validation_catches_corruption() {
+        let (fp, pcm) = clean(10);
+        let config = SanitizerConfig::default();
+        let good = SanitizerThresholds::derive(&fp, &pcm, &config).unwrap();
+        assert!(good.validate(4, 2).is_ok());
+        assert!(good.validate(3, 2).is_err());
+        assert!(good.validate(4, 1).is_err());
+        let mut bad = good.clone();
+        bad.fp_repair[0] = f64::NAN;
+        assert!(bad.validate(4, 2).is_err());
+        let mut bad = good.clone();
+        bad.winsor_lo[1] = bad.winsor_hi[1] + 1.0;
+        assert!(bad.validate(4, 2).is_err());
+        let mut bad = good;
+        bad.winsor_hi[2] = f64::NAN;
+        assert!(bad.validate(4, 2).is_err());
     }
 }

@@ -36,6 +36,7 @@
 mod cholesky;
 mod eigen;
 mod error;
+pub mod gemm;
 pub mod lowrank;
 mod lu;
 mod matrix;
@@ -49,6 +50,6 @@ pub use eigen::SymmetricEigen;
 pub use error::LinalgError;
 pub use lu::Lu;
 pub use matrix::Matrix;
-pub use qr::Qr;
+pub use qr::{Qr, QrBuilder};
 pub use recover::{cholesky_ridged, lu_ridged, Escalation, Recovered};
 pub use workspace::Workspace;

@@ -224,15 +224,20 @@ impl Matrix {
                 rhs: (x.len(), 1),
             });
         }
-        Ok(self
-            .rows_iter()
-            .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
-            .collect())
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(x, &mut out)?;
+        Ok(out)
     }
 
     /// Matrix-vector product `A * x` written into `out` — the
     /// allocation-free form of [`Matrix::matvec`], with the identical
     /// left-to-right accumulation per row (bit-identical results).
+    ///
+    /// Rows are processed four at a time so their independent accumulator
+    /// chains pipeline; each output element is still one ascending-index
+    /// single-accumulator fold over its own row, so results are
+    /// bit-identical to the row-at-a-time loop (which is what the
+    /// projected-gradient QP's trajectory reproducibility rests on).
     ///
     /// # Errors
     ///
@@ -253,7 +258,27 @@ impl Matrix {
                 rhs: (out.len(), 1),
             });
         }
-        for (o, row) in out.iter_mut().zip(self.rows_iter()) {
+        let cols = self.cols;
+        let x = &x[..cols];
+        let split = self.rows & !3;
+        for i in (0..split).step_by(4) {
+            let r0 = &self.row(i)[..cols];
+            let r1 = &self.row(i + 1)[..cols];
+            let r2 = &self.row(i + 2)[..cols];
+            let r3 = &self.row(i + 3)[..cols];
+            let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
+            for (k, &xk) in x.iter().enumerate() {
+                a0 += r0[k] * xk;
+                a1 += r1[k] * xk;
+                a2 += r2[k] * xk;
+                a3 += r3[k] * xk;
+            }
+            out[i] = a0;
+            out[i + 1] = a1;
+            out[i + 2] = a2;
+            out[i + 3] = a3;
+        }
+        for (o, row) in out[split..].iter_mut().zip(self.rows_iter().skip(split)) {
             *o = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         Ok(())
@@ -309,6 +334,13 @@ impl Matrix {
         if self.rows == 0 || rhs.cols == 0 || self.cols == 0 {
             return Ok(out);
         }
+        // Large products go through the packed-panel micro-kernel. Both
+        // paths compute each output element as the same single ascending-k
+        // fold, so the dispatch threshold is value-invisible.
+        if self.rows * rhs.cols * self.cols >= crate::gemm::PACK_THRESHOLD {
+            crate::gemm::gemm_nn(self, rhs, &mut out);
+            return Ok(out);
+        }
         let ncols = rhs.cols;
         let row_blocks = sidefp_parallel::split_even(self.rows, sidefp_parallel::current_threads());
         let cuts: Vec<usize> = row_blocks.iter().skip(1).map(|r| r.start * ncols).collect();
@@ -331,6 +363,31 @@ impl Matrix {
                 }
             }
         });
+        Ok(out)
+    }
+
+    /// Matrix product `A * Bᵀ` without materializing the transpose.
+    ///
+    /// Runs through the packed-panel micro-kernel, which packs `rhs` rows
+    /// directly into `Bᵀ` panels; bit-identical to
+    /// `self.matmul(&rhs.transpose())`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `self.ncols() != rhs.ncols()`.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_nt",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        if self.rows == 0 || rhs.rows == 0 || self.cols == 0 {
+            return Ok(out);
+        }
+        crate::gemm::gemm_nt_fused(self, rhs, &crate::gemm::Epilogue::None, &mut out);
         Ok(out)
     }
 

@@ -217,6 +217,172 @@ impl Qr {
     }
 }
 
+/// Incremental Householder QR for one fixed right-hand side.
+///
+/// The MARS forward pass evaluates thousands of candidate bases per
+/// round, and every candidate shares the design columns already in the
+/// model: refactorizing the full design per candidate repeats the same
+/// leading reflections over and over. `QrBuilder` factors columns as
+/// they are pushed — clone the shared prefix once per candidate, push
+/// the candidate's columns, and read [`QrBuilder::rss`].
+///
+/// The arithmetic replays [`Qr::new`] exactly: a pushed column receives
+/// the stored reflections in order (in their *unnormalized* form, as the
+/// eager trailing-column updates apply them), then contributes its own
+/// reflector; `Qᵀ·y` is maintained with the *normalized* form
+/// [`Qr::apply_qt`] uses. Every fold runs in the same order on the same
+/// values, so [`QrBuilder::rss`] is bit-identical to
+/// [`Qr::residual_sum_of_squares`] on the equivalent full factorization.
+#[derive(Debug, Clone)]
+pub struct QrBuilder {
+    rows: usize,
+    /// Raw Householder vectors `[v0, v_{k+1}, …, v_{m−1}]` per column —
+    /// empty for zero-norm columns (no reflection). The normalized form
+    /// is only needed once (for the `Qᵀ·y` fold at push time), so it is
+    /// not stored.
+    vraw: Vec<Vec<f64>>,
+    /// `2 / vᵀv` for the raw form (`0.0` marks a skipped reflection).
+    beta_raw: Vec<f64>,
+    /// `R` diagonal per column (`alpha`, or the leftover pivot value for
+    /// zero-norm columns — matching the packed layout of [`Qr::new`]).
+    diag: Vec<f64>,
+    /// `Qᵀ·y`, updated as each reflector lands.
+    qty: Vec<f64>,
+}
+
+impl QrBuilder {
+    /// Starts an empty factorization for `rows`-length columns against
+    /// the right-hand side `y`.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::Empty`] if `rows == 0`.
+    /// - [`LinalgError::DimensionMismatch`] if `y.len() != rows`.
+    pub fn new(rows: usize, y: &[f64]) -> Result<Self, LinalgError> {
+        if rows == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if y.len() != rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "qr builder (rhs length)",
+                lhs: (rows, 1),
+                rhs: (y.len(), 1),
+            });
+        }
+        Ok(QrBuilder {
+            rows,
+            vraw: Vec::new(),
+            beta_raw: Vec::new(),
+            diag: Vec::new(),
+            qty: y.to_vec(),
+        })
+    }
+
+    /// Number of columns factored so far.
+    pub fn cols(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// Appends one design column to the factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the column length is
+    /// not `rows`, or if the factorization is already square (Householder
+    /// QR needs `rows >= cols`).
+    pub fn push_column(&mut self, col: &[f64]) -> Result<(), LinalgError> {
+        let m = self.rows;
+        let k = self.diag.len();
+        if col.len() != m || k >= m {
+            return Err(LinalgError::DimensionMismatch {
+                op: "qr builder push (needs rows >= cols)",
+                lhs: (m, k + 1),
+                rhs: (col.len(), 1),
+            });
+        }
+        let mut c = col.to_vec();
+        // Replay the stored reflections in order, exactly as the eager
+        // trailing-column updates in `Qr::new` would have applied them.
+        for (r, v) in self.vraw.iter().enumerate() {
+            let beta = self.beta_raw[r];
+            if beta == 0.0 {
+                continue;
+            }
+            let mut dot = v[0] * c[r];
+            for (i, vi) in v.iter().enumerate().skip(1) {
+                dot += vi * c[r + i];
+            }
+            let s = beta * dot;
+            for (i, vi) in v.iter().enumerate() {
+                c[r + i] -= s * vi;
+            }
+        }
+        // Build this column's reflector (same folds as `Qr::new`).
+        let mut norm_sq = 0.0;
+        for i in k..m {
+            norm_sq += c[i] * c[i];
+        }
+        let norm = norm_sq.sqrt();
+        if norm == 0.0 {
+            self.vraw.push(Vec::new());
+            self.beta_raw.push(0.0);
+            self.diag.push(c[k]);
+            return Ok(());
+        }
+        let alpha = if c[k] >= 0.0 { -norm } else { norm };
+        let v0 = c[k] - alpha;
+        let mut vtv = v0 * v0;
+        for i in (k + 1)..m {
+            vtv += c[i] * c[i];
+        }
+        let beta = if vtv == 0.0 { 0.0 } else { 2.0 / vtv };
+        let mut vraw = Vec::with_capacity(m - k);
+        vraw.push(v0);
+        vraw.extend_from_slice(&c[(k + 1)..]);
+        // Normalized form: `v0` is always nonzero here (it carries the
+        // full magnitude of `norm`), matching the normalization branch.
+        let beta_n = beta * (v0 * v0);
+        let vnorm: Vec<f64> = c[(k + 1)..].iter().map(|vi| vi / v0).collect();
+        // Fold the reflection into Qᵀ·y with the normalized vector —
+        // the same update `Qr::apply_qt` performs after the fact.
+        if beta_n != 0.0 {
+            let mut dot = self.qty[k];
+            for (i, vn) in vnorm.iter().enumerate() {
+                dot += vn * self.qty[k + 1 + i];
+            }
+            let s = beta_n * dot;
+            self.qty[k] -= s;
+            for (i, vn) in vnorm.iter().enumerate() {
+                self.qty[k + 1 + i] -= s * vn;
+            }
+        }
+        self.vraw.push(vraw);
+        self.beta_raw.push(beta);
+        self.diag.push(alpha);
+        Ok(())
+    }
+
+    /// Residual sum of squares of the fixed right-hand side against the
+    /// columns pushed so far; bit-identical to
+    /// [`Qr::residual_sum_of_squares`] on the equivalent factorization.
+    pub fn rss(&self) -> f64 {
+        let n = self.diag.len();
+        let scale = self
+            .diag
+            .iter()
+            .map(|d| d.abs())
+            .fold(0.0_f64, f64::max)
+            .max(1.0);
+        let mut rss: f64 = self.qty[n..].iter().map(|v| v * v).sum();
+        for (d, q) in self.diag.iter().zip(&self.qty) {
+            if d.abs() < Qr::RANK_TOL * scale {
+                rss += q * q;
+            }
+        }
+        rss
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,5 +468,61 @@ mod tests {
         let qr = a.qr().unwrap();
         assert!(qr.solve_least_squares(&[1.0]).is_err());
         assert!(qr.residual_sum_of_squares(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn builder_rss_bit_identical_to_full_qr_at_every_prefix() {
+        for (m, n) in [(6usize, 1usize), (10, 4), (60, 7), (5, 5)] {
+            let a = Matrix::from_fn(m, n, |i, j| {
+                (0.23 + i as f64 * 1.37 + j as f64 * 0.71).sin() * 2.0
+            });
+            let y: Vec<f64> = (0..m).map(|i| (i as f64 * 0.91).cos() * 1.5).collect();
+            let mut builder = QrBuilder::new(m, &y).unwrap();
+            for j in 0..n {
+                let col: Vec<f64> = (0..m).map(|i| a[(i, j)]).collect();
+                builder.push_column(&col).unwrap();
+                assert_eq!(builder.cols(), j + 1);
+                let prefix = Matrix::from_fn(m, j + 1, |r, c| a[(r, c)]);
+                let full = prefix.qr().unwrap().residual_sum_of_squares(&y).unwrap();
+                assert_eq!(
+                    builder.rss().to_bits(),
+                    full.to_bits(),
+                    "{m}x{n} prefix {}",
+                    j + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn builder_matches_full_qr_on_zero_and_collinear_columns() {
+        // Column 1 is all zeros (norm-zero skip), column 2 duplicates
+        // column 0 (rank deficiency) — both exercise the sentinel paths.
+        let cols = [
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+            vec![0.0; 5],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+            vec![0.5, -1.0, 2.0, 0.0, 1.0],
+        ];
+        let y = [1.0, -0.5, 2.0, 0.25, -1.5];
+        let mut builder = QrBuilder::new(5, &y).unwrap();
+        for (j, col) in cols.iter().enumerate() {
+            builder.push_column(col).unwrap();
+            let prefix = Matrix::from_fn(5, j + 1, |r, c| cols[c][r]);
+            let full = prefix.qr().unwrap().residual_sum_of_squares(&y).unwrap();
+            assert_eq!(builder.rss().to_bits(), full.to_bits(), "prefix {}", j + 1);
+        }
+    }
+
+    #[test]
+    fn builder_rejects_bad_shapes() {
+        assert!(QrBuilder::new(0, &[]).is_err());
+        assert!(QrBuilder::new(3, &[1.0]).is_err());
+        let mut builder = QrBuilder::new(2, &[1.0, 2.0]).unwrap();
+        assert!(builder.push_column(&[1.0]).is_err());
+        builder.push_column(&[1.0, 0.0]).unwrap();
+        builder.push_column(&[0.0, 1.0]).unwrap();
+        // Square factorization is full: a third column would make it wide.
+        assert!(builder.push_column(&[1.0, 1.0]).is_err());
     }
 }

@@ -20,16 +20,38 @@
 //!
 //! Thread count resolution: a scoped override installed by
 //! [`with_threads`] wins, then the process-wide value from
-//! [`set_threads`], then `std::thread::available_parallelism()`. Worker
+//! [`set_threads`], then `std::thread::available_parallelism()` — probed
+//! once and cached, because on Linux each probe re-reads the cgroup CPU
+//! quota files and heap-allocates, which would put `malloc` back on every
+//! allocation-free hot path that asks for the thread count. Worker
 //! threads run with an override of 1, so nested parallel calls inside a
 //! parallel section execute sequentially instead of oversubscribing.
 
 use std::cell::Cell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Process-wide thread count; 0 means "auto" (hardware parallelism).
 static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Cached `available_parallelism()` result; 0 means "not probed yet".
+static DETECTED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Hardware parallelism, probed once per process. `available_parallelism`
+/// is not a cheap getter on Linux — it re-parses the cgroup quota files
+/// and allocates on every call — and the answer cannot change under us.
+fn detected_threads() -> usize {
+    let cached = DETECTED_THREADS.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let probed = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    DETECTED_THREADS.store(probed, Ordering::Relaxed);
+    probed
+}
 
 /// Process-wide strict-determinism flag (see [`set_deterministic`]).
 static GLOBAL_DETERMINISTIC: AtomicBool = AtomicBool::new(true);
@@ -56,9 +78,7 @@ pub fn current_threads() -> usize {
     if global != 0 {
         return global;
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    detected_threads()
 }
 
 /// Runs `f` with the thread count pinned to `threads` on this thread
@@ -73,9 +93,7 @@ pub fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
     }
     let _restore = Restore(SCOPED_THREADS.get());
     SCOPED_THREADS.set(if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        detected_threads()
     } else {
         threads
     });
@@ -292,6 +310,80 @@ where
     });
 }
 
+/// Deterministic guided scheduling over the caller's split of one buffer.
+///
+/// Same contract as [`for_each_split_mut`] — `data` is split at the
+/// ascending `cuts` and `f(part_index, part_slice)` runs once per part —
+/// but instead of pinning one part per spawned worker, the parts form a
+/// precomputed tile queue that `min(threads, parts)` workers drain via an
+/// atomic claim counter. A worker that finishes a cheap tile immediately
+/// claims the next one, so imbalanced tile costs (triangle-shaped Gram
+/// fills, edge panels of a blocked GEMM) no longer leave workers idle.
+///
+/// Determinism: which worker computes a part varies run to run, but each
+/// part is computed exactly once and written only to its own pre-split
+/// slice (its "owner slot"). As long as `f`'s output for a part depends
+/// only on the part index and slice — never on claim order or timing —
+/// the buffer contents are bit-identical at any thread count, including
+/// one: with a single worker the queue degenerates to the plain
+/// sequential loop with no atomics, locks, or spawns.
+///
+/// # Panics
+///
+/// Panics if `cuts` is not strictly ascending within `0..data.len()`.
+pub fn for_each_split_mut_guided<T, F>(data: &mut [T], cuts: &[usize], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let threads = current_threads();
+    if threads <= 1 || cuts.is_empty() {
+        // Zero-overhead path: identical traversal to for_each_split_mut.
+        for_each_split_mut(data, cuts, f);
+        return;
+    }
+    // Pre-split the buffer into owner slots. The Mutex only guards the
+    // Option take — one uncontended lock per tile, negligible against any
+    // real tile computation.
+    let nparts = cuts.len() + 1;
+    let mut parts: Vec<Option<&mut [T]>> = Vec::with_capacity(nparts);
+    let mut rest = data;
+    let mut prev = 0;
+    for &cut in cuts {
+        assert!(
+            cut > prev && cut < prev + rest.len(),
+            "cuts must ascend inside data"
+        );
+        let (part, tail) = rest.split_at_mut(cut - prev);
+        parts.push(Some(part));
+        prev = cut;
+        rest = tail;
+    }
+    parts.push(Some(rest));
+    let slots = Mutex::new(parts);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(nparts) {
+            let (slots, next, f) = (&slots, &next, &f);
+            scope.spawn(move || {
+                serialized(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= nparts {
+                        break;
+                    }
+                    let part = slots
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)[i]
+                        .take();
+                    if let Some(part) = part {
+                        f(i, part);
+                    }
+                })
+            });
+        }
+    });
+}
+
 /// Applies `f(row_index, row)` to every `ncols`-wide row of a row-major
 /// buffer, fanning contiguous row blocks out across the worker pool — the
 /// feature-map fan-out used by the kernel approximation layer's
@@ -473,6 +565,59 @@ mod tests {
             expected.extend(vec![4; 5]);
             assert_eq!(data, expected, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn guided_split_matches_fixed_split_at_any_thread_count() {
+        // Same parts, same contract; the guided queue must produce the
+        // identical buffer no matter how many workers drain it.
+        let cuts = [3usize, 9, 15, 16];
+        let mut reference = vec![0usize; 20];
+        for_each_split_mut(&mut reference, &cuts, |part, slice| {
+            for (off, v) in slice.iter_mut().enumerate() {
+                *v = part * 100 + off;
+            }
+        });
+        for threads in [1, 2, 3, 8] {
+            let mut data = vec![0usize; 20];
+            with_threads(threads, || {
+                for_each_split_mut_guided(&mut data, &cuts, |part, slice| {
+                    for (off, v) in slice.iter_mut().enumerate() {
+                        *v = part * 100 + off;
+                    }
+                });
+            });
+            assert_eq!(data, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn guided_split_visits_every_part_exactly_once() {
+        for threads in [1, 4] {
+            let counts: Vec<AtomicUsize> = (0..7).map(|_| AtomicUsize::new(0)).collect();
+            let mut data = vec![0u8; 70];
+            with_threads(threads, || {
+                for_each_split_mut_guided(&mut data, &[10, 20, 30, 40, 50, 60], |part, _| {
+                    counts[part].fetch_add(1, Ordering::Relaxed);
+                });
+            });
+            for (part, c) in counts.iter().enumerate() {
+                assert_eq!(
+                    c.load(Ordering::Relaxed),
+                    1,
+                    "part {part} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cuts must ascend")]
+    fn guided_split_rejects_bad_cuts() {
+        let mut data = vec![0u8; 5];
+        with_threads(2, || {
+            for_each_split_mut_guided(&mut data, &[3, 2], |_, _| {});
+        });
     }
 
     #[test]

@@ -370,7 +370,7 @@ impl KernelFeatureMap {
     /// Propagates matrix-multiplication shape errors (cannot happen for a
     /// well-formed map).
     pub fn approx_gram(&self) -> Result<Matrix, StatsError> {
-        Ok(self.features.matmul(&self.features.transpose())?)
+        Ok(self.features.matmul_nt(&self.features)?)
     }
 
     /// Converts a feature-space linear functional `w` into the standalone
@@ -429,17 +429,17 @@ pub(crate) enum DecisionParts {
     },
 }
 
-/// `cos(X Ωᵀ + b) · scale` — the projection runs on the blocked GEMM, the
-/// element-wise cosine map fans rows out across the worker pool (each
-/// output element depends only on its own row, so the result is
-/// bit-identical at any thread count).
+/// `cos(X Ωᵀ + b) · scale` — the projection runs on the packed GEMM's
+/// transposed-B path (no materialized `Ωᵀ`), the element-wise cosine map
+/// fans rows out across the worker pool (each output element depends only
+/// on its own row, so the result is bit-identical at any thread count).
 fn rff_embed(
     omega: &Matrix,
     offsets: &[f64],
     scale: f64,
     x: &Matrix,
 ) -> Result<Matrix, StatsError> {
-    let mut p = x.matmul(&omega.transpose())?;
+    let mut p = x.matmul_nt(omega)?;
     let ncols = p.ncols();
     sidefp_parallel::for_each_row_mut(p.as_mut_slice(), ncols, |_, row| {
         for (v, b) in row.iter_mut().zip(offsets) {

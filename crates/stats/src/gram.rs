@@ -5,26 +5,26 @@
 //! computes it once and exposes the summation helpers those consumers
 //! need, so none of them carries its own pairwise-kernel loop.
 //!
-//! Construction runs in GEMM form: the inner-product matrix `X·Yᵀ` comes
-//! from the blocked [`Matrix::matmul`], squared distances follow from the
-//! identity `‖x − y‖² = ‖x‖² + ‖y‖² − 2⟨x, y⟩`, and the kernel's scalar
-//! map (`exp`, `powi`) is applied element-wise afterwards. This replaces a
-//! per-pair `d`-loop with one pass of cache-blocked GEMM plus a linear
-//! sweep — the dominant cost for the RBF kernel becomes the `exp` itself.
-//! Squared distances are clamped at zero: the identity can go negative by
-//! a rounding epsilon where the direct difference cannot, and the diagonal
-//! uses the product matrix's own diagonal for its norms so `‖x − x‖²`
-//! cancels to exactly zero (RBF Gram diagonals are exactly 1).
+//! Construction runs through the packed-panel GEMM with **fused
+//! epilogues** ([`sidefp_linalg::gemm`]): the micro-kernel forms the
+//! inner products `X·Yᵀ`, and while each output stripe is still in cache
+//! the epilogue applies the identity `‖x − y‖² = ‖x‖² + ‖y‖² − 2⟨x, y⟩`
+//! and the kernel's scalar map (`exp`, `powi`) in the same pass — there
+//! is no second full-matrix sweep over a materialized product. Symmetric
+//! Grams use the `A·Aᵀ` entry point, which only forms the upper triangle
+//! (the dot-product count is halved) and mirrors the lower one with plain
+//! copies afterwards. Squared distances are clamped at zero: the identity
+//! can go negative by a rounding epsilon where the direct difference
+//! cannot, and row norms are computed with the same ascending fold as the
+//! micro-kernel's own diagonal dot, so `‖x − x‖²` cancels to exactly zero
+//! (RBF Gram diagonals are exactly 1).
 //!
-//! Parallel layout: the element-wise kernel map covers the upper triangle
-//! in contiguous row chunks whose boundaries equalize the *triangle* work
-//! `Σ (n − i)`, not the row count — early rows are much heavier than late
-//! ones. Each worker writes only its own rows of the backing buffer
-//! (disjoint `split_at_mut` slices, no locks); the lower triangle is
-//! mirrored afterwards with plain copies. Every element is an independent
-//! function of the deterministic GEMM output, so the result is
-//! bit-identical at any thread count.
+//! Parallel layout and determinism are inherited from the GEMM driver:
+//! row stripes form a precomputed tile queue claimed via an atomic
+//! counter, and each stripe is written only to its own pre-split output
+//! slot, so the result is bit-identical at any thread count.
 
+use sidefp_linalg::gemm::{self, Epilogue};
 use sidefp_linalg::{vecops, Matrix};
 
 use crate::{Kernel, StatsError};
@@ -63,18 +63,24 @@ impl GramMatrix {
                 values: Matrix::zeros(0, 0),
             };
         }
-        let mut values = self_products(data);
+        let mut values = Matrix::zeros(n, n);
         match kernel {
             Kernel::Rbf { gamma } => {
-                let norms = diagonal(&values);
-                map_upper_triangle(&mut values, |i, j, p| {
-                    (-gamma * (norms[i] + norms[j] - 2.0 * p).max(0.0)).exp()
-                });
+                let norms = row_norms(data);
+                gemm::syrk_fused(
+                    data,
+                    &Epilogue::Rbf {
+                        gamma,
+                        a_norms: &norms,
+                        b_norms: &norms,
+                    },
+                    &mut values,
+                );
             }
             // The linear Gram *is* the product matrix.
-            Kernel::Linear => {}
+            Kernel::Linear => gemm::syrk_fused(data, &Epilogue::None, &mut values),
             Kernel::Polynomial { degree, coef0 } => {
-                map_upper_triangle(&mut values, |_, _, p| (p + coef0).powi(degree as i32));
+                gemm::syrk_fused(data, &Epilogue::Polynomial { degree, coef0 }, &mut values);
             }
         }
         mirror_lower_triangle(&mut values);
@@ -109,7 +115,7 @@ impl GramMatrix {
             });
         }
         let mut values = d2;
-        map_rows(&mut values, |_, _, v| (-gamma * v).exp());
+        map_rows(&mut values, |_, _, v| vecops::exp(-gamma * v));
         Ok(GramMatrix { kernel, values })
     }
 
@@ -131,18 +137,25 @@ impl GramMatrix {
         if na == 0 || nb == 0 {
             return Ok(Matrix::zeros(na, nb));
         }
-        let mut values = products(a, b);
+        let mut values = Matrix::zeros(na, nb);
         match kernel {
             Kernel::Rbf { gamma } => {
-                let a_norms = sidefp_parallel::map_indexed(na, |i| vecops::sq_norm(a.row(i)));
-                let b_norms = sidefp_parallel::map_indexed(nb, |j| vecops::sq_norm(b.row(j)));
-                map_rows(&mut values, |i, j, p| {
-                    (-gamma * (a_norms[i] + b_norms[j] - 2.0 * p).max(0.0)).exp()
-                });
+                let a_norms = row_norms(a);
+                let b_norms = row_norms(b);
+                gemm::gemm_nt_fused(
+                    a,
+                    b,
+                    &Epilogue::Rbf {
+                        gamma,
+                        a_norms: &a_norms,
+                        b_norms: &b_norms,
+                    },
+                    &mut values,
+                );
             }
-            Kernel::Linear => {}
+            Kernel::Linear => gemm::gemm_nt_fused(a, b, &Epilogue::None, &mut values),
             Kernel::Polynomial { degree, coef0 } => {
-                map_rows(&mut values, |_, _, p| (p + coef0).powi(degree as i32));
+                gemm::gemm_nt_fused(a, b, &Epilogue::Polynomial { degree, coef0 }, &mut values);
             }
         }
         Ok(values)
@@ -208,59 +221,33 @@ impl GramMatrix {
 }
 
 /// The full symmetric matrix of pairwise squared distances between
-/// `data`'s rows, computed via `‖x‖² + ‖y‖² − 2·X·Xᵀ` on the blocked
-/// GEMM (clamped at zero; the diagonal is exactly zero).
+/// `data`'s rows, computed by the fused `‖x‖² + ‖y‖² − 2·X·Xᵀ` epilogue
+/// on the packed-panel GEMM (clamped at zero; the diagonal is exactly
+/// zero).
 pub fn pairwise_squared_distances(data: &Matrix) -> Matrix {
     let n = data.nrows();
     if n == 0 {
         return Matrix::zeros(0, 0);
     }
-    let mut d2 = self_products(data);
-    let norms = diagonal(&d2);
-    map_upper_triangle(&mut d2, |i, j, p| (norms[i] + norms[j] - 2.0 * p).max(0.0));
+    let norms = row_norms(data);
+    let mut d2 = Matrix::zeros(n, n);
+    gemm::syrk_fused(
+        data,
+        &Epilogue::SquaredDistance {
+            a_norms: &norms,
+            b_norms: &norms,
+        },
+        &mut d2,
+    );
     mirror_lower_triangle(&mut d2);
     d2
 }
 
-/// `X·Xᵀ` through the blocked GEMM.
-fn self_products(data: &Matrix) -> Matrix {
-    products(data, data)
-}
-
-/// `A·Bᵀ` through the blocked GEMM.
-///
-/// Column counts are the callers' responsibility; they always agree here,
-/// so the dimension-mismatch arm is unreachable and degrades to an empty
-/// product rather than panicking.
-fn products(a: &Matrix, b: &Matrix) -> Matrix {
-    a.matmul(&b.transpose())
-        .unwrap_or_else(|_| Matrix::zeros(a.nrows(), b.nrows()))
-}
-
-/// The main diagonal of a square matrix.
-fn diagonal(m: &Matrix) -> Vec<f64> {
-    (0..m.nrows()).map(|i| m[(i, i)]).collect()
-}
-
-/// Applies `f(i, j, value)` to every upper-triangle entry (`j ≥ i`) in
-/// parallel, writing the result back in place.
-fn map_upper_triangle<F>(values: &mut Matrix, f: F)
-where
-    F: Fn(usize, usize, f64) -> f64 + Sync,
-{
-    let n = values.nrows();
-    let ncols = n;
-    let row_blocks = triangle_blocks(n, sidefp_parallel::current_threads());
-    let cuts: Vec<usize> = row_blocks.iter().skip(1).map(|r| r.start * ncols).collect();
-    sidefp_parallel::for_each_split_mut(values.as_mut_slice(), &cuts, |block, slice| {
-        let rows = row_blocks[block].clone();
-        for (local, i) in rows.clone().enumerate() {
-            let out = &mut slice[local * ncols..(local + 1) * ncols];
-            for (j, v) in out.iter_mut().enumerate().skip(i) {
-                *v = f(i, j, *v);
-            }
-        }
-    });
+/// Per-row squared norms with the micro-kernel's own ascending fold, so
+/// the symmetric diagonal cancels bit-exactly (see
+/// [`gemm::self_dot_fold`]).
+fn row_norms(data: &Matrix) -> Vec<f64> {
+    sidefp_parallel::map_indexed(data.nrows(), |i| gemm::self_dot_fold(data.row(i)))
 }
 
 /// Applies `f(i, j, value)` to every entry of a rectangular matrix in
@@ -292,51 +279,6 @@ fn mirror_lower_triangle(values: &mut Matrix) {
             values[(i, j)] = values[(j, i)];
         }
     }
-}
-
-/// Splits `0..n` rows into at most `parts` contiguous blocks whose
-/// upper-triangle workloads `Σ (n − i)` are near-equal: the parallel
-/// symmetric fill is balanced even though early rows touch many more
-/// pairs than late ones.
-fn triangle_blocks(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
-    if n == 0 {
-        return Vec::new();
-    }
-    let parts = parts.clamp(1, n);
-    if parts == 1 {
-        return std::iter::once(0..n).collect();
-    }
-    let total: f64 = (n * (n + 1)) as f64 / 2.0;
-    let target = total / parts as f64;
-    let mut blocks = Vec::with_capacity(parts);
-    let mut start = 0usize;
-    let mut acc = 0.0;
-    for i in 0..n {
-        acc += (n - i) as f64;
-        // Close the block once its workload reaches the target, always
-        // leaving at least one row per remaining block.
-        let remaining_blocks = parts - blocks.len();
-        let remaining_rows = n - i - 1;
-        if (acc >= target && remaining_blocks > 1 && remaining_rows >= remaining_blocks - 1)
-            || i + 1 == n
-        {
-            blocks.push(start..i + 1);
-            start = i + 1;
-            acc = 0.0;
-            if blocks.len() == parts {
-                break;
-            }
-        }
-    }
-    if start < n {
-        // Tail rows fold into the last block (the loop above always pushes
-        // at least one block before leaving a tail).
-        match blocks.pop() {
-            Some(last) => blocks.push(last.start..n),
-            None => blocks.push(0..n),
-        }
-    }
-    blocks
 }
 
 #[cfg(test)]
@@ -543,35 +485,6 @@ mod tests {
         for (i, s) in sums.iter().enumerate() {
             let expected: f64 = gram.matrix().row(i).iter().sum();
             assert_eq!(*s, expected);
-        }
-    }
-
-    #[test]
-    fn triangle_blocks_cover_and_balance() {
-        for n in [1usize, 2, 5, 16, 101] {
-            for parts in [1usize, 2, 3, 8] {
-                let blocks = triangle_blocks(n, parts);
-                let mut expect = 0;
-                for b in &blocks {
-                    assert_eq!(b.start, expect);
-                    assert!(!b.is_empty());
-                    expect = b.end;
-                }
-                assert_eq!(expect, n);
-                assert!(blocks.len() <= parts.min(n));
-            }
-        }
-        // Balance sanity on a big triangle: no block should carry more
-        // than ~2x the ideal share of pair evaluations.
-        let n = 400;
-        let blocks = triangle_blocks(n, 8);
-        let total = (n * (n + 1)) / 2;
-        for b in &blocks {
-            let work: usize = b.clone().map(|i| n - i).sum();
-            assert!(
-                work <= total / 4,
-                "block {b:?} carries {work} of {total} evaluations"
-            );
         }
     }
 

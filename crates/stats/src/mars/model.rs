@@ -1,4 +1,4 @@
-use sidefp_linalg::Matrix;
+use sidefp_linalg::{Matrix, QrBuilder};
 
 use crate::mars::{BasisFunction, Hinge, HingeDirection};
 use crate::state::{MarsBasisState, MarsState, RegressorState};
@@ -150,19 +150,26 @@ impl Mars {
                     }
                 }
             }
+            // Every trial shares the columns already in the model, so the
+            // shared prefix is factored once per round and each candidate
+            // clones it and pushes only its two hinge columns — the
+            // incremental QR replays the full factorization's arithmetic
+            // exactly, so trial RSS values are bit-identical to refitting
+            // from scratch.
+            let mut prefix = QrBuilder::new(n, y)?;
+            for col in &design_cols {
+                prefix.push_column(col)?;
+            }
             let scores: Vec<Result<f64, StatsError>> =
                 sidefp_parallel::map_indexed(candidates.len(), |c| {
                     let (parent_idx, feature, knot) = candidates[c];
                     let (pos, neg) = Self::hinge_pair(&bases[parent_idx], feature, knot);
-                    // Borrow the shared columns and append only the two
-                    // trial hinge columns — no per-candidate clone of the
-                    // whole design matrix.
                     let pos_col = Self::basis_column(&pos, x);
                     let neg_col = Self::basis_column(&neg, x);
-                    let mut cols = borrow_cols(&design_cols);
-                    cols.push(&pos_col);
-                    cols.push(&neg_col);
-                    Self::fit_rss(&cols, y)
+                    let mut qr = prefix.clone();
+                    qr.push_column(&pos_col)?;
+                    qr.push_column(&neg_col)?;
+                    Ok(qr.rss())
                 });
             // Scan in enumeration order with strict improvement, so ties
             // resolve to the lowest candidate index — exactly the

@@ -1,4 +1,4 @@
-use sidefp_linalg::{vecops, Matrix};
+use sidefp_linalg::{gemm, vecops, Matrix};
 use sidefp_obs::RunContext;
 
 use crate::approx::{self, DecisionParts, KernelApprox, KernelFeatureMap};
@@ -344,11 +344,9 @@ impl OneClassSvm {
     /// Decision value without the dimension check (callers validate once).
     fn decision_value(&self, x: &[f64]) -> f64 {
         let sum: f64 = match &self.model {
-            DecisionModel::KernelExpansion { points, coeffs } => points
-                .rows_iter()
-                .zip(coeffs)
-                .map(|(sv, a)| a * self.kernel.eval(sv, x))
-                .sum(),
+            DecisionModel::KernelExpansion { points, coeffs } => {
+                self.kernel_expansion_sum(points, coeffs, x)
+            }
             DecisionModel::RandomFeatures {
                 omega,
                 offsets,
@@ -362,6 +360,52 @@ impl OneClassSvm {
                 .sum(),
         };
         sum - self.rho
+    }
+
+    /// The support-vector kernel sum `Σ αᵢ·k(svᵢ, x)`.
+    ///
+    /// For the RBF kernel each pair runs the GEMM-form identity
+    /// `‖x − sv‖² = (‖x‖² + ‖sv‖² − 2⟨sv, x⟩).max(0)` with ascending
+    /// single-accumulator folds for the dot products and norms — the exact
+    /// per-element arithmetic of the fused batch path
+    /// ([`gemm::rbf_expansion_rows`]), so pointwise and batched decisions
+    /// are bit-identical. The exponentials are batched over fixed-size
+    /// strips of support vectors: each strip's exponents land in a stack
+    /// buffer and go through the 4-wide element-wise [`vecops::exp_mut`],
+    /// which gives the scalar map instruction-level parallelism the
+    /// one-at-a-time loop cannot. The weighted sum folds strips in
+    /// ascending support-vector order with a single accumulator.
+    fn kernel_expansion_sum(&self, points: &Matrix, coeffs: &[f64], x: &[f64]) -> f64 {
+        const DECISION_STRIP: usize = 64;
+        let Kernel::Rbf { gamma } = self.kernel else {
+            return points
+                .rows_iter()
+                .zip(coeffs)
+                .map(|(sv, a)| a * self.kernel.eval(sv, x))
+                .sum();
+        };
+        let n = points.nrows();
+        let xn = gemm::self_dot_fold(x);
+        let mut buf = [0.0f64; DECISION_STRIP];
+        let mut sum = 0.0;
+        let mut start = 0;
+        while start < n {
+            let len = DECISION_STRIP.min(n - start);
+            for (t, b) in buf[..len].iter_mut().enumerate() {
+                let sv = points.row(start + t);
+                let mut p = 0.0;
+                for (s, q) in sv.iter().zip(x) {
+                    p += s * q;
+                }
+                *b = -gamma * (xn + gemm::self_dot_fold(sv) - 2.0 * p).max(0.0);
+            }
+            vecops::exp_mut(&mut buf[..len]);
+            for (a, b) in coeffs[start..start + len].iter().zip(&buf[..len]) {
+                sum += a * b;
+            }
+            start += len;
+        }
+        sum
     }
 
     /// `true` if the point falls inside (or on) the trusted boundary.
@@ -395,9 +439,12 @@ impl OneClassSvm {
     }
 
     /// Allocation-free form of [`OneClassSvm::decision_rows`]: writes the
-    /// decision value of every row of `x` into `out`. The kernel sum over
-    /// support vectors is already allocation-free, so the steady state
-    /// performs zero heap allocations; values are identical to
+    /// decision value of every row of `x` into `out`. RBF kernel
+    /// expansions run through the chunked packed-GEMM driver
+    /// ([`gemm::rbf_expansion_rows`]), whose scratch comes from the
+    /// thread-local panel pool; every other representation uses the
+    /// allocation-free pointwise sum. Either way the steady state performs
+    /// zero heap allocations and values are bit-identical to
     /// [`OneClassSvm::decision_rows`].
     ///
     /// # Errors
@@ -419,6 +466,18 @@ impl OneClassSvm {
             });
         }
         check_finite_matrix("x", x)?;
+        if let (DecisionModel::KernelExpansion { points, coeffs }, Kernel::Rbf { gamma }) =
+            (&self.model, self.kernel)
+        {
+            // Batched fused path: chunked packed GEMM + RBF epilogue +
+            // coefficient fold, bit-identical to the pointwise loop below
+            // (both run the same identity-form per-pair arithmetic).
+            gemm::rbf_expansion_rows(x, points, gamma, coeffs, out);
+            for o in out.iter_mut() {
+                *o -= self.rho;
+            }
+            return Ok(());
+        }
         for (i, o) in out.iter_mut().enumerate() {
             *o = self.decision_value(x.row(i));
         }

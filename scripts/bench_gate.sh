@@ -186,6 +186,66 @@ if [[ -f BENCH_scenarios.json ]]; then
     ' BENCH_scenarios.json
 fi
 
+# The scaling sweep (perf --scaling) commits BENCH_scaling.json: per-stage
+# speedup curves over the worker ladder, threads=1 first. Validated
+# statically: the ladder must open at threads=1, every committed speedup
+# curve (total and per-stage) must open at exactly 1.0 — threads=1 is the
+# reference rung, so any other leading value means the reference itself
+# drifted — and at least SCALING_MIN_STAGES stages must carry a curve.
+SCALING_MIN_STAGES=${SCALING_MIN_STAGES:-5}
+if [[ -f BENCH_scaling.json ]]; then
+    awk -v minstages="$SCALING_MIN_STAGES" '
+        /"thread_counts"/ {
+            line = $0
+            gsub(/[^0-9, ]/, "", line)
+            split(line, t, ",")
+            first_thread = t[1] + 0
+            have_threads = 1
+        }
+        /"total_speedup"/ {
+            line = $0
+            sub(/.*\[/, "", line)
+            split(line, v, ",")
+            total_first = v[1] + 0
+            have_total = 1
+        }
+        /"stages_speedup"/ { in_sp = 1; next }
+        in_sp && /^  }/ { in_sp = 0; next }
+        in_sp {
+            line = $0
+            gsub(/[][",:]/, " ", line)
+            n = split(line, f, " ")
+            if (n >= 2 && f[2] + 0 == f[2]) {
+                stages++
+                if (f[2] + 0 != 1.0) bad = bad " " f[1]
+            }
+        }
+        END {
+            if (!have_threads || !have_total) {
+                print "bench_gate: BENCH_scaling.json missing thread_counts/total_speedup; regenerate with: perf --scaling"
+                exit 1
+            }
+            if (first_thread != 1) {
+                print "bench_gate: FAIL — BENCH_scaling.json ladder does not open at threads=1 (got " first_thread ")"
+                exit 1
+            }
+            if (total_first != 1.0) {
+                printf "bench_gate: FAIL — BENCH_scaling.json total_speedup opens at %.3f, not 1.0\n", total_first
+                exit 1
+            }
+            if (stages < minstages) {
+                print "bench_gate: FAIL — BENCH_scaling.json has " stages " stage curves, need >= " minstages "; regenerate with: perf --scaling"
+                exit 1
+            }
+            if (bad != "") {
+                print "bench_gate: FAIL — stage speedup curve(s) not opening at 1.0 (threads=1 reference drifted):" bad
+                exit 1
+            }
+            print "bench_gate: scaling baseline OK (" stages " stage curves, ladder opens at threads=1)"
+        }
+    ' BENCH_scaling.json
+fi
+
 if [[ ! -f "$BASELINE" ]]; then
     echo "bench_gate: no committed $BASELINE; run 'perf --json' and commit it" >&2
     exit 0
@@ -210,7 +270,9 @@ run_perf "$tmp/run2.json"
 
 # Flattens the perf JSON (a format this repo generates itself) into
 # "key value" lines: the single-threaded total plus one stage.<name>
-# line per pipeline stage.
+# line per pipeline stage. Non-numeric values — notably the
+# `"speedup": null` a single-core host records — are skipped, so a
+# null-speedup baseline passes through the gate untouched.
 parse() {
     awk '
         /"stages_ms"/ { in_stages = 1; next }

@@ -71,6 +71,25 @@ if ! awk '
     exit 1
 fi
 
+# The kernel layer runs on the packed GEMM with fused epilogues
+# (sidefp_linalg::gemm): stats code must go through `Matrix::matmul_nt`
+# or the GramMatrix entry points. Materializing a transpose and feeding
+# it to `matmul` silently falls back to an extra O(n·d) copy and skips
+# the packed A·Bᵀ path, so new call sites are rejected outside tests.
+mapfile -t stats_sources < <(find crates/stats/src -name '*.rs' | sort)
+if ! awk '
+    FNR == 1 { in_tests = 0 }
+    /#\[cfg\(test\)\]/ { in_tests = 1 }
+    !in_tests && /\.matmul\(&[^)]*\.transpose\(\)/ {
+        found = 1
+        print FILENAME ":" FNR ": " $0
+    }
+    END { exit found }
+' "${stats_sources[@]}"; then
+    echo "error: matmul-of-transpose in sidefp-stats (use matmul_nt or a fused GramMatrix path)" >&2
+    exit 1
+fi
+
 # Observability is per-run (RunContext); the pipeline crates must not
 # grow process-global mutable state.
 pattern='static[[:space:]]+[A-Z0-9_]+[[:space:]]*:[[:space:]]*[A-Za-z0-9_:]*(Mutex|RwLock|Atomic[A-Za-z0-9]+|OnceLock|OnceCell|LazyLock|RefCell|UnsafeCell)'
